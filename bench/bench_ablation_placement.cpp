@@ -1,0 +1,61 @@
+// Ablation: initial placement. The paper argues for algorithm-driven
+// mapping — using interaction-graph structure to drive compilation. The
+// degree-match and annealing placers are exactly that: they read the
+// interaction graph before choosing a layout. This bench measures their
+// effect against the trivial (identity) and random baselines, with the
+// router held fixed.
+#include <iostream>
+
+#include "common.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+
+using namespace qfs;
+
+int main() {
+  std::cout << "=== Ablation: placement (surface-97, trivial router) ===\n\n";
+
+  device::Device dev = device::surface97_device();
+  report::TextTable t({"placer", "mean overhead %", "median overhead %",
+                       "mean swaps", "mean fidelity decrease %"});
+
+  std::vector<std::pair<std::string, double>> means;
+  for (const std::string placer : {"trivial", "random", "degree-match",
+                                   "annealing", "subgraph", "noise-aware"}) {
+    bench::SuiteRunConfig config;
+    config.suite.random_count = 25;
+    config.suite.real_count = 25;
+    config.suite.reversible_count = 10;
+    config.suite.max_gates = 1200;
+    config.suite.max_qubits = 40;
+    config.mapping.placer = placer;
+    std::cerr << placer << " ";
+    auto rows = bench::run_suite(dev, config);
+
+    std::vector<double> overhead, swaps, fdec;
+    for (const auto& r : rows) {
+      overhead.push_back(r.mapping.gate_overhead_pct);
+      swaps.push_back(r.mapping.swaps_inserted);
+      fdec.push_back(r.mapping.fidelity_decrease_pct);
+    }
+    t.add_row({placer, bench::fmt(stats::mean(overhead), 1),
+               bench::fmt(stats::median(overhead), 1),
+               bench::fmt(stats::mean(swaps), 1),
+               bench::fmt(stats::mean(fdec), 1)});
+    means.emplace_back(placer, stats::mean(overhead));
+  }
+  std::cout << t.to_string() << "\n";
+
+  double trivial = means[0].second;
+  double annealing = means[3].second;
+  double subgraph = means[4].second;
+  std::cout << "Exact-embedding (subgraph) placement beats the trivial "
+               "baseline: "
+            << (subgraph < trivial ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "Algorithm-driven (annealing) placement beats the trivial "
+               "baseline: "
+            << (annealing < trivial ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "This is the paper's central claim: exploiting interaction-"
+               "graph structure reduces mapping overhead.\n";
+  return 0;
+}

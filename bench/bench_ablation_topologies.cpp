@@ -1,0 +1,59 @@
+// Ablation: device topology. The same suite mapped onto different coupling
+// graphs quantifies how much the chip's connectivity (a hardware design
+// axis of the paper's co-design loop) determines mapping overhead.
+#include <iostream>
+
+#include "common.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+
+using namespace qfs;
+
+int main() {
+  std::cout << "=== Ablation: topologies (trivial mapper, same suite) ===\n\n";
+
+  struct Target {
+    std::string label;
+    device::Device device;
+  };
+  std::vector<Target> targets;
+  targets.push_back({"line-97", device::line_device(97)});
+  targets.push_back({"grid-10x10", device::grid_device(10, 10)});
+  targets.push_back({"surface-97", device::surface97_device()});
+  targets.push_back({"full-97", device::fully_connected_device(97)});
+
+  report::TextTable t({"topology", "mean overhead %", "median overhead %",
+                       "mean swaps", "mean depth overhead %"});
+
+  std::vector<std::pair<std::string, double>> means;
+  for (auto& target : targets) {
+    bench::SuiteRunConfig config;
+    config.suite.random_count = 25;
+    config.suite.real_count = 25;
+    config.suite.reversible_count = 10;
+    config.suite.max_gates = 1200;
+    std::cerr << target.label << " ";
+    auto rows = bench::run_suite(target.device, config);
+
+    std::vector<double> overhead, swaps, depth;
+    for (const auto& r : rows) {
+      overhead.push_back(r.mapping.gate_overhead_pct);
+      swaps.push_back(r.mapping.swaps_inserted);
+      depth.push_back(r.mapping.depth_overhead_pct);
+    }
+    t.add_row({target.label, bench::fmt(stats::mean(overhead), 1),
+               bench::fmt(stats::median(overhead), 1),
+               bench::fmt(stats::mean(swaps), 1),
+               bench::fmt(stats::mean(depth), 1)});
+    means.emplace_back(target.label, stats::mean(overhead));
+  }
+  std::cout << t.to_string() << "\n";
+
+  bool ordered = means[3].second <= means[2].second &&  // full <= surface
+                 means[2].second <= means[0].second;    // surface <= line
+  std::cout << "Connectivity ordering (full <= surface <= line overhead): "
+            << (ordered ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "Full connectivity needs no SWAPs by construction; richer "
+               "coupling monotonically reduces routing pressure.\n";
+  return 0;
+}

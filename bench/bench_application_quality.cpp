@@ -1,0 +1,133 @@
+// Closing the full-stack loop: mapping quality -> application quality.
+//
+// The paper's motivation for better compilation is "achieving higher
+// algorithm success rates". This bench makes that concrete at the
+// application layer: the same QAOA-MaxCut instance is mapped with the
+// hardware-agnostic baseline and with the profile-recommended strategy,
+// executed under depolarizing noise, and scored by what the user actually
+// cares about — the approximation ratio of the sampled cuts.
+#include <iostream>
+
+#include "common.h"
+#include "graph/generators.h"
+#include "mapper/recommend.h"
+#include "report/table.h"
+#include "sim/statevector.h"
+#include "workloads/algorithms.h"
+
+using namespace qfs;
+
+namespace {
+
+/// Mean cut value of bitstrings sampled from running `mapped` under
+/// depolarizing noise (Pauli injection per gate, like sim::run_noisy but
+/// keeping the measurement samples). Virtual bit v is read from physical
+/// qubit final_layout[v].
+double noisy_mean_cut(const circuit::Circuit& mapped,
+                      const std::vector<int>& final_layout,
+                      const graph::Graph& problem,
+                      const device::ErrorModel& em, int shots,
+                      qfs::Rng& rng) {
+  double total = 0.0;
+  for (int shot = 0; shot < shots; ++shot) {
+    sim::StateVector sv(mapped.num_qubits());
+    for (const auto& g : mapped.gates()) {
+      if (!circuit::is_unitary(g.kind)) continue;
+      sv.apply_gate(g);
+      if (rng.bernoulli(1.0 - em.gate_fidelity(g))) {
+        // Uniform non-identity Pauli on a random operand.
+        int q = g.qubits[rng.uniform_index(g.qubits.size())];
+        static const circuit::GateKind paulis[3] = {
+            circuit::GateKind::kX, circuit::GateKind::kY,
+            circuit::GateKind::kZ};
+        sv.apply_gate(circuit::make_gate(paulis[rng.uniform_int(0, 2)], {q}));
+      }
+    }
+    std::size_t outcome = sv.sample(rng);
+    std::uint64_t assignment = 0;
+    for (int v = 0; v < problem.num_nodes(); ++v) {
+      if ((outcome >> final_layout[static_cast<std::size_t>(v)]) & 1) {
+        assignment |= std::uint64_t{1} << v;
+      }
+    }
+    total += workloads::maxcut_value(problem, assignment);
+  }
+  return total / shots;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Application quality: QAOA-MaxCut approximation ratio vs "
+               "mapping strategy ===\n";
+  std::cout << "6-node ring MaxCut, QAOA p=2, surface-7 chip, depolarizing "
+               "noise, 400 shots\n\n";
+
+  graph::Graph problem = graph::cycle_graph(6);
+  double optimum = workloads::maxcut_optimum(problem);
+
+  // Pick decent QAOA angles by a small noiseless scan (the application
+  // layer's classical outer loop).
+  qfs::Rng angle_rng(2022);
+  circuit::Circuit best_qaoa;
+  double best_ideal_cut = -1.0;
+  for (int trial = 0; trial < 24; ++trial) {
+    circuit::Circuit candidate = workloads::qaoa_maxcut(problem, 2, angle_rng);
+    circuit::Circuit unitary(candidate.num_qubits());
+    for (const auto& g : candidate.gates()) {
+      if (g.kind != circuit::GateKind::kMeasure) unitary.add(g);
+    }
+    sim::StateVector sv(6);
+    sv.apply_circuit(unitary);
+    double expect = 0.0;
+    for (std::size_t a = 0; a < sv.dim(); ++a) {
+      expect += sv.probability(a) * workloads::maxcut_value(problem, a);
+    }
+    if (expect > best_ideal_cut) {
+      best_ideal_cut = expect;
+      best_qaoa = unitary;
+    }
+  }
+  std::cout << "optimum cut = " << optimum << ", best ideal QAOA expectation "
+            << bench::fmt(best_ideal_cut, 2) << " (ratio "
+            << bench::fmt(best_ideal_cut / optimum, 3) << ")\n\n";
+
+  device::Device chip = device::surface7_device();
+  report::TextTable t({"mapping", "gates", "mean sampled cut",
+                       "approximation ratio"});
+  double baseline_ratio = 0.0, tuned_ratio = 0.0;
+  for (const std::string strategy : {"trivial", "recommended"}) {
+    mapper::MappingOptions opts;
+    if (strategy == "recommended") {
+      opts = mapper::recommend_mapping(profile::profile_circuit(best_qaoa))
+                 .options;
+    }
+    qfs::Rng map_rng(7);
+    mapper::MappingResult r = mapper::map_circuit(best_qaoa, chip, opts, map_rng);
+    qfs::Rng shot_rng(42);
+    double mean_cut = noisy_mean_cut(r.mapped, r.final_layout, problem,
+                                     chip.error_model(), 400, shot_rng);
+    double ratio = mean_cut / optimum;
+    if (strategy == "trivial") {
+      baseline_ratio = ratio;
+    } else {
+      tuned_ratio = ratio;
+    }
+    t.add_row({strategy + " (" + opts.placer + "+" + opts.router + ")",
+               std::to_string(r.gates_after), bench::fmt(mean_cut, 2),
+               bench::fmt(ratio, 3)});
+  }
+  // Context rows: ideal execution and random guessing.
+  t.add_row({"ideal (noiseless)", "-", bench::fmt(best_ideal_cut, 2),
+             bench::fmt(best_ideal_cut / optimum, 3)});
+  t.add_row({"random guessing", "-", bench::fmt(optimum / 2.0, 2), "0.500"});
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "better mapping -> better application outcome: "
+            << (tuned_ratio > baseline_ratio ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "noise keeps both below the ideal ratio: "
+            << (tuned_ratio <= best_ideal_cut / optimum + 0.02 ? "HOLDS"
+                                                               : "VIOLATED")
+            << "\n";
+  return 0;
+}

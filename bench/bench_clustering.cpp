@@ -1,0 +1,86 @@
+// Sec. IV reproduction: clustering quantum algorithms by their
+// interaction-graph metrics.
+//
+// "Using these new metrics and the common circuit parameters, algorithms
+// can be clustered based on their similarities. Ideally, quantum algorithms
+// with similar properties are ought to show similar performance when run on
+// specific chips using a given mapping strategy."
+//
+// This bench clusters the suite in the reduced metric space and reports,
+// per cluster, the spread of mapping performance — showing that clusters
+// are more homogeneous in overhead than the suite as a whole.
+#include <iostream>
+
+#include "common.h"
+#include "profile/clustering.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+
+using namespace qfs;
+
+int main() {
+  std::cout << "=== Sec. IV: clustering algorithms by graph metrics ===\n\n";
+
+  device::Device dev = device::surface97_device();
+  bench::SuiteRunConfig config;
+  config.suite.max_gates = 3000;
+  std::cerr << "mapping 200 circuits ";
+  auto rows = bench::run_suite(dev, config);
+
+  std::vector<profile::CircuitProfile> profiles;
+  std::vector<double> overheads;
+  std::vector<workloads::Family> families;
+  for (const auto& r : rows) {
+    if (r.profile.ig_nodes < 2) continue;
+    profiles.push_back(r.profile);
+    overheads.push_back(r.mapping.gate_overhead_pct);
+    families.push_back(r.family);
+  }
+
+  const int k = 4;
+  qfs::Rng rng(33);
+  profile::ClusteringResult clusters =
+      profile::cluster_profiles(profiles, k, rng, /*reduce_first=*/true);
+
+  std::cout << "Feature space after Pearson reduction: ";
+  for (int idx : clusters.feature_indices) {
+    std::cout << profile::graph_metric_names()[static_cast<std::size_t>(idx)]
+              << " ";
+  }
+  std::cout << "\nk-means: k = " << k << ", converged in "
+            << clusters.kmeans.iterations << " iterations, inertia = "
+            << bench::fmt(clusters.kmeans.inertia, 1) << "\n\n";
+
+  report::TextTable t({"cluster", "circuits", "random", "real", "reversible",
+                       "mean overhead %", "overhead std dev"});
+  double pooled_var = 0.0;
+  int pooled_n = 0;
+  for (int c = 0; c < k; ++c) {
+    std::vector<double> ov;
+    int fam[3] = {0, 0, 0};
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+      if (clusters.cluster_of_circuit[i] != c) continue;
+      ov.push_back(overheads[i]);
+      ++fam[static_cast<int>(families[i])];
+    }
+    double sd = stats::stddev(ov);
+    pooled_var += sd * sd * static_cast<double>(ov.size());
+    pooled_n += static_cast<int>(ov.size());
+    t.add_row({std::to_string(c), std::to_string(ov.size()),
+               std::to_string(fam[0]), std::to_string(fam[1]),
+               std::to_string(fam[2]), bench::fmt(stats::mean(ov), 1),
+               bench::fmt(sd, 1)});
+  }
+  std::cout << t.to_string() << "\n";
+
+  double overall_sd = stats::stddev(overheads);
+  double pooled_sd = pooled_n ? std::sqrt(pooled_var / pooled_n) : 0.0;
+  std::cout << "Overhead std dev over the whole suite: "
+            << bench::fmt(overall_sd, 1) << "\n";
+  std::cout << "Pooled within-cluster overhead std dev: "
+            << bench::fmt(pooled_sd, 1) << "\n";
+  std::cout << "Clusters more homogeneous than the full suite: "
+            << (pooled_sd < overall_sd ? "HOLDS" : "VIOLATED")
+            << "  (the paper's premise for algorithm-driven mapping)\n";
+  return 0;
+}

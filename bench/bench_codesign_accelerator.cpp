@@ -1,0 +1,141 @@
+// Co-design demonstration: application-specific accelerator selection.
+//
+// The paper's conclusion: "near-term quantum computing full-stacks ... are
+// expected to be in the form of application-specific quantum accelerators"
+// and "algorithm-driven devices could be an effective solution". This
+// bench makes that concrete: for each algorithm family, the same qubit
+// budget is spent on different chip topologies, and the best chip differs
+// per family — structure-matched connectivity wins.
+#include <iostream>
+
+#include "common.h"
+#include "device/synthesis.h"
+#include "graph/generators.h"
+#include "profile/interaction.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+using namespace qfs;
+
+namespace {
+
+struct Chip {
+  std::string label;
+  device::Device device;
+};
+
+struct Workload {
+  std::string label;
+  std::vector<circuit::Circuit> instances;
+};
+
+double mean_overhead(const Workload& w, device::Device& dev) {
+  std::vector<double> overhead;
+  for (const auto& c : w.instances) {
+    mapper::MappingOptions opts;
+    opts.placer = "annealing";  // algorithm-driven placement throughout
+    qfs::Rng rng(7);
+    overhead.push_back(mapper::map_circuit(c, dev, opts, rng).gate_overhead_pct);
+  }
+  return stats::mean(overhead);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Co-design: picking the accelerator topology per "
+               "application ===\n";
+  std::cout << "~20-qubit chips, annealing placement, trivial router\n\n";
+
+  std::vector<Chip> chips;
+  chips.push_back({"line-20", device::line_device(20)});
+  chips.push_back({"grid-4x5", device::grid_device(4, 5)});
+  chips.push_back({"surface-17", device::surface17_device()});
+  // A chip synthesised from a representative workload of each family is
+  // evaluated separately below ("synthesized" column): the ultimate
+  // algorithm-driven device.
+
+  qfs::Rng gen(2022);
+  std::vector<Workload> workloads;
+  {
+    Workload w{"GHZ chains (line-structured)", {}};
+    for (int n : {10, 13, 16}) w.instances.push_back(workloads::ghz(n));
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w{"QAOA ring MaxCut (ring-structured)", {}};
+    for (int n : {10, 12, 14}) {
+      w.instances.push_back(
+          workloads::qaoa_maxcut(graph::cycle_graph(n), 2, gen));
+    }
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w{"QFT (all-to-all)", {}};
+    for (int n : {8, 10, 12}) w.instances.push_back(workloads::qft(n));
+    workloads.push_back(std::move(w));
+  }
+  {
+    Workload w{"dense random (unstructured)", {}};
+    for (int i = 0; i < 3; ++i) {
+      workloads::RandomCircuitSpec spec;
+      spec.num_qubits = 12;
+      spec.num_gates = 200;
+      spec.two_qubit_fraction = 0.5;
+      w.instances.push_back(workloads::random_circuit(spec, gen));
+    }
+    workloads.push_back(std::move(w));
+  }
+
+  std::vector<std::string> headers = {"application"};
+  for (const auto& chip : chips) headers.push_back(chip.label);
+  headers.push_back("synthesized");
+  headers.push_back("best chip");
+  report::TextTable t(headers);
+
+  std::vector<std::string> winners;
+  std::vector<double> synth_overheads;
+  for (auto& w : workloads) {
+    std::vector<std::string> row = {w.label};
+    double best = 1e300;
+    std::string best_chip;
+    for (auto& chip : chips) {
+      double overhead = mean_overhead(w, chip.device);
+      row.push_back(bench::fmt(overhead, 1));
+      if (overhead < best) {
+        best = overhead;
+        best_chip = chip.label;
+      }
+    }
+    // The algorithm-driven extreme: a chip synthesised from this family's
+    // first instance's interaction graph (degree budget 4).
+    graph::Graph ig = profile::interaction_graph(w.instances[0]);
+    ig.ensure_nodes(20);  // same qubit budget as the generic chips
+    device::Device synth("synth", device::synthesize_topology(ig),
+                         device::surface_code_gateset(), device::ErrorModel());
+    double synth_overhead = mean_overhead(w, synth);
+    synth_overheads.push_back(synth_overhead);
+    row.push_back(bench::fmt(synth_overhead, 1));
+    if (synth_overhead < best) {
+      best = synth_overhead;
+      best_chip = "synthesized";
+    }
+    row.push_back(best_chip);
+    winners.push_back(best_chip);
+    t.add_row(row);
+  }
+  std::cout << t.to_string() << "\n";
+
+  bool structure_matters = false;
+  for (std::size_t i = 1; i < winners.size(); ++i) {
+    if (winners[i] != winners[0]) structure_matters = true;
+  }
+  std::cout << "Different applications prefer different topologies "
+               "(application-specific accelerators pay off): "
+            << (structure_matters ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "Line-structured GHZ maps overhead-free on the line chip; "
+               "denser workloads need richer connectivity.\n";
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fig. 2 reproduction: running a quantum circuit on the Surface-7 chip.
+//
+// The paper's figure shows a small circuit, its weighted interaction graph,
+// the Surface-7 coupling graph, and the mapped circuit in which one extra
+// SWAP makes every CNOT nearest-neighbour. This bench prints all four
+// artefacts.
+#include <iostream>
+
+#include "common.h"
+#include "compiler/decompose.h"
+#include "device/device.h"
+#include "profile/interaction.h"
+#include "report/table.h"
+#include "sim/equivalence.h"
+
+using namespace qfs;
+
+namespace {
+
+void print_graph(const graph::Graph& g, const std::string& title) {
+  std::cout << title << "\n";
+  for (const auto& e : g.edges()) {
+    std::cout << "  q" << e.u << " -- q" << e.v << "  (weight "
+              << bench::fmt(e.weight, 0) << ")\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 2: running a quantum circuit on Surface-7 ===\n\n";
+
+  // A 4-qubit CNOT circuit in the spirit of the figure: q1 interacts with
+  // q0 twice and with q2/q3 once; q2-q3 interact once.
+  circuit::Circuit c(4, "fig2");
+  c.cx(0, 1).cx(1, 2).cx(0, 1).cx(1, 3).cx(2, 3);
+
+  std::cout << c.to_string() << "\n";
+  print_graph(profile::interaction_graph(c),
+              "Interaction graph (edges weighted by #two-qubit gates):");
+
+  device::Device d = device::surface7_device();
+  print_graph(d.topology().coupling(), "Surface-7 coupling graph:");
+
+  // The figure's placement: every CNOT pair is coupled except (q2, q3),
+  // which sits at distance 2 and costs exactly one SWAP.
+  mapper::MappingOptions options;
+  options.initial_layout = {5, 3, 6, 1};
+  std::cout << "Figure placement: q0->Q5 q1->Q3 q2->Q6 q3->Q1\n\n";
+  qfs::Rng rng(1);
+  mapper::MappingResult r = mapper::map_circuit(c, d, options, rng);
+
+  report::TextTable t({"metric", "value"});
+  t.add_row({"gates before mapping (primitive set)",
+             std::to_string(r.gates_before)});
+  t.add_row({"gates after mapping", std::to_string(r.gates_after)});
+  t.add_row({"SWAPs inserted", std::to_string(r.swaps_inserted)});
+  t.add_row({"gate overhead %", bench::fmt(r.gate_overhead_pct, 1)});
+  t.add_row({"estimated fidelity before", bench::fmt(r.fidelity_before, 4)});
+  t.add_row({"estimated fidelity after", bench::fmt(r.fidelity_after, 4)});
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "Initial layout (virtual -> physical): ";
+  for (std::size_t v = 0; v < r.initial_layout.size(); ++v) {
+    std::cout << "q" << v << "->Q" << r.initial_layout[v] << " ";
+  }
+  std::cout << "\nFinal layout   (virtual -> physical): ";
+  for (std::size_t v = 0; v < r.final_layout.size(); ++v) {
+    std::cout << "q" << v << "->Q" << r.final_layout[v] << " ";
+  }
+  std::cout << "\n\nMapped circuit (Surface-7 primitives):\n"
+            << r.mapped.to_string();
+
+  qfs::Rng check(7);
+  bool ok = sim::mapping_preserves_semantics(c, r.mapped, r.initial_layout,
+                                             r.final_layout, check, 3, 1e-7);
+  std::cout << "\nSemantics preserved under layouts: " << (ok ? "YES" : "NO")
+            << "\n";
+  std::cout << "\nPaper expectation: the non-nearest-neighbour CNOT costs one "
+               "SWAP; all CNOTs become executable.\n";
+  return ok ? 0 : 1;
+}

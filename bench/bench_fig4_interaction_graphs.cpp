@@ -1,0 +1,97 @@
+// Fig. 4 reproduction: interaction graphs of two circuits with identical
+// size parameters — a real algorithm (QAOA) and a randomly generated
+// circuit. The paper's point: the common parameters (qubits, gates,
+// two-qubit %) hide a very different interaction structure; the random
+// circuit's graph is denser (full connectivity) with flatter weights.
+#include <iostream>
+
+#include "common.h"
+#include "compiler/decompose.h"
+#include "device/gateset.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "profile/circuit_profile.h"
+#include "profile/interaction.h"
+#include "report/table.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+using namespace qfs;
+
+namespace {
+
+void print_weighted_graph(const graph::Graph& g, const std::string& title) {
+  std::cout << title << " (" << g.num_nodes() << " nodes, " << g.num_edges()
+            << " edges)\n";
+  for (const auto& e : g.edges()) {
+    std::cout << "  q" << e.u << " -- q" << e.v << "  weight "
+              << bench::fmt(e.weight, 0) << "\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Fig. 4: interaction graphs at identical size parameters "
+               "===\n\n";
+
+  // Real algorithm: QAOA-MaxCut on a 6-node ring, enough layers to get a
+  // few hundred gates (the paper's instance: 6 qubits, 456 gates, 13.5 %
+  // two-qubit share after compilation).
+  qfs::Rng qaoa_rng(4);
+  graph::Graph problem = graph::cycle_graph(6);
+  circuit::Circuit qaoa = workloads::qaoa_maxcut(problem, 12, qaoa_rng);
+  // Lower to the surface primitive set: this inflates the single-qubit gate
+  // count exactly the way real compiled benchmarks do, dropping the
+  // two-qubit share toward the paper's 13.5 %.
+  circuit::Circuit qaoa_lowered =
+      compiler::decompose_to_gateset(qaoa, device::surface_code_gateset());
+  profile::CircuitProfile pq = profile::profile_circuit(qaoa_lowered);
+
+  // Random circuit pinned to the same (qubits, gates, two-qubit %) triple.
+  workloads::RandomCircuitSpec spec;
+  spec.num_qubits = 6;
+  spec.num_gates = pq.gate_count;
+  spec.two_qubit_fraction = pq.two_qubit_fraction;
+  qfs::Rng rand_rng(5);
+  circuit::Circuit random = workloads::random_circuit(spec, rand_rng);
+  profile::CircuitProfile pr = profile::profile_circuit(random);
+
+  std::cout << "Shared size parameters: num qubits = " << pq.num_qubits
+            << ", num gates = " << pq.gate_count
+            << ", two-qubit gate share = "
+            << bench::fmt(100.0 * pq.two_qubit_fraction, 1) << " %\n\n";
+
+  print_weighted_graph(profile::active_interaction_graph(qaoa_lowered),
+                       "QAOA (real algorithm) interaction graph");
+  print_weighted_graph(profile::active_interaction_graph(random),
+                       "Random circuit interaction graph");
+
+  report::TextTable t({"metric", "QAOA (real)", "random"});
+  auto row = [&t](const std::string& name, double a, double b, int prec) {
+    t.add_row({name, bench::fmt(a, prec), bench::fmt(b, prec)});
+  };
+  row("interaction edges", pq.ig_edges, pr.ig_edges, 0);
+  row("density (connectivity)", pq.density, pr.density, 3);
+  row("avg shortest path", pq.avg_shortest_path, pr.avg_shortest_path, 3);
+  row("max degree", pq.max_degree, pr.max_degree, 0);
+  row("min degree", pq.min_degree, pr.min_degree, 0);
+  row("edge-weight std dev", pq.edge_weight_stddev, pr.edge_weight_stddev, 3);
+  row("adjacency-matrix std dev", pq.adj_matrix_stddev, pr.adj_matrix_stddev, 3);
+  row("clustering coefficient", pq.clustering, pr.clustering, 3);
+  std::cout << t.to_string() << "\n";
+
+  bool denser = pr.density > pq.density;
+  // "Different distribution of the interactions": the structured circuit
+  // concentrates its two-qubit gates on few pairs (large adjacency-matrix
+  // spread); the random circuit dilutes them over every pair.
+  bool concentrated = pq.adj_matrix_stddev > pr.adj_matrix_stddev;
+  std::cout << "Shape checks (paper's Fig. 4 observations):\n";
+  std::cout << "  random graph denser / closer to full connectivity: "
+            << (denser ? "HOLDS" : "VIOLATED") << "\n";
+  std::cout << "  QAOA concentrates weight on few pairs (higher adjacency "
+               "spread): "
+            << (concentrated ? "HOLDS" : "VIOLATED") << "\n";
+  return 0;
+}

@@ -1,0 +1,130 @@
+// google-benchmark timings of the compilation stack's hot paths: routing,
+// decomposition, scheduling, profiling and simulation throughput.
+#include <benchmark/benchmark.h>
+
+#include "compiler/decompose.h"
+#include "compiler/schedule.h"
+#include "device/device.h"
+#include "device/fidelity.h"
+#include "mapper/pipeline.h"
+#include "mapper/placement.h"
+#include "mapper/routing.h"
+#include "profile/circuit_profile.h"
+#include "sim/statevector.h"
+#include "workloads/random_circuit.h"
+
+namespace {
+
+using namespace qfs;
+
+circuit::Circuit make_workload(int qubits, int gates) {
+  qfs::Rng rng(42);
+  workloads::RandomCircuitSpec spec;
+  spec.num_qubits = qubits;
+  spec.num_gates = gates;
+  spec.two_qubit_fraction = 0.35;
+  return workloads::random_circuit(spec, rng);
+}
+
+void BM_DecomposeToSurfaceSet(benchmark::State& state) {
+  circuit::Circuit c = make_workload(20, static_cast<int>(state.range(0)));
+  device::GateSet gs = device::surface_code_gateset();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::decompose_to_gateset(c, gs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecomposeToSurfaceSet)->Arg(1000)->Arg(10000);
+
+void BM_TrivialRouteSurface97(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = compiler::decompose_to_gateset(
+      make_workload(40, static_cast<int>(state.range(0))), d.gateset());
+  for (auto _ : state) {
+    qfs::Rng rng(1);
+    auto result = mapper::TrivialRouter().route(
+        c, d, mapper::Layout::identity(97), rng);
+    benchmark::DoNotOptimize(result.swaps_inserted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TrivialRouteSurface97)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LookaheadRouteSurface97(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = compiler::decompose_to_gateset(
+      make_workload(40, static_cast<int>(state.range(0))), d.gateset());
+  for (auto _ : state) {
+    qfs::Rng rng(1);
+    auto result = mapper::LookaheadRouter().route(
+        c, d, mapper::Layout::identity(97), rng);
+    benchmark::DoNotOptimize(result.swaps_inserted);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LookaheadRouteSurface97)->Arg(1000);
+
+void BM_FullMappingPipeline(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = make_workload(30, 2000);
+  for (auto _ : state) {
+    qfs::Rng rng(1);
+    benchmark::DoNotOptimize(mapper::map_circuit(c, d, rng));
+  }
+}
+BENCHMARK(BM_FullMappingPipeline);
+
+void BM_AsapScheduleWithControlGroups(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = compiler::decompose_to_gateset(
+      make_workload(40, static_cast<int>(state.range(0))), d.gateset());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compiler::asap_schedule(c, d));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AsapScheduleWithControlGroups)->Arg(1000)->Arg(5000);
+
+void BM_ProfileCircuit(benchmark::State& state) {
+  circuit::Circuit c = make_workload(static_cast<int>(state.range(0)), 5000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile::profile_circuit(c));
+  }
+}
+BENCHMARK(BM_ProfileCircuit)->Arg(10)->Arg(50);
+
+void BM_FidelityEstimate(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = compiler::decompose_to_gateset(
+      make_workload(40, 10000), d.gateset());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device::estimate_log_gate_fidelity(c, d));
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FidelityEstimate);
+
+void BM_StateVectorSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  circuit::Circuit c = make_workload(n, 200);
+  for (auto _ : state) {
+    sim::StateVector sv(n);
+    sv.apply_circuit(c);
+    benchmark::DoNotOptimize(sv.amplitude(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_StateVectorSimulation)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_AnnealingPlacer(benchmark::State& state) {
+  device::Device d = device::surface97_device();
+  circuit::Circuit c = make_workload(30, 500);
+  for (auto _ : state) {
+    qfs::Rng rng(1);
+    benchmark::DoNotOptimize(
+        mapper::AnnealingPlacer(2000).place(c, d, rng));
+  }
+}
+BENCHMARK(BM_AnnealingPlacer);
+
+}  // namespace

@@ -1,0 +1,79 @@
+// The paper's punchline, automated: algorithm-driven strategy selection.
+//
+// For every suite circuit, recommend_mapping() reads the interaction-graph
+// profile and picks a strategy; this bench compares the recommended
+// configuration against the hardware-agnostic trivial baseline, with
+// bootstrap confidence intervals on the mean overhead.
+#include <iostream>
+
+#include "common.h"
+#include "mapper/recommend.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+
+using namespace qfs;
+
+int main() {
+  std::cout << "=== Algorithm-driven mapping via profile-based "
+               "recommendation (surface-97) ===\n\n";
+
+  device::Device dev = device::surface97_device();
+  qfs::Rng rng(2022);
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 30;
+  suite_opts.real_count = 40;
+  suite_opts.reversible_count = 20;
+  suite_opts.max_gates = 1200;
+  suite_opts.max_qubits = 40;
+  auto suite = workloads::make_suite(suite_opts, rng);
+
+  std::vector<double> trivial_ov, recommended_ov;
+  std::map<std::string, int> placer_counts;
+  int wins = 0, ties = 0;
+  std::cerr << "mapping " << suite.size() << " circuits ";
+  int done = 0;
+  for (const auto& b : suite) {
+    profile::CircuitProfile p = profile::profile_circuit(b.circuit);
+    mapper::MappingRecommendation rec = mapper::recommend_mapping(p);
+    ++placer_counts[rec.options.placer];
+
+    qfs::Rng r1(7), r2(7);
+    double baseline =
+        mapper::map_circuit(b.circuit, dev, r1).gate_overhead_pct;
+    double tuned =
+        mapper::map_circuit(b.circuit, dev, rec.options, r2).gate_overhead_pct;
+    trivial_ov.push_back(baseline);
+    recommended_ov.push_back(tuned);
+    if (tuned < baseline) ++wins;
+    if (tuned == baseline) ++ties;
+    if (++done % 20 == 0) std::cerr << '.' << std::flush;
+  }
+  std::cerr << '\n';
+
+  qfs::Rng boot(99);
+  auto ci_triv = stats::bootstrap_mean_ci(trivial_ov, boot);
+  auto ci_rec = stats::bootstrap_mean_ci(recommended_ov, boot);
+
+  report::TextTable t({"strategy", "mean overhead %", "95% CI"});
+  t.add_row({"trivial baseline", bench::fmt(ci_triv.point, 1),
+             "[" + bench::fmt(ci_triv.lower, 1) + ", " +
+                 bench::fmt(ci_triv.upper, 1) + "]"});
+  t.add_row({"profile-recommended", bench::fmt(ci_rec.point, 1),
+             "[" + bench::fmt(ci_rec.lower, 1) + ", " +
+                 bench::fmt(ci_rec.upper, 1) + "]"});
+  std::cout << t.to_string() << "\n";
+
+  std::cout << "Strategy mix chosen by the recommender: ";
+  for (const auto& [placer, count] : placer_counts) {
+    std::cout << placer << "=" << count << " ";
+  }
+  std::cout << "\nRecommended beats baseline on " << wins << "/" << suite.size()
+            << " circuits (" << ties << " ties)\n";
+
+  bool separated = ci_rec.upper < ci_triv.lower;
+  std::cout << "Mean improvement is outside the baseline's 95% CI: "
+            << (separated ? "HOLDS" : "VIOLATED")
+            << "\nAlgorithm-driven + hardware-aware beats hardware-agnostic "
+               "mapping — the paper's thesis, quantified.\n";
+  return 0;
+}

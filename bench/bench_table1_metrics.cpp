@@ -1,0 +1,102 @@
+// Table I reproduction: the interaction-graph metric catalogue and each
+// metric's relation to quantum circuit mapping.
+//
+// Two parts:
+//  1. the metric definitions evaluated on canonical graphs (sanity anchors
+//     for every row of the table), and
+//  2. the *signed relation* of each Table-I metric to gate overhead,
+//     measured on the mapped benchmark suite — the "relation to quantum
+//     mapping" column of the table.
+#include <iostream>
+
+#include "common.h"
+#include "graph/generators.h"
+#include "graph/metrics.h"
+#include "report/table.h"
+#include "stats/correlation.h"
+
+using namespace qfs;
+
+int main() {
+  std::cout << "=== Table I: metrics for characterising interaction graphs "
+               "===\n\n";
+
+  // Part 1: definitions on canonical graphs.
+  {
+    report::TextTable t({"graph", "avg shortest path", "max deg", "min deg",
+                         "adj. std dev", "clustering", "density"});
+    auto add = [&t](const std::string& name, const graph::Graph& g) {
+      auto deg = graph::degree_stats(g);
+      t.add_row({name, bench::fmt(graph::average_shortest_path(g), 3),
+                 std::to_string(deg.max), std::to_string(deg.min),
+                 bench::fmt(graph::adjacency_matrix_stats(g).stddev, 3),
+                 bench::fmt(graph::average_clustering(g), 3),
+                 bench::fmt(graph::density(g), 3)});
+    };
+    add("path-8", graph::path_graph(8));
+    add("ring-8", graph::cycle_graph(8));
+    add("star-8", graph::star_graph(8));
+    add("complete-8", graph::complete_graph(8));
+    add("grid-3x3", graph::grid_graph(3, 3));
+    std::cout << "Metric anchors on canonical graphs:\n"
+              << t.to_string() << "\n";
+  }
+
+  // Part 2: relation to mapping (sign of correlation with gate overhead).
+  device::Device dev = device::surface97_device();
+  bench::SuiteRunConfig config;
+  config.suite.max_gates = 3000;
+  std::cerr << "mapping 200 circuits ";
+  auto rows = bench::run_suite(dev, config);
+
+  std::vector<double> overhead;
+  std::vector<double> asp, maxdeg, mindeg, adjstd, closeness;
+  for (const auto& r : rows) {
+    if (r.profile.ig_nodes < 2) continue;
+    overhead.push_back(r.mapping.gate_overhead_pct);
+    asp.push_back(r.profile.avg_shortest_path);
+    maxdeg.push_back(r.profile.max_degree);
+    mindeg.push_back(r.profile.min_degree);
+    adjstd.push_back(r.profile.adj_matrix_stddev);
+    closeness.push_back(r.profile.avg_closeness);
+  }
+
+  report::TextTable t({"Table-I metric", "Spearman vs gate overhead",
+                       "paper's stated relation", "shape"});
+  struct Row {
+    const char* metric;
+    const std::vector<double>* values;
+    bool expected_negative;
+    const char* statement;
+  };
+  // Note: Table I merges "hopcount / closeness" into a single row whose
+  // stated relation is keyed on hopcount (they are near-reciprocal); we do
+  // the same and report closeness for reference only.
+  const Row table[] = {
+      {"avg shortest path (hopcount/closeness)", &asp, true,
+       "large avg hopcount -> simpler to map (less overhead)"},
+      {"max degree", &maxdeg, false,
+       "higher max degree -> qubits interact more -> more overhead"},
+      {"min degree", &mindeg, false,
+       "higher min degree -> qubits interact more -> more overhead"},
+      {"adjacency-matrix std dev", &adjstd, true,
+       "bigger variance -> few dominant pairs -> less movement"},
+  };
+  bool all_hold = true;
+  for (const Row& row : table) {
+    double rho = stats::spearman(*row.values, overhead);
+    bool holds = row.expected_negative ? (rho < 0.0) : (rho > 0.0);
+    all_hold = all_hold && holds;
+    t.add_row({row.metric, bench::fmt(rho, 3), row.statement,
+               holds ? "HOLDS" : "VIOLATED"});
+  }
+  std::cout << "Measured relation to mapping on the suite ("
+            << overhead.size() << " circuits, surface-97, trivial mapper):\n"
+            << t.to_string() << "\n";
+  std::cout << "(reference: Spearman(closeness, overhead) = "
+            << bench::fmt(stats::spearman(closeness, overhead), 3)
+            << "; closeness shares its Table-I row with hopcount)\n\n";
+  std::cout << "All Table-I relation signs reproduced: "
+            << (all_hold ? "YES" : "NO") << "\n";
+  return 0;
+}

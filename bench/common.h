@@ -1,0 +1,68 @@
+// Shared helpers for the figure/table reproduction benches.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "mapper/pipeline.h"
+#include "profile/circuit_profile.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "workloads/suite.h"
+
+namespace qfs::bench {
+
+/// One suite circuit after profiling and mapping: everything the paper's
+/// evaluation figures plot.
+struct SuiteRow {
+  std::string name;
+  workloads::Family family = workloads::Family::kRandom;
+  profile::CircuitProfile profile;
+  mapper::MappingResult mapping;
+};
+
+struct SuiteRunConfig {
+  std::uint64_t seed = 2022;  // the paper's venue year: fixed default seed
+  workloads::SuiteOptions suite;
+  mapper::MappingOptions mapping;
+};
+
+/// Generate the suite, profile every circuit and map it onto `device`.
+/// Prints a progress dot every 20 circuits (benches run interactively).
+inline std::vector<SuiteRow> run_suite(const device::Device& device,
+                                       const SuiteRunConfig& config) {
+  qfs::Rng rng(config.seed);
+  auto suite = workloads::make_suite(config.suite, rng);
+  std::vector<SuiteRow> rows;
+  rows.reserve(suite.size());
+  int done = 0;
+  for (const auto& b : suite) {
+    SuiteRow row;
+    row.name = b.name;
+    row.family = b.family;
+    row.profile = profile::profile_circuit(b.circuit);
+    row.mapping = mapper::map_circuit(b.circuit, device, config.mapping, rng);
+    rows.push_back(std::move(row));
+    if (++done % 20 == 0) std::cerr << "." << std::flush;
+  }
+  std::cerr << "\n";
+  return rows;
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  return qfs::format_double(v, precision);
+}
+
+/// Marker per family, following the paper's figures (squares = synthetic,
+/// circles = real).
+inline char family_marker(workloads::Family family) {
+  switch (family) {
+    case workloads::Family::kRandom: return 's';
+    case workloads::Family::kReal: return 'o';
+    case workloads::Family::kReversible: return 'r';
+  }
+  return '?';
+}
+
+}  // namespace qfs::bench

@@ -1,0 +1,60 @@
+// Scenario: hardware-aware compilation with error variability.
+//
+// NISQ chips do not have uniform error rates; the paper lists "gate error
+// rates [and] error variability across the quantum device" among the
+// low-level details a co-designed compiler should exploit. This example
+// randomises per-edge fidelities on a surface-17 chip and shows the
+// noise-aware router picking higher-fidelity SWAP paths than the trivial
+// router, at equal or better estimated success rate.
+#include <iostream>
+
+#include "device/device.h"
+#include "device/fidelity.h"
+#include "mapper/pipeline.h"
+#include "report/table.h"
+#include "support/strings.h"
+#include "workloads/random_circuit.h"
+
+int main() {
+  using namespace qfs;
+
+  device::Device chip = device::surface17_device();
+  // Inject +-3% variability across qubits and edges, then kill one edge
+  // almost completely (a "bad coupler", common on real devices).
+  qfs::Rng noise(5);
+  chip.mutable_error_model().randomize(chip.num_qubits(),
+                                       chip.topology().edge_list(), 0.03,
+                                       noise);
+  chip.mutable_error_model().set_edge_fidelity(3, 5, 0.80);
+  std::cout << "Device: " << chip.name()
+            << " with randomized error rates; edge Q3-Q5 degraded to 0.80 "
+               "two-qubit fidelity.\n\n";
+
+  report::TextTable t({"circuit", "router", "swaps", "log fidelity",
+                       "est. success rate"});
+  qfs::Rng gen(21);
+  for (int instance = 0; instance < 4; ++instance) {
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 10;
+    spec.num_gates = 120;
+    spec.two_qubit_fraction = 0.45;
+    circuit::Circuit c = workloads::random_circuit(spec, gen);
+    c.set_name("random#" + std::to_string(instance));
+
+    for (const std::string router : {"trivial", "noise-aware"}) {
+      mapper::MappingOptions opt;
+      opt.router = router;
+      qfs::Rng rng(100 + static_cast<std::uint64_t>(instance));
+      mapper::MappingResult r = mapper::map_circuit(c, chip, opt, rng);
+      t.add_row({c.name(), router, std::to_string(r.swaps_inserted),
+                 format_double(r.log_fidelity_after, 3),
+                 format_double(r.fidelity_after, 4)});
+    }
+  }
+  std::cout << t.to_string() << "\n";
+  std::cout << "The noise-aware router reads per-edge fidelities (bottom-up\n"
+               "information flow through the stack) and detours around the\n"
+               "degraded coupler whenever an equally short or slightly longer\n"
+               "but more reliable path exists.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Scenario: compile a QAOA-MaxCut instance — the NISQ workload class the
+// paper's introduction motivates — onto the 97-qubit surface lattice, and
+// quantify what algorithm-driven placement buys over the trivial baseline.
+#include <iostream>
+
+#include "device/device.h"
+#include "graph/generators.h"
+#include "mapper/pipeline.h"
+#include "profile/circuit_profile.h"
+#include "report/table.h"
+#include "support/strings.h"
+#include "workloads/algorithms.h"
+
+int main() {
+  using namespace qfs;
+
+  // A random 3-regular MaxCut problem on 24 vertices (a standard QAOA
+  // benchmark family), two QAOA layers.
+  qfs::Rng rng(7);
+  graph::Graph problem = graph::random_regular_graph(24, 3, rng);
+  circuit::Circuit qaoa = workloads::qaoa_maxcut(problem, 2, rng);
+
+  profile::CircuitProfile p = profile::profile_circuit(qaoa);
+  std::cout << "QAOA instance: " << p.num_qubits << " qubits, "
+            << p.gate_count << " gates, "
+            << format_double(100.0 * p.two_qubit_fraction, 1)
+            << " % two-qubit gates\n";
+  std::cout << "interaction graph: " << p.ig_edges << " edges, avg shortest "
+            << "path " << format_double(p.avg_shortest_path, 2)
+            << ", max degree " << p.max_degree << "\n\n";
+
+  device::Device chip = device::surface97_device();
+
+  report::TextTable t({"placer", "router", "swaps", "overhead %",
+                       "fidelity decrease %"});
+  for (const std::string placer : {"trivial", "degree-match", "annealing"}) {
+    for (const std::string router : {"trivial", "lookahead"}) {
+      mapper::MappingOptions opt;
+      opt.placer = placer;
+      opt.router = router;
+      qfs::Rng map_rng(2022);
+      mapper::MappingResult r = mapper::map_circuit(qaoa, chip, opt, map_rng);
+      t.add_row({placer, router, std::to_string(r.swaps_inserted),
+                 format_double(r.gate_overhead_pct, 1),
+                 format_double(r.fidelity_decrease_pct, 1)});
+    }
+  }
+  std::cout << t.to_string() << "\n";
+  std::cout << "Algorithm-driven placement (degree-match / annealing) reads\n"
+               "the interaction graph before placing qubits; the paper's\n"
+               "thesis is that this structural information reduces routing\n"
+               "overhead compared to the hardware-agnostic trivial layout.\n";
+  return 0;
+}

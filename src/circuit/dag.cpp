@@ -1,0 +1,64 @@
+#include "circuit/dag.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace qfs::circuit {
+
+DependencyDag::DependencyDag(const Circuit& circuit) {
+  const auto& gates = circuit.gates();
+  const auto n = gates.size();
+  preds_.resize(n);
+  succs_.resize(n);
+  asap_layer_.assign(n, 0);
+
+  // Last gate seen on each qubit.
+  std::vector<int> last(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int q : gates[i].qubits) {
+      int p = last[static_cast<std::size_t>(q)];
+      if (p >= 0) {
+        // Avoid duplicate edges when two gates share several qubits.
+        if (preds_[i].empty() || preds_[i].back() != p) {
+          if (std::find(preds_[i].begin(), preds_[i].end(), p) == preds_[i].end()) {
+            preds_[i].push_back(p);
+            succs_[static_cast<std::size_t>(p)].push_back(static_cast<int>(i));
+          }
+        }
+      }
+      last[static_cast<std::size_t>(q)] = static_cast<int>(i);
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    int layer = 0;
+    for (int p : preds_[i]) {
+      int pl = asap_layer_[static_cast<std::size_t>(p)];
+      // Barriers are transparent: they force ordering but occupy no cycle.
+      int occupied = (gates[static_cast<std::size_t>(p)].kind == GateKind::kBarrier) ? 0 : 1;
+      layer = std::max(layer, pl + occupied);
+    }
+    asap_layer_[i] = layer;
+    if (gates[i].kind != GateKind::kBarrier) {
+      depth_ = std::max(depth_, layer + 1);
+    }
+  }
+}
+
+std::vector<std::vector<int>> DependencyDag::layers() const {
+  std::vector<std::vector<int>> out;
+  for (std::size_t i = 0; i < asap_layer_.size(); ++i) {
+    auto layer = static_cast<std::size_t>(asap_layer_[i]);
+    if (layer >= out.size()) out.resize(layer + 1);
+    out[layer].push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<int> DependencyDag::topological_order() const {
+  std::vector<int> order(preds_.size());
+  std::iota(order.begin(), order.end(), 0);
+  return order;  // program order is topological by construction
+}
+
+}  // namespace qfs::circuit

@@ -1,0 +1,49 @@
+// Gate dependency DAG.
+//
+// Gate j depends on gate i when they share a qubit and i precedes j in
+// program order (barriers create dependencies on every listed qubit). The
+// DAG drives the scheduler and exposes ASAP layering for depth analyses.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qfs::circuit {
+
+class DependencyDag {
+ public:
+  explicit DependencyDag(const Circuit& circuit);
+
+  int num_gates() const { return static_cast<int>(preds_.size()); }
+
+  /// Direct predecessors of gate `i` (indices into circuit.gates()).
+  const std::vector<int>& predecessors(int i) const {
+    return preds_[static_cast<std::size_t>(i)];
+  }
+  const std::vector<int>& successors(int i) const {
+    return succs_[static_cast<std::size_t>(i)];
+  }
+
+  /// ASAP layer per gate (layer 0 has no predecessors). Barriers occupy a
+  /// layer slot but callers can filter them out via the circuit.
+  const std::vector<int>& asap_layer() const { return asap_layer_; }
+
+  /// 1 + max ASAP layer over non-barrier gates; 0 for empty circuits.
+  int depth() const { return depth_; }
+
+  /// Gates grouped by ASAP layer, program order preserved inside a layer.
+  std::vector<std::vector<int>> layers() const;
+
+  /// Topological order (program order is already one; returned for
+  /// completeness and verification in tests).
+  std::vector<int> topological_order() const;
+
+ private:
+  std::vector<std::vector<int>> preds_;
+  std::vector<std::vector<int>> succs_;
+  std::vector<int> asap_layer_;
+  int depth_ = 0;
+};
+
+}  // namespace qfs::circuit

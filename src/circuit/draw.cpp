@@ -1,0 +1,174 @@
+#include "circuit/draw.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/strings.h"
+
+namespace qfs::circuit {
+
+namespace {
+
+/// Cell content for one (qubit row, layer) position.
+struct Cell {
+  std::string label;  ///< empty = wire only
+  int span_id = -1;   ///< id of the multi-qubit gate whose vertical span
+                      ///< covers this row here (-1: none)
+  bool connector() const { return span_id >= 0; }
+};
+
+std::string gate_label(const Gate& g, int operand_index, bool show_params) {
+  // Controls draw as a dot; targets carry the mnemonic.
+  switch (g.kind) {
+    case GateKind::kCx:
+    case GateKind::kCy:
+    case GateKind::kCphase:
+      if (operand_index == 0) return "●";
+      break;
+    case GateKind::kCz:
+      // Symmetric: both ends are dots.
+      return "●";
+    case GateKind::kCcx:
+    case GateKind::kCcz:
+      if (operand_index < 2) return "●";
+      break;
+    case GateKind::kCswap:
+      if (operand_index == 0) return "●";
+      return "x";
+    case GateKind::kSwap:
+      return "x";
+    case GateKind::kMeasure:
+      return "M";
+    case GateKind::kReset:
+      return "|0>";
+    case GateKind::kBarrier:
+      return "░";
+    default:
+      break;
+  }
+  std::string name = gate_name(g.kind);
+  if (g.kind == GateKind::kCx) name = "X";
+  if (g.kind == GateKind::kCy) name = "Y";
+  if (g.kind == GateKind::kCcx) name = "X";
+  if (g.kind == GateKind::kCcz) name = "Z";
+  if (g.kind == GateKind::kCphase) name = "p";
+  // Single-letter upper case for the common 1q set.
+  if (name.size() == 1) {
+    name[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  }
+  if (show_params && !g.params.empty()) {
+    name += '(';
+    for (std::size_t i = 0; i < g.params.size(); ++i) {
+      if (i) name += ',';
+      name += qfs::format_double(g.params[i], 2);
+    }
+    name += ')';
+  }
+  return name;
+}
+
+/// Visible width of a UTF-8 label (the dot/block glyphs are 3 bytes, one
+/// column).
+std::size_t visible_width(const std::string& s) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < s.size();) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    i += (c >= 0xF0) ? 4 : (c >= 0xE0) ? 3 : (c >= 0xC0) ? 2 : 1;
+    ++w;
+  }
+  return w;
+}
+
+}  // namespace
+
+std::string draw(const Circuit& circuit, const DrawOptions& options) {
+  QFS_ASSERT_MSG(options.max_layers >= 1, "need at least one layer");
+  const int n = circuit.num_qubits();
+
+  // Greedy layering (same as Circuit::depth, barriers occupy a layer here
+  // so they render).
+  std::vector<int> level(static_cast<std::size_t>(n), 0);
+  std::vector<std::vector<const Gate*>> layers;
+  for (const Gate& g : circuit.gates()) {
+    int start = 0;
+    for (int q : g.qubits) start = std::max(start, level[static_cast<std::size_t>(q)]);
+    for (int q : g.qubits) level[static_cast<std::size_t>(q)] = start + 1;
+    if (static_cast<std::size_t>(start) >= layers.size()) layers.resize(static_cast<std::size_t>(start) + 1);
+    layers[static_cast<std::size_t>(start)].push_back(&g);
+  }
+  bool truncated = static_cast<int>(layers.size()) > options.max_layers;
+  if (truncated) layers.resize(static_cast<std::size_t>(options.max_layers));
+
+  // Fill the cell grid.
+  std::vector<std::vector<Cell>> grid(
+      static_cast<std::size_t>(n), std::vector<Cell>(layers.size()));
+  int gate_id = 0;
+  for (std::size_t col = 0; col < layers.size(); ++col) {
+    for (const Gate* g : layers[col]) {
+      int lo = *std::min_element(g->qubits.begin(), g->qubits.end());
+      int hi = *std::max_element(g->qubits.begin(), g->qubits.end());
+      if (hi > lo) {
+        for (int q = lo; q <= hi; ++q) {
+          grid[static_cast<std::size_t>(q)][col].span_id = gate_id;
+        }
+      }
+      for (std::size_t i = 0; i < g->qubits.size(); ++i) {
+        grid[static_cast<std::size_t>(g->qubits[i])][col].label =
+            gate_label(*g, static_cast<int>(i), options.show_params);
+      }
+      ++gate_id;
+    }
+  }
+
+  // Column widths.
+  std::vector<std::size_t> width(layers.size(), 1);
+  for (int q = 0; q < n; ++q) {
+    for (std::size_t col = 0; col < layers.size(); ++col) {
+      width[col] = std::max(width[col],
+                            visible_width(grid[static_cast<std::size_t>(q)][col].label));
+    }
+  }
+
+  std::ostringstream os;
+  std::size_t name_width = std::to_string(n - 1).size();
+  for (int q = 0; q < n; ++q) {
+    // Wire row.
+    std::string qlabel = std::to_string(q);
+    os << 'q' << qlabel << std::string(name_width - qlabel.size(), ' ') << ": ";
+    for (std::size_t col = 0; col < layers.size(); ++col) {
+      const Cell& cell = grid[static_cast<std::size_t>(q)][col];
+      os << "─";
+      if (cell.label.empty()) {
+        // Plain wire, or a crossing where a multi-qubit gate passes through.
+        os << (cell.connector() ? "┼" : "─");
+        for (std::size_t i = 1; i < width[col]; ++i) os << "─";
+      } else {
+        os << cell.label;
+        for (std::size_t i = visible_width(cell.label); i < width[col]; ++i) {
+          os << "─";
+        }
+      }
+      os << "─";
+    }
+    if (truncated) os << "…";
+    os << '\n';
+    // Connector row (between qubit rows).
+    if (q + 1 < n) {
+      os << std::string(name_width + 3, ' ');
+      for (std::size_t col = 0; col < layers.size(); ++col) {
+        const Cell& here = grid[static_cast<std::size_t>(q)][col];
+        const Cell& below = grid[static_cast<std::size_t>(q + 1)][col];
+        bool bridge = here.span_id >= 0 && here.span_id == below.span_id;
+        os << ' ';
+        os << (bridge ? "│" : " ");
+        for (std::size_t i = 1; i < width[col]; ++i) os << ' ';
+        os << ' ';
+      }
+      os << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace qfs::circuit

@@ -1,0 +1,28 @@
+// ASCII circuit rendering for terminals, logs and examples.
+//
+//   q0: ─H──●─────●──
+//           │     │
+//   q1: ────X──●──┼──
+//              │  │
+//   q2: ───────X──Z──
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qfs::circuit {
+
+struct DrawOptions {
+  /// Maximum rendered layers; longer circuits are truncated with an
+  /// ellipsis column (keeps quickstart output readable).
+  int max_layers = 40;
+  /// Print angle parameters inside gate labels (rx(1.57) vs rx).
+  bool show_params = false;
+};
+
+/// Render the circuit as monospace art, one row per qubit plus connector
+/// rows. Gates are placed into greedy ASAP layers (same rule as depth()).
+std::string draw(const Circuit& circuit, const DrawOptions& options = {});
+
+}  // namespace qfs::circuit

@@ -1,0 +1,194 @@
+#include "compiler/decompose.h"
+
+#include <cmath>
+
+#include "circuit/matrix.h"
+#include "compiler/euler.h"
+
+namespace qfs::compiler {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+constexpr double kPi = M_PI;
+
+/// Emits gates into `out`, lowering recursively until native.
+class Lowerer {
+ public:
+  Lowerer(Circuit& out, const device::GateSet& target)
+      : out_(out), target_(target) {}
+
+  void lower(const Gate& g) {
+    if (target_.supports(g.kind)) {
+      out_.add(g);
+      return;
+    }
+    switch (g.kind) {
+      // ---- three-qubit ----
+      case GateKind::kCcx:
+        lower_ccx(g.qubits[0], g.qubits[1], g.qubits[2]);
+        return;
+      case GateKind::kCcz:
+        // ccz = H(c) ccx H(c)
+        lower_1q(GateKind::kH, g.qubits[2]);
+        lower_ccx(g.qubits[0], g.qubits[1], g.qubits[2]);
+        lower_1q(GateKind::kH, g.qubits[2]);
+        return;
+      case GateKind::kCswap:
+        // cswap(c,a,b) = cx(b,a) ccx(c,a,b) cx(b,a)
+        lower_cx(g.qubits[2], g.qubits[1]);
+        lower_ccx(g.qubits[0], g.qubits[1], g.qubits[2]);
+        lower_cx(g.qubits[2], g.qubits[1]);
+        return;
+      // ---- two-qubit ----
+      case GateKind::kCx:
+        lower_cx(g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::kCz:
+        // target lacks cz but (by contract) has cx
+        lower_1q(GateKind::kH, g.qubits[1]);
+        lower_cx(g.qubits[0], g.qubits[1]);
+        lower_1q(GateKind::kH, g.qubits[1]);
+        return;
+      case GateKind::kCy:
+        lower_1q(GateKind::kSdg, g.qubits[1]);
+        lower_cx(g.qubits[0], g.qubits[1]);
+        lower_1q(GateKind::kS, g.qubits[1]);
+        return;
+      case GateKind::kSwap:
+        lower_cx(g.qubits[0], g.qubits[1]);
+        lower_cx(g.qubits[1], g.qubits[0]);
+        lower_cx(g.qubits[0], g.qubits[1]);
+        return;
+      case GateKind::kCphase: {
+        // cp(l) a,b = p(l/2) a ; cx a,b ; p(-l/2) b ; cx a,b ; p(l/2) b
+        double l = g.params[0];
+        lower_param(GateKind::kPhase, g.qubits[0], l / 2);
+        lower_cx(g.qubits[0], g.qubits[1]);
+        lower_param(GateKind::kPhase, g.qubits[1], -l / 2);
+        lower_cx(g.qubits[0], g.qubits[1]);
+        lower_param(GateKind::kPhase, g.qubits[1], l / 2);
+        return;
+      }
+      // ---- single-qubit ----
+      default:
+        QFS_ASSERT_MSG(circuit::gate_arity(g.kind) == 1 &&
+                           circuit::is_unitary(g.kind),
+                       "no lowering rule for gate");
+        lower_1q_unitary(g);
+        return;
+    }
+  }
+
+ private:
+  void lower_1q(GateKind kind, int q) { lower(circuit::make_gate(kind, {q})); }
+
+  void lower_param(GateKind kind, int q, double value) {
+    lower(circuit::make_gate(kind, {q}, {value}));
+  }
+
+  void lower_cx(int control, int t) {
+    if (target_.supports(GateKind::kCx)) {
+      out_.add(GateKind::kCx, {control, t});
+      return;
+    }
+    QFS_ASSERT_MSG(target_.supports(GateKind::kCz),
+                   "target gate set has no entangling primitive");
+    // cx(c,t) = Ry(-pi/2) t ; cz(c,t) ; Ry(pi/2) t   (H-conjugation with the
+    // Ry form native to surface-code sets).
+    lower_param(GateKind::kRy, t, -kPi / 2);
+    out_.add(GateKind::kCz, {control, t});
+    lower_param(GateKind::kRy, t, kPi / 2);
+  }
+
+  void lower_ccx(int c1, int c2, int t) {
+    // Standard 6-CX Toffoli network.
+    lower_1q(GateKind::kH, t);
+    lower_cx(c2, t);
+    lower_1q(GateKind::kTdg, t);
+    lower_cx(c1, t);
+    lower_1q(GateKind::kT, t);
+    lower_cx(c2, t);
+    lower_1q(GateKind::kTdg, t);
+    lower_cx(c1, t);
+    lower_1q(GateKind::kT, c2);
+    lower_1q(GateKind::kT, t);
+    lower_1q(GateKind::kH, t);
+    lower_cx(c1, c2);
+    lower_1q(GateKind::kT, c1);
+    lower_1q(GateKind::kTdg, c2);
+    lower_cx(c1, c2);
+  }
+
+  void lower_1q_unitary(const Gate& g) {
+    const int q = g.qubits[0];
+    ZyzAngles a = zyz_decompose(circuit::gate_matrix(g));
+    const bool has_ry = target_.supports(GateKind::kRy);
+    const bool has_rz = target_.supports(GateKind::kRz);
+    if (has_ry && has_rz) {
+      // Circuit order: Rz(lambda), Ry(theta), Rz(phi).
+      emit_if_nonzero(GateKind::kRz, q, a.lambda);
+      emit_if_nonzero(GateKind::kRy, q, a.theta);
+      emit_if_nonzero(GateKind::kRz, q, a.phi);
+      return;
+    }
+    QFS_ASSERT_MSG(has_rz && target_.supports(GateKind::kSx),
+                   "1q lowering needs {Ry,Rz} or {Sx,Rz} in the target set");
+    // Qiskit ZSX identity (up to global phase):
+    // U(theta,phi,lambda) = Rz(phi+pi) Sx Rz(theta+pi) Sx Rz(lambda).
+    emit_if_nonzero(GateKind::kRz, q, a.lambda);
+    out_.add(GateKind::kSx, {q});
+    emit_if_nonzero(GateKind::kRz, q, a.theta + kPi);
+    out_.add(GateKind::kSx, {q});
+    emit_if_nonzero(GateKind::kRz, q, a.phi + kPi);
+  }
+
+  void emit_if_nonzero(GateKind kind, int q, double angle) {
+    // Skip exact multiples of 2*pi only when they produce the identity for
+    // rotations (global phase is irrelevant to circuit semantics here).
+    double normalized = std::remainder(angle, 4.0 * kPi);
+    if (std::abs(std::remainder(normalized, 2.0 * kPi)) < 1e-12) {
+      // Rz(2pi) = -I: a pure global phase; safe to drop.
+      return;
+    }
+    out_.add(kind, {q}, {angle});
+  }
+
+  Circuit& out_;
+  const device::GateSet& target_;
+};
+
+}  // namespace
+
+Circuit decompose_to_gateset(const Circuit& input,
+                             const device::GateSet& target) {
+  Circuit out(input.num_qubits(), input.name());
+  Lowerer lowerer(out, target);
+  for (const Gate& g : input.gates()) {
+    if (!circuit::is_unitary(g.kind)) {
+      out.add(g);  // measure/reset/barrier pass through
+      continue;
+    }
+    lowerer.lower(g);
+  }
+  return out;
+}
+
+Circuit expand_swaps(const Circuit& input) {
+  Circuit out(input.num_qubits(), input.name());
+  for (const Gate& g : input.gates()) {
+    if (g.kind == GateKind::kSwap) {
+      out.cx(g.qubits[0], g.qubits[1]);
+      out.cx(g.qubits[1], g.qubits[0]);
+      out.cx(g.qubits[0], g.qubits[1]);
+    } else {
+      out.add(g);
+    }
+  }
+  return out;
+}
+
+}  // namespace qfs::compiler

@@ -1,0 +1,29 @@
+// Gate decomposition: rewrite a circuit so every gate is native to a target
+// gate set (mapping step 1 in the paper's Sec. III).
+//
+// Strategy:
+//   1. Three-qubit gates expand to the standard CX+T networks.
+//   2. Two-qubit gates normalise to CX, then CX -> CZ conjugated by Ry when
+//      the target is a CZ-based (surface-code) set.
+//   3. Foreign single-qubit gates go through ZYZ Euler angles onto
+//      {Rz, Ry} or, for SX-based sets, the Rz-SX-Rz-SX-Rz identity.
+// The result is unitary-equivalent (up to global phase) to the input;
+// tests verify this with the state-vector simulator.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "device/gateset.h"
+
+namespace qfs::compiler {
+
+/// Rewrite `input` using only gates of `target`. Measure/reset/barrier pass
+/// through. A contract violation is raised for target sets missing a
+/// two-qubit entangling primitive (CX or CZ) when one is required.
+circuit::Circuit decompose_to_gateset(const circuit::Circuit& input,
+                                      const device::GateSet& target);
+
+/// Expand SWAP gates into three CX (used after routing when the device has
+/// no native SWAP). Other gates pass through untouched.
+circuit::Circuit expand_swaps(const circuit::Circuit& input);
+
+}  // namespace qfs::compiler

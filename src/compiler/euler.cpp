@@ -1,0 +1,48 @@
+#include "compiler/euler.h"
+
+#include <cmath>
+
+namespace qfs::compiler {
+
+using circuit::CMatrix;
+using circuit::Complex;
+
+ZyzAngles zyz_decompose(const CMatrix& u) {
+  QFS_ASSERT_MSG(u.dim() == 2, "zyz_decompose needs a 2x2 matrix");
+  QFS_ASSERT_MSG(u.is_unitary(1e-8), "zyz_decompose needs a unitary matrix");
+
+  // Normalise to SU(2): su = u / sqrt(det u).
+  Complex det = u.at(0, 0) * u.at(1, 1) - u.at(0, 1) * u.at(1, 0);
+  Complex sqrt_det = std::sqrt(det);
+  CMatrix su = u.scaled(Complex(1.0, 0.0) / sqrt_det);
+
+  // su = [[cos(t/2) e^{-i(phi+lambda)/2}, -sin(t/2) e^{-i(phi-lambda)/2}],
+  //       [sin(t/2) e^{ i(phi-lambda)/2},  cos(t/2) e^{ i(phi+lambda)/2}]]
+  ZyzAngles angles;
+  double c = std::abs(su.at(0, 0));
+  double s = std::abs(su.at(1, 0));
+  angles.theta = 2.0 * std::atan2(s, c);
+
+  const double eps = 1e-12;
+  if (s < eps) {
+    // Diagonal: only phi + lambda is determined; put it all in lambda.
+    angles.phi = 0.0;
+    angles.lambda = 2.0 * std::arg(su.at(1, 1));
+  } else if (c < eps) {
+    // Anti-diagonal: only phi - lambda is determined.
+    angles.phi = 0.0;
+    angles.lambda = -2.0 * std::arg(su.at(1, 0));
+  } else {
+    double sum = 2.0 * std::arg(su.at(1, 1));   // phi + lambda
+    double diff = 2.0 * std::arg(su.at(1, 0));  // phi - lambda
+    angles.phi = 0.5 * (sum + diff);
+    angles.lambda = 0.5 * (sum - diff);
+  }
+
+  // Recover the global phase of the original (non-SU) matrix:
+  // u = e^{i phase} Rz(phi) Ry(theta) Rz(lambda).
+  angles.phase = std::arg(sqrt_det);
+  return angles;
+}
+
+}  // namespace qfs::compiler

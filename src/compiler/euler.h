@@ -1,0 +1,19 @@
+// Euler-angle decomposition of single-qubit unitaries.
+#pragma once
+
+#include "circuit/matrix.h"
+
+namespace qfs::compiler {
+
+/// Angles such that U = e^{i phase} Rz(phi) Ry(theta) Rz(lambda).
+struct ZyzAngles {
+  double theta = 0.0;
+  double phi = 0.0;
+  double lambda = 0.0;
+  double phase = 0.0;
+};
+
+/// Extract ZYZ Euler angles from a 2x2 unitary.
+ZyzAngles zyz_decompose(const circuit::CMatrix& u);
+
+}  // namespace qfs::compiler

@@ -1,0 +1,34 @@
+// Circuit optimisation passes (the "general optimisations, e.g. gate
+// cancellation" the paper attributes to the compiler layer).
+#pragma once
+
+#include "circuit/circuit.h"
+
+namespace qfs::compiler {
+
+/// Remove explicit identity gates.
+circuit::Circuit remove_identities(const circuit::Circuit& input);
+
+/// Cancel adjacent gate/inverse pairs acting on the same operands with no
+/// intervening gate on any shared qubit. Runs to a fixpoint.
+circuit::Circuit cancel_inverse_pairs(const circuit::Circuit& input);
+
+/// Merge runs of same-axis rotations (rx/ry/rz/p) on a qubit into one gate;
+/// rotations summing to an identity (mod 2*pi, up to global phase) vanish.
+circuit::Circuit merge_rotations(const circuit::Circuit& input);
+
+/// True when `a` and `b` provably commute under the per-qubit axis rule:
+/// on every shared qubit both act Z-like (diagonal) or both act X-like.
+/// Sound but not complete (OTHER-typed overlaps report false).
+bool gates_commute(const circuit::Gate& a, const circuit::Gate& b);
+
+/// Inverse-pair cancellation that may hop over commuting gates (e.g. the
+/// rz on a CX control cancels its partner across the CX). Runs to a
+/// fixpoint.
+circuit::Circuit cancel_with_commutation(const circuit::Circuit& input);
+
+/// remove_identities + merge_rotations + cancel_inverse_pairs +
+/// cancel_with_commutation to fixpoint.
+circuit::Circuit optimize(const circuit::Circuit& input);
+
+}  // namespace qfs::compiler

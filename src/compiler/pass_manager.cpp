@@ -1,0 +1,61 @@
+#include "compiler/pass_manager.h"
+
+#include <sstream>
+
+#include "compiler/decompose.h"
+#include "compiler/optimize.h"
+#include "support/assert.h"
+
+namespace qfs::compiler {
+
+PassManager& PassManager::add(Pass pass) {
+  QFS_ASSERT_MSG(!pass.name.empty(), "pass needs a name");
+  QFS_ASSERT_MSG(static_cast<bool>(pass.run), "pass needs a body");
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+PassManager& PassManager::add(
+    std::string name,
+    std::function<circuit::Circuit(const circuit::Circuit&)> run) {
+  return add(Pass{std::move(name), std::move(run)});
+}
+
+circuit::Circuit PassManager::run(const circuit::Circuit& input) {
+  stats_.clear();
+  circuit::Circuit current = input;
+  for (const Pass& pass : passes_) {
+    PassStats s;
+    s.name = pass.name;
+    s.gates_before = current.gate_count();
+    s.depth_before = current.depth();
+    current = pass.run(current);
+    s.gates_after = current.gate_count();
+    s.depth_after = current.depth();
+    stats_.push_back(std::move(s));
+  }
+  return current;
+}
+
+std::string PassManager::report() const {
+  std::ostringstream os;
+  for (const PassStats& s : stats_) {
+    os << s.name << ": gates " << s.gates_before << " -> " << s.gates_after
+       << ", depth " << s.depth_before << " -> " << s.depth_after << '\n';
+  }
+  return os.str();
+}
+
+PassManager standard_lowering_pipeline(const device::GateSet& target) {
+  PassManager pm;
+  pm.add("decompose", [target](const circuit::Circuit& c) {
+    return decompose_to_gateset(c, target);
+  });
+  pm.add("remove-identities", remove_identities);
+  pm.add("merge-rotations", merge_rotations);
+  pm.add("cancel-inverses", cancel_inverse_pairs);
+  pm.add("cancel-commuting", cancel_with_commutation);
+  return pm;
+}
+
+}  // namespace qfs::compiler

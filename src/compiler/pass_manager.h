@@ -1,0 +1,55 @@
+// Compiler pass framework: compose circuit-to-circuit transformations with
+// per-pass bookkeeping (the organisational backbone of the compiler layer).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/gateset.h"
+
+namespace qfs::compiler {
+
+/// A named, pure circuit transformation.
+struct Pass {
+  std::string name;
+  std::function<circuit::Circuit(const circuit::Circuit&)> run;
+};
+
+/// Statistics recorded for one executed pass.
+struct PassStats {
+  std::string name;
+  int gates_before = 0;
+  int gates_after = 0;
+  int depth_before = 0;
+  int depth_after = 0;
+};
+
+class PassManager {
+ public:
+  /// Append a pass; returns *this for chaining.
+  PassManager& add(Pass pass);
+  PassManager& add(std::string name,
+                   std::function<circuit::Circuit(const circuit::Circuit&)> run);
+
+  /// Run every pass in order, recording stats.
+  circuit::Circuit run(const circuit::Circuit& input);
+
+  const std::vector<PassStats>& stats() const { return stats_; }
+
+  /// Multi-line "pass: gates a -> b, depth c -> d" report of the last run.
+  std::string report() const;
+
+  std::size_t size() const { return passes_.size(); }
+
+ private:
+  std::vector<Pass> passes_;
+  std::vector<PassStats> stats_;
+};
+
+/// The standard qfs lowering pipeline up to (not including) mapping:
+/// decompose to `target`, then clean up with the optimisation passes.
+PassManager standard_lowering_pipeline(const device::GateSet& target);
+
+}  // namespace qfs::compiler

@@ -1,0 +1,306 @@
+#include "compiler/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace qfs::compiler {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+int duration_in_cycles(const Gate& g, const device::Device& device,
+                       double cycle_time_ns) {
+  if (g.kind == GateKind::kBarrier) return 0;
+  double ns = device.error_model().gate_duration_ns(g.kind);
+  return std::max(1, static_cast<int>(std::ceil(ns / cycle_time_ns)));
+}
+
+/// Occupancy of one control group: which gate kind holds each cycle.
+/// Same-kind gates may share a cycle; different kinds may not.
+class GroupOccupancy {
+ public:
+  bool compatible(int start, int duration, GateKind kind) const {
+    for (int c = start; c < start + duration; ++c) {
+      auto it = kind_by_cycle_.find(c);
+      if (it != kind_by_cycle_.end() && it->second != kind) return false;
+    }
+    return true;
+  }
+
+  void occupy(int start, int duration, GateKind kind) {
+    for (int c = start; c < start + duration; ++c) kind_by_cycle_[c] = kind;
+  }
+
+ private:
+  std::map<int, GateKind> kind_by_cycle_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Scheduled two-qubit span, for crosstalk exclusion checks.
+struct TwoQubitSpan {
+  int start, end;
+  int a, b;
+};
+
+/// True when gates on edges {a1,b1} and {a2,b2} would crosstalk: the edges
+/// are distinct but some endpoint of one couples to an endpoint of the
+/// other (spectator coupling).
+bool edges_crosstalk(const device::Device& device, int a1, int b1, int a2,
+                     int b2) {
+  const auto& topo = device.topology();
+  for (int p : {a1, b1}) {
+    for (int q : {a2, b2}) {
+      if (p == q || topo.adjacent(p, q)) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Schedule asap_schedule(const Circuit& circuit, const device::Device& device,
+                       const ScheduleOptions& options) {
+  Schedule schedule;
+  schedule.cycle_time_ns = options.cycle_time_ns;
+  const bool use_groups =
+      options.respect_control_groups && device.has_control_groups();
+
+  std::vector<int> qubit_free(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  std::map<int, GroupOccupancy> groups;
+  std::vector<TwoQubitSpan> two_qubit_spans;
+
+  for (std::size_t i = 0; i < circuit.gates().size(); ++i) {
+    const Gate& g = circuit.gates()[i];
+    int duration = duration_in_cycles(g, device, options.cycle_time_ns);
+    const bool is_2q = circuit::is_two_qubit(g.kind);
+    int ready = 0;
+    for (int q : g.qubits) {
+      ready = std::max(ready, qubit_free[static_cast<std::size_t>(q)]);
+    }
+    int start = ready;
+    if (duration > 0) {
+      while (true) {
+        bool ok = true;
+        if (use_groups) {
+          for (int q : g.qubits) {
+            int group = device.control_group(q);
+            if (!groups[group].compatible(start, duration, g.kind)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok && options.avoid_crosstalk && is_2q) {
+          for (const auto& span : two_qubit_spans) {
+            bool overlaps = start < span.end && span.start < start + duration;
+            if (overlaps && edges_crosstalk(device, g.qubits[0], g.qubits[1],
+                                            span.a, span.b)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (ok) break;
+        ++start;
+      }
+      if (use_groups) {
+        for (int q : g.qubits) {
+          groups[device.control_group(q)].occupy(start, duration, g.kind);
+        }
+      }
+      if (options.avoid_crosstalk && is_2q) {
+        two_qubit_spans.push_back(
+            TwoQubitSpan{start, start + duration, g.qubits[0], g.qubits[1]});
+      }
+    }
+    for (int q : g.qubits) {
+      qubit_free[static_cast<std::size_t>(q)] = start + duration;
+    }
+    schedule.gates.push_back(ScheduledGate{static_cast<int>(i), start, duration});
+    schedule.makespan_cycles = std::max(schedule.makespan_cycles, start + duration);
+  }
+  return schedule;
+}
+
+int count_crosstalk_pairs(const Circuit& circuit, const device::Device& device,
+                          const Schedule& schedule) {
+  std::vector<TwoQubitSpan> spans;
+  for (const auto& sg : schedule.gates) {
+    const Gate& g = circuit.gates()[static_cast<std::size_t>(sg.gate_index)];
+    if (!circuit::is_two_qubit(g.kind)) continue;
+    spans.push_back(TwoQubitSpan{sg.start_cycle,
+                                 sg.start_cycle + sg.duration_cycles,
+                                 g.qubits[0], g.qubits[1]});
+  }
+  int pairs = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    for (std::size_t j = i + 1; j < spans.size(); ++j) {
+      bool overlaps =
+          spans[i].start < spans[j].end && spans[j].start < spans[i].end;
+      if (overlaps && edges_crosstalk(device, spans[i].a, spans[i].b,
+                                      spans[j].a, spans[j].b)) {
+        ++pairs;
+      }
+    }
+  }
+  return pairs;
+}
+
+double estimate_scheduled_log_fidelity(const Circuit& circuit,
+                                       const device::Device& device,
+                                       const Schedule& schedule,
+                                       double crosstalk_fidelity_factor) {
+  QFS_ASSERT_MSG(0.0 < crosstalk_fidelity_factor &&
+                     crosstalk_fidelity_factor <= 1.0,
+                 "bad crosstalk factor");
+  double log_f = 0.0;
+  const auto& em = device.error_model();
+  for (const Gate& g : circuit.gates()) {
+    if (!circuit::is_unitary(g.kind)) continue;
+    log_f += std::log(em.gate_fidelity(g));
+  }
+  log_f += count_crosstalk_pairs(circuit, device, schedule) *
+           std::log(crosstalk_fidelity_factor);
+  return log_f;
+}
+
+Schedule alap_schedule(const Circuit& circuit, const device::Device& device,
+                       const ScheduleOptions& options) {
+  // Schedule the reversed circuit ASAP, then mirror the times. Control-group
+  // validity is preserved because the constraint is time-symmetric.
+  Circuit reversed(circuit.num_qubits(), circuit.name());
+  const auto& gates = circuit.gates();
+  for (auto it = gates.rbegin(); it != gates.rend(); ++it) reversed.add(*it);
+
+  Schedule rev = asap_schedule(reversed, device, options);
+  Schedule schedule;
+  schedule.cycle_time_ns = options.cycle_time_ns;
+  schedule.makespan_cycles = rev.makespan_cycles;
+  schedule.gates.resize(gates.size());
+  const int n = static_cast<int>(gates.size());
+  for (int rev_index = 0; rev_index < n; ++rev_index) {
+    const ScheduledGate& sg = rev.gates[static_cast<std::size_t>(rev_index)];
+    int orig_index = n - 1 - rev_index;
+    int mirrored_start =
+        rev.makespan_cycles - (sg.start_cycle + sg.duration_cycles);
+    schedule.gates[static_cast<std::size_t>(orig_index)] =
+        ScheduledGate{orig_index, mirrored_start, sg.duration_cycles};
+  }
+  return schedule;
+}
+
+double estimate_log_fidelity_with_decoherence(const Circuit& circuit,
+                                              const device::Device& device,
+                                              const Schedule& schedule) {
+  const auto& em = device.error_model();
+  double log_f = 0.0;
+  for (const Gate& g : circuit.gates()) {
+    if (!circuit::is_unitary(g.kind)) continue;
+    log_f += std::log(em.gate_fidelity(g));
+  }
+  // Busy cycles per qubit.
+  std::vector<long long> busy(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  std::vector<bool> used(static_cast<std::size_t>(circuit.num_qubits()), false);
+  for (const auto& sg : schedule.gates) {
+    const Gate& g = circuit.gates()[static_cast<std::size_t>(sg.gate_index)];
+    if (g.kind == GateKind::kBarrier) continue;
+    for (int q : g.qubits) {
+      busy[static_cast<std::size_t>(q)] += sg.duration_cycles;
+      used[static_cast<std::size_t>(q)] = true;
+    }
+  }
+  for (int q = 0; q < circuit.num_qubits(); ++q) {
+    if (!used[static_cast<std::size_t>(q)]) continue;
+    double idle_ns =
+        (schedule.makespan_cycles - busy[static_cast<std::size_t>(q)]) *
+        schedule.cycle_time_ns;
+    log_f -= idle_ns / em.t2_ns();
+  }
+  return log_f;
+}
+
+bool schedule_is_valid(const Circuit& circuit, const device::Device& device,
+                       const Schedule& schedule,
+                       const ScheduleOptions& options) {
+  const auto& gates = circuit.gates();
+  if (schedule.gates.size() != gates.size()) return false;
+
+  // Qubit exclusivity + dependency order (program order on shared qubits).
+  std::vector<std::vector<std::pair<int, int>>> qubit_busy(
+      static_cast<std::size_t>(circuit.num_qubits()));
+  for (const auto& sg : schedule.gates) {
+    const Gate& g = gates[static_cast<std::size_t>(sg.gate_index)];
+    int expected =
+        duration_in_cycles(g, device, options.cycle_time_ns);
+    if (sg.duration_cycles != expected) return false;
+    if (sg.start_cycle < 0) return false;
+    if (sg.start_cycle + sg.duration_cycles > schedule.makespan_cycles) {
+      return false;
+    }
+    for (int q : g.qubits) {
+      for (const auto& [s, e] : qubit_busy[static_cast<std::size_t>(q)]) {
+        if (sg.start_cycle < e && s < sg.start_cycle + sg.duration_cycles) {
+          return false;  // overlap on a qubit
+        }
+      }
+      qubit_busy[static_cast<std::size_t>(q)].emplace_back(
+          sg.start_cycle, sg.start_cycle + sg.duration_cycles);
+    }
+  }
+
+  // Program order on shared qubits: gate j after gate i must not start
+  // before i ends when they share a qubit.
+  std::vector<int> last_end(static_cast<std::size_t>(circuit.num_qubits()), 0);
+  for (std::size_t i = 0; i < gates.size(); ++i) {
+    const auto& sg = schedule.gates[i];
+    for (int q : gates[i].qubits) {
+      if (sg.start_cycle < last_end[static_cast<std::size_t>(q)]) return false;
+      last_end[static_cast<std::size_t>(q)] =
+          std::max(last_end[static_cast<std::size_t>(q)],
+                   sg.start_cycle + sg.duration_cycles);
+    }
+  }
+
+  if (options.respect_control_groups && device.has_control_groups()) {
+    // No two different kinds overlapping within one group.
+    struct Span {
+      int start, end;
+      GateKind kind;
+    };
+    std::map<int, std::vector<Span>> spans;
+    for (const auto& sg : schedule.gates) {
+      const Gate& g = gates[static_cast<std::size_t>(sg.gate_index)];
+      if (sg.duration_cycles == 0) continue;
+      for (int q : g.qubits) {
+        spans[device.control_group(q)].push_back(
+            {sg.start_cycle, sg.start_cycle + sg.duration_cycles, g.kind});
+      }
+    }
+    for (const auto& [group, list] : spans) {
+      (void)group;
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        for (std::size_t j = i + 1; j < list.size(); ++j) {
+          if (list[i].kind != list[j].kind && list[i].start < list[j].end &&
+              list[j].start < list[i].end) {
+            return false;
+          }
+        }
+      }
+    }
+  }
+
+  if (options.avoid_crosstalk &&
+      count_crosstalk_pairs(circuit, device, schedule) != 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace qfs::compiler

@@ -1,0 +1,184 @@
+#include "device/calibration.h"
+
+#include <sstream>
+
+#include "graph/algorithms.h"
+#include "support/strings.h"
+
+namespace qfs::device {
+
+namespace {
+
+qfs::Status line_error(int line_no, const std::string& message) {
+  std::ostringstream os;
+  os << "calibration line " << line_no << ": " << message;
+  return qfs::parse_error(os.str());
+}
+
+bool valid_fidelity(double f) { return 0.0 < f && f <= 1.0; }
+
+}  // namespace
+
+qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
+  double f1 = 0.999, f2 = 0.99, fm = 0.997;
+  struct QubitRow {
+    int id;
+    double f;
+  };
+  struct EdgeRow {
+    int a, b;
+    double f;
+  };
+  std::vector<QubitRow> qubits;
+  std::vector<EdgeRow> edges;
+  double dur1 = 20.0, dur2 = 40.0, durm = 600.0;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string_view trimmed = qfs::trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = qfs::split(trimmed, ',');
+    for (auto& f : fields) f = std::string(qfs::trim(f));
+    const std::string& kind = fields[0];
+
+    if (kind == "defaults") {
+      if (fields.size() != 4) return line_error(line_no, "defaults needs 3 values");
+      if (!qfs::parse_double(fields[1], f1) || !qfs::parse_double(fields[2], f2) ||
+          !qfs::parse_double(fields[3], fm)) {
+        return line_error(line_no, "bad number in defaults");
+      }
+      if (!valid_fidelity(f1) || !valid_fidelity(f2) || !valid_fidelity(fm)) {
+        return line_error(line_no, "fidelities must be in (0, 1]");
+      }
+    } else if (kind == "qubit") {
+      if (fields.size() != 3) return line_error(line_no, "qubit needs id and fidelity");
+      QubitRow row{};
+      if (!qfs::parse_int(fields[1], row.id) || row.id < 0) {
+        return line_error(line_no, "bad qubit id");
+      }
+      if (!qfs::parse_double(fields[2], row.f) || !valid_fidelity(row.f)) {
+        return line_error(line_no, "bad qubit fidelity");
+      }
+      qubits.push_back(row);
+    } else if (kind == "edge") {
+      if (fields.size() != 4) return line_error(line_no, "edge needs a, b, fidelity");
+      EdgeRow row{};
+      if (!qfs::parse_int(fields[1], row.a) || !qfs::parse_int(fields[2], row.b) ||
+          row.a < 0 || row.b < 0 || row.a == row.b) {
+        return line_error(line_no, "bad edge endpoints");
+      }
+      if (!qfs::parse_double(fields[3], row.f) || !valid_fidelity(row.f)) {
+        return line_error(line_no, "bad edge fidelity");
+      }
+      edges.push_back(row);
+    } else if (kind == "durations_ns") {
+      if (fields.size() != 4) return line_error(line_no, "durations_ns needs 3 values");
+      if (!qfs::parse_double(fields[1], dur1) ||
+          !qfs::parse_double(fields[2], dur2) ||
+          !qfs::parse_double(fields[3], durm) || dur1 <= 0 || dur2 <= 0 ||
+          durm <= 0) {
+        return line_error(line_no, "bad duration");
+      }
+    } else {
+      return line_error(line_no, "unknown record type '" + kind + "'");
+    }
+  }
+
+  ErrorModel model(f1, f2, fm);
+  model.set_durations_ns(dur1, dur2, durm);
+  for (const auto& q : qubits) model.set_qubit_fidelity(q.id, q.f);
+  for (const auto& e : edges) model.set_edge_fidelity(e.a, e.b, e.f);
+  return model;
+}
+
+std::string calibration_to_text(
+    const ErrorModel& model, int num_qubits,
+    const std::vector<std::pair<int, int>>& edges) {
+  std::ostringstream os;
+  os << "# qfs calibration\n";
+  os << "defaults," << qfs::format_double(model.single_qubit_fidelity(), 6)
+     << ',' << qfs::format_double(model.two_qubit_fidelity(), 6) << ','
+     << qfs::format_double(model.measurement_fidelity(), 6) << '\n';
+  os << "durations_ns," << qfs::format_double(model.single_qubit_duration_ns(), 1)
+     << ',' << qfs::format_double(model.two_qubit_duration_ns(), 1) << ','
+     << qfs::format_double(model.measurement_duration_ns(), 1) << '\n';
+  for (int q = 0; q < num_qubits; ++q) {
+    os << "qubit," << q << ','
+       << qfs::format_double(model.qubit_fidelity(q), 6) << '\n';
+  }
+  for (const auto& [a, b] : edges) {
+    os << "edge," << a << ',' << b << ','
+       << qfs::format_double(model.edge_fidelity(a, b), 6) << '\n';
+  }
+  return os.str();
+}
+
+qfs::StatusOr<Topology> parse_topology(const std::string& text) {
+  std::string name = "custom";
+  int num_qubits = -1;
+  std::vector<std::pair<int, int>> edges;
+
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string_view trimmed = qfs::trim(line);
+    if (trimmed.empty()) continue;
+    auto fields = qfs::split(trimmed, ',');
+    for (auto& f : fields) f = std::string(qfs::trim(f));
+    const std::string& kind = fields[0];
+    if (kind == "name") {
+      if (fields.size() != 2 || fields[1].empty()) {
+        return line_error(line_no, "name needs one value");
+      }
+      name = fields[1];
+    } else if (kind == "qubits") {
+      if (fields.size() != 2 || !qfs::parse_int(fields[1], num_qubits) ||
+          num_qubits < 1) {
+        return line_error(line_no, "bad qubit count");
+      }
+    } else if (kind == "edge") {
+      int a = 0, b = 0;
+      if (fields.size() != 3 || !qfs::parse_int(fields[1], a) ||
+          !qfs::parse_int(fields[2], b) || a < 0 || b < 0 || a == b) {
+        return line_error(line_no, "bad edge");
+      }
+      edges.emplace_back(a, b);
+    } else {
+      return line_error(line_no, "unknown record type '" + kind + "'");
+    }
+  }
+  if (num_qubits < 1) return qfs::parse_error("topology has no qubits record");
+  graph::Graph g(num_qubits);
+  for (const auto& [a, b] : edges) {
+    if (a >= num_qubits || b >= num_qubits) {
+      return qfs::parse_error("edge endpoint out of range");
+    }
+    if (!g.has_edge(a, b)) g.add_edge(a, b);
+  }
+  if (num_qubits > 1 && !graph::is_connected(g)) {
+    return qfs::parse_error("topology is disconnected");
+  }
+  return Topology(name, std::move(g));
+}
+
+std::string topology_to_text(const Topology& topology) {
+  std::ostringstream os;
+  os << "# qfs topology\n";
+  os << "name," << topology.name() << '\n';
+  os << "qubits," << topology.num_qubits() << '\n';
+  for (const auto& [a, b] : topology.edge_list()) {
+    os << "edge," << a << ',' << b << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qfs::device

@@ -1,0 +1,42 @@
+// Calibration data ingestion: the mechanism by which measured hardware
+// parameters flow bottom-up into the compiler (the paper's grey arrows in
+// Fig. 1).
+//
+// Format: CSV-like lines, '#' comments allowed.
+//   defaults,<f1>,<f2>,<fmeas>
+//   qubit,<id>,<fidelity>
+//   edge,<a>,<b>,<fidelity>
+//   durations_ns,<single>,<two>,<measure>
+#pragma once
+
+#include <string>
+
+#include "device/error_model.h"
+#include "device/topology.h"
+#include "support/status.h"
+
+namespace qfs::device {
+
+/// Parse calibration text into an error model. Unknown record types are an
+/// error (calibration files must not silently lose information).
+qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text);
+
+/// Render an error model (with explicit per-qubit/per-edge rows for the
+/// given counts/edges) back into calibration text. Round-trips through
+/// parse_calibration.
+std::string calibration_to_text(
+    const ErrorModel& model, int num_qubits,
+    const std::vector<std::pair<int, int>>& edges);
+
+/// Parse a topology description:
+///   name,<label>        (optional; defaults to "custom")
+///   qubits,<n>
+///   edge,<a>,<b>        (one per coupling)
+/// '#' comments allowed. The graph must be connected (the mapper's routing
+/// contract) — disconnected descriptions are rejected.
+qfs::StatusOr<Topology> parse_topology(const std::string& text);
+
+/// Render a topology back into the description format.
+std::string topology_to_text(const Topology& topology);
+
+}  // namespace qfs::device

@@ -1,0 +1,93 @@
+#include "device/device.h"
+
+namespace qfs::device {
+
+Device::Device(std::string name, Topology topology, GateSet gateset,
+               ErrorModel error_model)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      gateset_(std::move(gateset)),
+      error_model_(error_model) {}
+
+void Device::set_control_groups(std::vector<int> group_of_qubit) {
+  QFS_ASSERT_MSG(static_cast<int>(group_of_qubit.size()) == num_qubits(),
+                 "control group vector size mismatch");
+  for (int g : group_of_qubit) QFS_ASSERT_MSG(g >= 0, "negative group id");
+  control_group_ = std::move(group_of_qubit);
+}
+
+int Device::control_group(int qubit) const {
+  QFS_ASSERT_MSG(has_control_groups(), "device has no control groups");
+  QFS_ASSERT_MSG(0 <= qubit && qubit < num_qubits(), "qubit out of range");
+  return control_group_[static_cast<std::size_t>(qubit)];
+}
+
+namespace {
+
+/// Cyclic 3-group assignment per lattice row, mirroring the three flux
+/// frequency groups of the Versluis et al. control scheme. Row structure is
+/// recovered from the alternating-width construction.
+std::vector<int> surface_control_groups(int narrow_width, int num_rows) {
+  std::vector<int> groups;
+  for (int r = 0; r < num_rows; ++r) {
+    int w = (r % 2 == 0) ? narrow_width : narrow_width + 1;
+    for (int j = 0; j < w; ++j) groups.push_back(r % 3);
+  }
+  return groups;
+}
+
+ErrorModel versluis_error_model() {
+  ErrorModel model(0.999, 0.99, 0.997);
+  model.set_durations_ns(20.0, 40.0, 600.0);
+  return model;
+}
+
+}  // namespace
+
+Device surface7_device() {
+  Device d("surface-7", surface7(), surface_code_gateset(),
+           versluis_error_model());
+  d.set_control_groups({0, 0, 1, 1, 1, 2, 2});  // rows 2-3-2
+  return d;
+}
+
+Device surface17_device() {
+  Device d("surface-17", surface17(), surface_code_gateset(),
+           versluis_error_model());
+  d.set_control_groups(surface_control_groups(2, 7));
+  return d;
+}
+
+Device surface97_device() {
+  Device d("surface-97", surface97(), surface_code_gateset(),
+           versluis_error_model());
+  d.set_control_groups(surface_control_groups(6, 15));
+  return d;
+}
+
+Device heavy_hex27_device() {
+  ErrorModel model(0.9995, 0.99, 0.98);
+  model.set_durations_ns(35.0, 300.0, 700.0);
+  return Device("heavy-hex-27", heavy_hex27(), ibm_gateset(), model);
+}
+
+Device line_device(int n) {
+  return Device(line_topology(n).name(), line_topology(n),
+                surface_code_gateset(), versluis_error_model());
+}
+
+Device grid_device(int rows, int cols) {
+  Topology t = grid_topology(rows, cols);
+  std::string name = t.name();
+  return Device(std::move(name), std::move(t), surface_code_gateset(),
+                versluis_error_model());
+}
+
+Device fully_connected_device(int n) {
+  Topology t = fully_connected_topology(n);
+  std::string name = t.name();
+  return Device(std::move(name), std::move(t), surface_code_gateset(),
+                versluis_error_model());
+}
+
+}  // namespace qfs::device

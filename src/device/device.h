@@ -1,0 +1,58 @@
+// A Device bundles everything the compiler needs to know about a chip:
+// coupling topology, primitive gate set, error/timing model, and the
+// shared-control channel groups that constrain parallel scheduling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/error_model.h"
+#include "device/gateset.h"
+#include "device/topology.h"
+
+namespace qfs::device {
+
+class Device {
+ public:
+  Device() = default;
+  Device(std::string name, Topology topology, GateSet gateset,
+         ErrorModel error_model);
+
+  const std::string& name() const { return name_; }
+  int num_qubits() const { return topology_.num_qubits(); }
+  const Topology& topology() const { return topology_; }
+  const GateSet& gateset() const { return gateset_; }
+  const ErrorModel& error_model() const { return error_model_; }
+  ErrorModel& mutable_error_model() { return error_model_; }
+
+  /// Control group of a qubit. Qubits sharing analog control electronics
+  /// belong to the same group; the scheduler forbids *different* gate kinds
+  /// in the same cycle within one group (same-kind broadcast is free).
+  /// An empty configuration means no control constraints.
+  void set_control_groups(std::vector<int> group_of_qubit);
+  bool has_control_groups() const { return !control_group_.empty(); }
+  int control_group(int qubit) const;
+
+ private:
+  std::string name_;
+  Topology topology_;
+  GateSet gateset_;
+  ErrorModel error_model_;
+  std::vector<int> control_group_;
+};
+
+/// Surface-code devices with the Versluis et al. error model and 3-way
+/// flux-control groups assigned cyclically by lattice row.
+Device surface7_device();
+Device surface17_device();
+Device surface97_device();
+
+/// Heavy-hex 27-qubit device with the IBM basis (no control groups).
+Device heavy_hex27_device();
+
+/// Simple geometries with the surface-code gate set (useful baselines).
+Device line_device(int n);
+Device grid_device(int rows, int cols);
+Device fully_connected_device(int n);
+
+}  // namespace qfs::device

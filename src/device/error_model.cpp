@@ -1,0 +1,104 @@
+#include "device/error_model.h"
+
+#include <algorithm>
+
+namespace qfs::device {
+
+using circuit::GateKind;
+
+namespace {
+std::pair<int, int> ordered(int a, int b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+}  // namespace
+
+ErrorModel::ErrorModel(double single_qubit_fidelity, double two_qubit_fidelity,
+                       double measurement_fidelity)
+    : f1_(single_qubit_fidelity),
+      f2_(two_qubit_fidelity),
+      fm_(measurement_fidelity) {
+  QFS_ASSERT_MSG(0.0 < f1_ && f1_ <= 1.0, "bad single-qubit fidelity");
+  QFS_ASSERT_MSG(0.0 < f2_ && f2_ <= 1.0, "bad two-qubit fidelity");
+  QFS_ASSERT_MSG(0.0 < fm_ && fm_ <= 1.0, "bad measurement fidelity");
+}
+
+void ErrorModel::set_qubit_fidelity(int qubit, double fidelity) {
+  QFS_ASSERT_MSG(0.0 < fidelity && fidelity <= 1.0, "bad fidelity");
+  qubit_override_[qubit] = fidelity;
+}
+
+void ErrorModel::set_edge_fidelity(int a, int b, double fidelity) {
+  QFS_ASSERT_MSG(0.0 < fidelity && fidelity <= 1.0, "bad fidelity");
+  edge_override_[ordered(a, b)] = fidelity;
+}
+
+double ErrorModel::qubit_fidelity(int qubit) const {
+  auto it = qubit_override_.find(qubit);
+  return it == qubit_override_.end() ? f1_ : it->second;
+}
+
+double ErrorModel::edge_fidelity(int a, int b) const {
+  auto it = edge_override_.find(ordered(a, b));
+  return it == edge_override_.end() ? f2_ : it->second;
+}
+
+double ErrorModel::gate_fidelity(const circuit::Gate& g) const {
+  switch (g.kind) {
+    case GateKind::kBarrier:
+      return 1.0;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      return fm_;
+    default:
+      break;
+  }
+  if (g.qubits.size() == 1) return qubit_fidelity(g.qubits[0]);
+  QFS_ASSERT_MSG(g.qubits.size() == 2,
+                 "3-qubit gates have no native fidelity; decompose first");
+  return edge_fidelity(g.qubits[0], g.qubits[1]);
+}
+
+void ErrorModel::set_durations_ns(double single, double two, double measure) {
+  QFS_ASSERT_MSG(single > 0 && two > 0 && measure > 0, "bad durations");
+  dur1_ = single;
+  dur2_ = two;
+  durm_ = measure;
+}
+
+double ErrorModel::gate_duration_ns(GateKind kind) const {
+  switch (kind) {
+    case GateKind::kBarrier:
+      return 0.0;
+    case GateKind::kMeasure:
+    case GateKind::kReset:
+      return durm_;
+    default:
+      break;
+  }
+  int arity = circuit::gate_arity(kind);
+  if (arity == 1) return dur1_;
+  if (arity == 2) return dur2_;
+  // Three-qubit gates are not native; use a conservative 3x two-qubit slot
+  // so schedules of undecomposed circuits remain well-defined.
+  return 3.0 * dur2_;
+}
+
+void ErrorModel::set_coherence_times_ns(double t1, double t2) {
+  QFS_ASSERT_MSG(t1 > 0 && t2 > 0, "coherence times must be positive");
+  t1_ = t1;
+  t2_ = t2;
+}
+
+void ErrorModel::randomize(int num_qubits,
+                           const std::vector<std::pair<int, int>>& edges,
+                           double spread, qfs::Rng& rng) {
+  QFS_ASSERT_MSG(0.0 <= spread && spread < 1.0, "bad spread");
+  auto jitter = [&rng, spread](double base) {
+    double v = base * (1.0 + rng.uniform_real(-spread, spread));
+    return std::clamp(v, 1e-6, 1.0);
+  };
+  for (int q = 0; q < num_qubits; ++q) qubit_override_[q] = jitter(f1_);
+  for (const auto& [a, b] : edges) edge_override_[ordered(a, b)] = jitter(f2_);
+}
+
+}  // namespace qfs::device

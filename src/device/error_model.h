@@ -1,0 +1,75 @@
+// Device error and timing model.
+//
+// Default rates follow the superconducting surface-code platform of
+// Versluis et al. (the paper's error-rate source [32]): 99.9 % single-qubit
+// gates, 99 % two-qubit (CZ) gates. Per-qubit and per-edge overrides allow
+// modelling error variability across a chip for noise-aware mapping.
+#pragma once
+
+#include <map>
+#include <utility>
+
+#include "circuit/gate.h"
+#include "support/rng.h"
+
+namespace qfs::device {
+
+class ErrorModel {
+ public:
+  ErrorModel() = default;
+  ErrorModel(double single_qubit_fidelity, double two_qubit_fidelity,
+             double measurement_fidelity);
+
+  double single_qubit_fidelity() const { return f1_; }
+  double two_qubit_fidelity() const { return f2_; }
+  double measurement_fidelity() const { return fm_; }
+
+  /// Per-qubit override for single-qubit gate fidelity.
+  void set_qubit_fidelity(int qubit, double fidelity);
+  /// Per-edge override for two-qubit gate fidelity (order-insensitive).
+  void set_edge_fidelity(int a, int b, double fidelity);
+
+  /// Fidelity of a single-qubit unitary on `qubit`.
+  double qubit_fidelity(int qubit) const;
+  /// Fidelity of a two-qubit unitary on edge {a, b}.
+  double edge_fidelity(int a, int b) const;
+
+  /// Fidelity of an arbitrary gate placed on physical operands. Barriers are
+  /// 1.0; 3-qubit gates are a contract violation (decompose first).
+  double gate_fidelity(const circuit::Gate& g) const;
+
+  // Durations in nanoseconds (surface-code platform defaults).
+  double single_qubit_duration_ns() const { return dur1_; }
+  double two_qubit_duration_ns() const { return dur2_; }
+  double measurement_duration_ns() const { return durm_; }
+  void set_durations_ns(double single, double two, double measure);
+
+  double gate_duration_ns(circuit::GateKind kind) const;
+
+  // Coherence times (transmon-typical defaults). T2 <= 2*T1 physically;
+  // the model does not enforce the bound, callers pick what they measure.
+  double t1_ns() const { return t1_; }
+  double t2_ns() const { return t2_; }
+  void set_coherence_times_ns(double t1, double t2);
+
+  /// Multiplicative jitter on all per-qubit/per-edge fidelities: each
+  /// becomes base * (1 + uniform(-spread, +spread)), clamped to (0, 1].
+  /// Models error variability across a NISQ chip.
+  void randomize(int num_qubits,
+                 const std::vector<std::pair<int, int>>& edges, double spread,
+                 qfs::Rng& rng);
+
+ private:
+  double f1_ = 0.999;
+  double f2_ = 0.99;
+  double fm_ = 0.997;
+  double dur1_ = 20.0;
+  double dur2_ = 40.0;
+  double durm_ = 600.0;
+  double t1_ = 30000.0;
+  double t2_ = 20000.0;
+  std::map<int, double> qubit_override_;
+  std::map<std::pair<int, int>, double> edge_override_;
+};
+
+}  // namespace qfs::device

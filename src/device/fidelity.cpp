@@ -1,0 +1,39 @@
+#include "device/fidelity.h"
+
+#include <cmath>
+
+namespace qfs::device {
+
+using circuit::GateKind;
+
+double estimate_log_gate_fidelity(const circuit::Circuit& circuit,
+                                  const Device& device) {
+  const ErrorModel& em = device.error_model();
+  double log_f = 0.0;
+  for (const auto& g : circuit.gates()) {
+    if (!circuit::is_unitary(g.kind)) continue;
+    QFS_ASSERT_MSG(g.qubits.size() <= 2,
+                   "fidelity of undecomposed 3-qubit gate");
+    log_f += std::log(em.gate_fidelity(g));
+  }
+  return log_f;
+}
+
+double estimate_gate_fidelity(const circuit::Circuit& circuit,
+                              const Device& device) {
+  return std::exp(estimate_log_gate_fidelity(circuit, device));
+}
+
+double estimate_total_fidelity(const circuit::Circuit& circuit,
+                               const Device& device) {
+  const ErrorModel& em = device.error_model();
+  double log_f = estimate_log_gate_fidelity(circuit, device);
+  for (const auto& g : circuit.gates()) {
+    if (g.kind == GateKind::kMeasure || g.kind == GateKind::kReset) {
+      log_f += std::log(em.gate_fidelity(g));
+    }
+  }
+  return std::exp(log_f);
+}
+
+}  // namespace qfs::device

@@ -1,0 +1,42 @@
+#include "device/gateset.h"
+
+namespace qfs::device {
+
+using circuit::GateKind;
+
+GateSet::GateSet(std::string name, std::set<GateKind> kinds)
+    : name_(std::move(name)), kinds_(std::move(kinds)) {}
+
+bool GateSet::supports(GateKind kind) const {
+  if (!circuit::is_unitary(kind)) return true;
+  return kinds_.count(kind) != 0;
+}
+
+bool GateSet::supports_circuit(const circuit::Circuit& circuit) const {
+  for (const auto& g : circuit.gates()) {
+    if (!supports(g.kind)) return false;
+  }
+  return true;
+}
+
+GateSet surface_code_gateset() {
+  return GateSet("surface-code",
+                 {GateKind::kI, GateKind::kX, GateKind::kY, GateKind::kRx,
+                  GateKind::kRy, GateKind::kRz, GateKind::kZ, GateKind::kCz});
+}
+
+GateSet ibm_gateset() {
+  return GateSet("ibm", {GateKind::kI, GateKind::kRz, GateKind::kSx,
+                         GateKind::kX, GateKind::kCx});
+}
+
+GateSet universal_gateset() {
+  std::set<GateKind> all;
+  for (int k = 0; k < circuit::kNumGateKinds; ++k) {
+    auto kind = static_cast<GateKind>(k);
+    if (circuit::is_unitary(kind)) all.insert(kind);
+  }
+  return GateSet("universal", std::move(all));
+}
+
+}  // namespace qfs::device

@@ -1,0 +1,43 @@
+// Primitive gate sets: which gate kinds a device executes natively.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qfs::device {
+
+/// The native vocabulary of a quantum processor.
+class GateSet {
+ public:
+  GateSet() = default;
+  GateSet(std::string name, std::set<circuit::GateKind> kinds);
+
+  const std::string& name() const { return name_; }
+
+  /// Measure/reset/barrier are always permitted; unitary kinds must be in
+  /// the set.
+  bool supports(circuit::GateKind kind) const;
+
+  /// True when every gate of the circuit is native.
+  bool supports_circuit(const circuit::Circuit& circuit) const;
+
+  const std::set<circuit::GateKind>& kinds() const { return kinds_; }
+
+ private:
+  std::string name_;
+  std::set<circuit::GateKind> kinds_;
+};
+
+/// Surface-code superconducting chip set (Versluis et al. style): arbitrary
+/// x/y/z-axis rotations plus CZ.
+GateSet surface_code_gateset();
+
+/// IBM-style basis: rz, sx, x, cx.
+GateSet ibm_gateset();
+
+/// Every unitary kind: used for "no decomposition" experiments.
+GateSet universal_gateset();
+
+}  // namespace qfs::device

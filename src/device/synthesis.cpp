@@ -1,0 +1,50 @@
+#include "device/synthesis.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace qfs::device {
+
+Topology synthesize_topology(const graph::Graph& interaction,
+                             const SynthesisOptions& options) {
+  QFS_ASSERT_MSG(options.max_degree >= 2, "degree budget must be >= 2");
+  const int n = interaction.num_nodes();
+  QFS_ASSERT_MSG(n >= 1, "need at least one qubit");
+  graph::Graph coupling(n);
+
+  // Heaviest interactions first: each becomes a physical coupler while the
+  // endpoints have fan-out left.
+  std::vector<graph::Edge> edges = interaction.edges();
+  std::stable_sort(edges.begin(), edges.end(),
+                   [](const graph::Edge& a, const graph::Edge& b) {
+                     return a.weight > b.weight;
+                   });
+  for (const auto& e : edges) {
+    if (coupling.degree(e.u) < options.max_degree &&
+        coupling.degree(e.v) < options.max_degree) {
+      coupling.add_edge(e.u, e.v);
+    }
+  }
+
+  // Stitch components (isolated qubits included) through low-degree nodes.
+  while (true) {
+    auto comp = graph::connected_components(coupling);
+    int num_components = 0;
+    for (int c : comp) num_components = std::max(num_components, c + 1);
+    if (num_components <= 1) break;
+    // Lowest-degree representative of each component.
+    std::vector<int> representative(static_cast<std::size_t>(num_components), -1);
+    for (int v = 0; v < n; ++v) {
+      int c = comp[static_cast<std::size_t>(v)];
+      int& rep = representative[static_cast<std::size_t>(c)];
+      if (rep == -1 || coupling.degree(v) < coupling.degree(rep)) rep = v;
+    }
+    // Chain component 0's rep to component 1's rep; loop handles the rest.
+    coupling.add_edge(representative[0], representative[1]);
+  }
+
+  return Topology(options.name, std::move(coupling));
+}
+
+}  // namespace qfs::device

@@ -1,0 +1,34 @@
+// Application-specific topology synthesis — the paper's concluding idea
+// made concrete: "algorithm-driven devices could be an effective solution
+// in dealing with limited NISQ computing resources, as they can precisely
+// be designed for some dedicated purpose."
+//
+// Given a qubit interaction graph, synthesise a coupling topology that
+// realises the heaviest interactions as direct couplings under a physical
+// degree budget (superconducting chips top out around degree 4).
+#pragma once
+
+#include "device/topology.h"
+#include "graph/graph.h"
+
+namespace qfs::device {
+
+struct SynthesisOptions {
+  /// Physical fan-out limit per qubit (4 = surface-code style).
+  int max_degree = 4;
+  std::string name = "synthesized";
+};
+
+/// Build a coupling topology for `interaction`:
+///  1. interaction edges are added heaviest-first while both endpoints
+///     stay within the degree budget,
+///  2. remaining disconnected components are stitched together through
+///     their lowest-degree qubits (routing needs a connected chip).
+/// The result has interaction.num_nodes() qubits. max_degree >= 2 required
+/// (below that no connected chip exists beyond two qubits). Connectivity
+/// takes priority over the budget: in the pathological case where every
+/// qubit of a component is saturated, a stitching edge may exceed it.
+Topology synthesize_topology(const graph::Graph& interaction,
+                             const SynthesisOptions& options = {});
+
+}  // namespace qfs::device

@@ -1,0 +1,75 @@
+// Chip topologies: named coupling graphs with precomputed hop distances.
+//
+// The surface-code lattice family is the paper's target hardware:
+// surface7() is the chip of Fig. 2, surface17() the Versluis et al. layout,
+// and surface_lattice(6, 15) the 97-qubit "extended 100-qubit Surface-17"
+// used for Figs. 3 and 5.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qfs::device {
+
+/// Immutable coupling graph plus all-pairs hop distances.
+class Topology {
+ public:
+  Topology() = default;
+  Topology(std::string name, graph::Graph coupling);
+
+  const std::string& name() const { return name_; }
+  int num_qubits() const { return coupling_.num_nodes(); }
+  const graph::Graph& coupling() const { return coupling_; }
+
+  bool adjacent(int a, int b) const { return coupling_.has_edge(a, b); }
+
+  /// Hop distance between physical qubits (0 for a==b).
+  int distance(int a, int b) const;
+
+  /// One shortest path from a to b inclusive (deterministic tie-break).
+  std::vector<int> shortest_path(int a, int b) const;
+
+  /// Coupling edges as (a, b) pairs with a < b.
+  std::vector<std::pair<int, int>> edge_list() const;
+
+ private:
+  std::string name_;
+  graph::Graph coupling_;
+  std::vector<std::vector<int>> dist_;
+};
+
+/// Surface-code lattice with alternating row widths (narrow, narrow+1, ...)
+/// starting and ending on a narrow row. Row count must be odd and >= 3.
+/// Qubits are numbered row-major; narrow-row qubit j couples to wide-row
+/// qubits j and j+1 above and below. surface_lattice(2, 7) is Surface-17.
+Topology surface_lattice(int narrow_width, int num_rows);
+
+/// The 7-qubit surface chip of Fig. 2 (rows 2-3-2, canonical numbering).
+Topology surface7();
+
+/// The 17-qubit Versluis et al. chip (rows 2-3-2-3-2-3-2).
+Topology surface17();
+
+/// 97-qubit lattice: the closest family member to the paper's "extended
+/// 100-qubit version of the Surface-17".
+Topology surface97();
+
+Topology line_topology(int n);
+Topology ring_topology(int n);
+Topology grid_topology(int rows, int cols);
+Topology star_topology(int n);
+Topology fully_connected_topology(int n);
+
+/// 27-qubit IBM Falcon-style heavy-hex coupling map.
+Topology heavy_hex27();
+
+/// Parameterised IBM-style heavy-hex lattice: `rows` horizontal qubit rows
+/// of `cols` qubits, with bridge qubits between consecutive rows at every
+/// fourth column (offset by two on alternating row pairs). Degree <= 3
+/// everywhere — the heavy-hex property. cols must be >= 3 and satisfy
+/// cols % 4 == 1 so both bridge phases land inside the row.
+Topology heavy_hex_lattice(int rows, int cols);
+
+}  // namespace qfs::device

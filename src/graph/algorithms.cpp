@@ -1,0 +1,157 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace qfs::graph {
+
+std::vector<int> bfs_distances(const Graph& g, Node source) {
+  QFS_ASSERT_MSG(0 <= source && source < g.num_nodes(), "bad source node");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), kUnreachable);
+  std::queue<Node> q;
+  dist[static_cast<std::size_t>(source)] = 0;
+  q.push(source);
+  while (!q.empty()) {
+    Node u = q.front();
+    q.pop();
+    for (const auto& [v, w] : g.neighbors(u)) {
+      (void)w;
+      if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
+        dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g) {
+  std::vector<std::vector<int>> all;
+  all.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (Node u = 0; u < g.num_nodes(); ++u) all.push_back(bfs_distances(g, u));
+  return all;
+}
+
+std::vector<Node> shortest_path(const Graph& g, Node source, Node target) {
+  QFS_ASSERT_MSG(0 <= source && source < g.num_nodes(), "bad source node");
+  QFS_ASSERT_MSG(0 <= target && target < g.num_nodes(), "bad target node");
+  if (source == target) return {source};
+  std::vector<Node> parent(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<Node> q;
+  seen[static_cast<std::size_t>(source)] = true;
+  q.push(source);
+  while (!q.empty()) {
+    Node u = q.front();
+    q.pop();
+    // std::map iteration gives ascending neighbour ids => deterministic ties.
+    for (const auto& [v, w] : g.neighbors(u)) {
+      (void)w;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        parent[static_cast<std::size_t>(v)] = u;
+        if (v == target) {
+          std::vector<Node> path;
+          for (Node x = target; x != -1; x = parent[static_cast<std::size_t>(x)]) {
+            path.push_back(x);
+          }
+          std::reverse(path.begin(), path.end());
+          return path;
+        }
+        q.push(v);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<double> dijkstra_distances(const Graph& g, Node source) {
+  QFS_ASSERT_MSG(0 <= source && source < g.num_nodes(), "bad source node");
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<std::size_t>(g.num_nodes()), kInf);
+  using Item = std::pair<double, Node>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  dist[static_cast<std::size_t>(source)] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (const auto& [v, w] : g.neighbors(u)) {
+      QFS_ASSERT_MSG(w >= 0.0, "dijkstra requires non-negative weights");
+      double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (Node s = 0; s < g.num_nodes(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] != -1) continue;
+    int id = next++;
+    std::queue<Node> q;
+    comp[static_cast<std::size_t>(s)] = id;
+    q.push(s);
+    while (!q.empty()) {
+      Node u = q.front();
+      q.pop();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        (void)w;
+        if (comp[static_cast<std::size_t>(v)] == -1) {
+          comp[static_cast<std::size_t>(v)] = id;
+          q.push(v);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() <= 1) return true;
+  auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(), [](int c) { return c == 0; });
+}
+
+int diameter(const Graph& g) {
+  if (g.num_nodes() <= 1) return 0;
+  int best = 0;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    auto dist = bfs_distances(g, u);
+    for (int d : dist) {
+      if (d == kUnreachable) return kUnreachable;
+      best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<Node> bfs_order(const Graph& g, Node source) {
+  QFS_ASSERT_MSG(0 <= source && source < g.num_nodes(), "bad source node");
+  std::vector<Node> order;
+  std::vector<bool> seen(static_cast<std::size_t>(g.num_nodes()), false);
+  std::queue<Node> q;
+  seen[static_cast<std::size_t>(source)] = true;
+  q.push(source);
+  while (!q.empty()) {
+    Node u = q.front();
+    q.pop();
+    order.push_back(u);
+    for (const auto& [v, w] : g.neighbors(u)) {
+      (void)w;
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        q.push(v);
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace qfs::graph

@@ -1,0 +1,41 @@
+// Graph algorithms: shortest paths, connectivity, traversal.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace qfs::graph {
+
+/// Sentinel distance for unreachable node pairs.
+inline constexpr int kUnreachable = std::numeric_limits<int>::max();
+
+/// Hop distances from `source` to every node (BFS); kUnreachable if none.
+std::vector<int> bfs_distances(const Graph& g, Node source);
+
+/// All-pairs hop distances; result[u][v] == kUnreachable when disconnected.
+std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g);
+
+/// One shortest (fewest-hop) path from `source` to `target`, inclusive of
+/// both endpoints. Empty if unreachable. Ties broken toward smaller node ids
+/// so results are deterministic.
+std::vector<Node> shortest_path(const Graph& g, Node source, Node target);
+
+/// Weighted shortest-path distances (Dijkstra, weights must be >= 0).
+std::vector<double> dijkstra_distances(const Graph& g, Node source);
+
+/// Connected component id per node (ids are dense, ordered by first member).
+std::vector<int> connected_components(const Graph& g);
+
+/// True when every node is reachable from every other (n <= 1 counts).
+bool is_connected(const Graph& g);
+
+/// Longest shortest-path hop distance; kUnreachable if disconnected,
+/// 0 for graphs with fewer than two nodes.
+int diameter(const Graph& g);
+
+/// Nodes in breadth-first order from `source` (its component only).
+std::vector<Node> bfs_order(const Graph& g, Node source);
+
+}  // namespace qfs::graph

@@ -1,0 +1,147 @@
+#include "isa/binary.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace qfs::isa {
+
+namespace {
+
+std::uint32_t float_bits(float f) {
+  std::uint32_t u = 0;
+  std::memcpy(&u, &f, sizeof u);
+  return u;
+}
+
+float bits_float(std::uint32_t u) {
+  float f = 0;
+  std::memcpy(&f, &u, sizeof f);
+  return f;
+}
+
+constexpr std::uint32_t kNoQubit = 0xFF;
+
+qfs::Status word_error(std::size_t index, const std::string& message) {
+  std::ostringstream os;
+  os << "binary program word " << index << ": " << message;
+  return qfs::parse_error(os.str());
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> encode_program(const TimedProgram& program) {
+  QFS_ASSERT_MSG(program.num_qubits() <= 255,
+                 "binary encoding supports <= 255 qubits");
+  std::vector<std::uint32_t> words;
+  words.push_back(kBinaryMagic);
+  words.push_back(static_cast<std::uint32_t>(program.num_qubits()));
+  words.push_back(
+      static_cast<std::uint32_t>(std::llround(program.cycle_time_ns() * 10.0)));
+  words.push_back(static_cast<std::uint32_t>(program.instruction_count()));
+
+  for (const Bundle& bundle : program.bundles()) {
+    for (const Instruction& ins : bundle.instructions) {
+      QFS_ASSERT_MSG(ins.qubits.size() >= 1 && ins.qubits.size() <= 3,
+                     "instruction arity out of encodable range");
+      QFS_ASSERT_MSG(ins.params.size() <= 255, "too many parameters");
+      std::uint32_t q0 = static_cast<std::uint32_t>(ins.qubits[0]);
+      std::uint32_t q1 =
+          ins.qubits.size() > 1 ? static_cast<std::uint32_t>(ins.qubits[1])
+                                : kNoQubit;
+      std::uint32_t q2 =
+          ins.qubits.size() > 2 ? static_cast<std::uint32_t>(ins.qubits[2])
+                                : kNoQubit;
+      words.push_back(static_cast<std::uint32_t>(ins.kind) | (q0 << 8) |
+                      (q1 << 16) |
+                      (static_cast<std::uint32_t>(ins.params.size()) << 24));
+      words.push_back(static_cast<std::uint32_t>(bundle.start_cycle));
+      QFS_ASSERT_MSG(ins.duration_cycles >= 0 && ins.duration_cycles < 65536,
+                     "duration out of encodable range");
+      words.push_back(static_cast<std::uint32_t>(ins.duration_cycles) |
+                      (q2 << 16));
+      for (double p : ins.params) {
+        words.push_back(float_bits(static_cast<float>(p)));
+      }
+    }
+  }
+  return words;
+}
+
+qfs::StatusOr<TimedProgram> decode_program(
+    const std::vector<std::uint32_t>& words) {
+  if (words.size() < 4) return qfs::parse_error("binary program too short");
+  if (words[0] != kBinaryMagic) {
+    return word_error(0, "bad magic");
+  }
+  const int num_qubits = static_cast<int>(words[1]);
+  if (num_qubits < 1 || num_qubits > 255) {
+    return word_error(1, "bad qubit count");
+  }
+  const double cycle_time_ns = static_cast<double>(words[2]) / 10.0;
+  if (cycle_time_ns <= 0.0) return word_error(2, "bad cycle time");
+  const std::uint32_t count = words[3];
+
+  std::map<int, Bundle> by_cycle;
+  std::size_t pos = 4;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (pos + 3 > words.size()) {
+      return word_error(pos, "truncated instruction record");
+    }
+    std::uint32_t head = words[pos];
+    auto opcode = static_cast<int>(head & 0xFF);
+    auto q0 = static_cast<int>((head >> 8) & 0xFF);
+    auto q1 = static_cast<int>((head >> 16) & 0xFF);
+    auto nparams = static_cast<int>((head >> 24) & 0xFF);
+    if (opcode >= circuit::kNumGateKinds) {
+      return word_error(pos, "unknown opcode");
+    }
+    auto kind = static_cast<circuit::GateKind>(opcode);
+    auto start_cycle = static_cast<int>(words[pos + 1]);
+    auto duration = static_cast<int>(words[pos + 2] & 0xFFFF);
+    auto q2 = static_cast<int>((words[pos + 2] >> 16) & 0xFF);
+    pos += 3;
+    if (pos + static_cast<std::size_t>(nparams) > words.size()) {
+      return word_error(pos, "truncated parameter payload");
+    }
+    Instruction ins;
+    ins.kind = kind;
+    ins.duration_cycles = duration;
+    for (int q : {q0, q1, q2}) {
+      if (q == static_cast<int>(0xFF)) continue;
+      if (q < 0 || q >= num_qubits) {
+        return word_error(pos, "operand out of range");
+      }
+      ins.qubits.push_back(q);
+    }
+    int expected_arity = circuit::gate_arity(kind);
+    if (expected_arity != 0 &&
+        static_cast<int>(ins.qubits.size()) != expected_arity) {
+      return word_error(pos, "operand count does not match opcode");
+    }
+    if (nparams != circuit::gate_param_count(kind)) {
+      return word_error(pos, "parameter count does not match opcode");
+    }
+    for (int p = 0; p < nparams; ++p) {
+      ins.params.push_back(static_cast<double>(bits_float(words[pos])));
+      ++pos;
+    }
+    Bundle& bundle = by_cycle[start_cycle];
+    bundle.start_cycle = start_cycle;
+    bundle.instructions.push_back(std::move(ins));
+  }
+  if (pos != words.size()) {
+    return word_error(pos, "trailing words after last instruction");
+  }
+  std::vector<Bundle> bundles;
+  bundles.reserve(by_cycle.size());
+  for (auto& [cycle, bundle] : by_cycle) {
+    (void)cycle;
+    bundles.push_back(std::move(bundle));
+  }
+  return TimedProgram("decoded", cycle_time_ns, num_qubits,
+                      std::move(bundles));
+}
+
+}  // namespace qfs::isa

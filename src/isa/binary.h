@@ -1,0 +1,37 @@
+// Binary instruction encoding — the executable form a control processor
+// would fetch (eQASM's role in the stack). 32-bit word stream with a
+// header, one record per instruction, and float32 angle payloads.
+//
+// Layout (little-endian words):
+//   [0] magic 0x51465330 ("QFS0")
+//   [1] num_qubits
+//   [2] cycle time in units of 0.1 ns
+//   [3] instruction count
+//   per instruction:
+//     [a] opcode(bits 0-7) | qubit0(8-15) | qubit1(16-23) | nparams(24-31)
+//     [b] start cycle
+//     [c] duration cycles (bits 0-15) | qubit2 (16-23, 0xFF if none) | 0
+//     [d...] nparams words: float32 bit patterns
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/timed_program.h"
+#include "support/status.h"
+
+namespace qfs::isa {
+
+inline constexpr std::uint32_t kBinaryMagic = 0x51465330u;
+
+/// Encode a timed program. Programs wider than 255 qubits or with cycles
+/// beyond 2^32 are a contract violation (no current device needs them).
+std::vector<std::uint32_t> encode_program(const TimedProgram& program);
+
+/// Decode a word stream back into a timed program. Malformed input
+/// (truncation, bad magic, unknown opcodes, bad operand indices) yields a
+/// parse error naming the offending word.
+qfs::StatusOr<TimedProgram> decode_program(
+    const std::vector<std::uint32_t>& words);
+
+}  // namespace qfs::isa

@@ -1,0 +1,77 @@
+// Timed instruction programs: the quantum-ISA / microarchitecture layer of
+// the full stack (eQASM-style explicit timing).
+//
+// A compiled+scheduled circuit lowers to a TimedProgram: bundles of
+// instructions that start on the same cycle, each carrying its physical
+// operands and duration. This is the representation the control
+// electronics would consume; utilisation queries expose how busy the chip
+// and its shared control channels are.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/schedule.h"
+#include "device/device.h"
+
+namespace qfs::isa {
+
+struct Instruction {
+  circuit::GateKind kind = circuit::GateKind::kI;
+  std::vector<int> qubits;   ///< physical operands
+  std::vector<double> params;
+  int duration_cycles = 1;
+};
+
+/// Instructions issued on the same cycle.
+struct Bundle {
+  int start_cycle = 0;
+  std::vector<Instruction> instructions;
+};
+
+class TimedProgram {
+ public:
+  TimedProgram() = default;
+  TimedProgram(std::string name, double cycle_time_ns, int num_qubits,
+               std::vector<Bundle> bundles);
+
+  const std::string& name() const { return name_; }
+  double cycle_time_ns() const { return cycle_time_ns_; }
+  int num_qubits() const { return num_qubits_; }
+  const std::vector<Bundle>& bundles() const { return bundles_; }
+
+  /// Total cycles from first issue to last completion.
+  int makespan_cycles() const;
+
+  /// Total instruction count (barriers never appear in timed programs).
+  int instruction_count() const;
+
+  /// Mean instructions issued per non-empty bundle (a parallelism measure).
+  double average_bundle_width() const;
+
+  /// Fraction of the makespan each qubit spends executing.
+  std::vector<double> qubit_utilization() const;
+
+  /// eQASM-style text:  "<cycle>: { cz Q0,Q2 | rx(1.57) Q5 }".
+  std::string to_text() const;
+
+ private:
+  std::string name_;
+  double cycle_time_ns_ = 20.0;
+  int num_qubits_ = 0;
+  std::vector<Bundle> bundles_;
+};
+
+/// Lower a circuit with its schedule into a timed program. Barriers are
+/// structural and dropped. The schedule must come from the same circuit.
+TimedProgram lower_to_timed_program(const circuit::Circuit& circuit,
+                                    const compiler::Schedule& schedule);
+
+/// Validate a timed program against a device: operands in range,
+/// two-qubit instructions on coupled qubits, no qubit busy in two bundles
+/// at once, control groups never mixing kinds in one cycle.
+bool program_is_valid(const TimedProgram& program,
+                      const device::Device& device);
+
+}  // namespace qfs::isa

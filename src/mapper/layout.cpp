@@ -1,0 +1,60 @@
+#include "mapper/layout.h"
+
+#include <numeric>
+
+namespace qfs::mapper {
+
+Layout Layout::identity(int num_physical) {
+  QFS_ASSERT_MSG(num_physical >= 0, "negative size");
+  Layout l;
+  l.v2p_.resize(static_cast<std::size_t>(num_physical));
+  std::iota(l.v2p_.begin(), l.v2p_.end(), 0);
+  l.p2v_ = l.v2p_;
+  return l;
+}
+
+Layout Layout::from_partial(const std::vector<int>& virtual_to_physical,
+                            int num_physical) {
+  QFS_ASSERT_MSG(static_cast<int>(virtual_to_physical.size()) <= num_physical,
+                 "more virtual than physical qubits");
+  Layout l;
+  l.v2p_.assign(static_cast<std::size_t>(num_physical), -1);
+  l.p2v_.assign(static_cast<std::size_t>(num_physical), -1);
+  for (std::size_t v = 0; v < virtual_to_physical.size(); ++v) {
+    int p = virtual_to_physical[v];
+    QFS_ASSERT_MSG(0 <= p && p < num_physical, "physical target out of range");
+    QFS_ASSERT_MSG(l.p2v_[static_cast<std::size_t>(p)] == -1,
+                   "placement is not injective");
+    l.v2p_[v] = p;
+    l.p2v_[static_cast<std::size_t>(p)] = static_cast<int>(v);
+  }
+  // Pad remaining virtual ids onto free physical qubits in ascending order.
+  int next_virtual = static_cast<int>(virtual_to_physical.size());
+  for (int p = 0; p < num_physical; ++p) {
+    if (l.p2v_[static_cast<std::size_t>(p)] == -1) {
+      l.p2v_[static_cast<std::size_t>(p)] = next_virtual;
+      l.v2p_[static_cast<std::size_t>(next_virtual)] = p;
+      ++next_virtual;
+    }
+  }
+  return l;
+}
+
+void Layout::apply_swap(int physical_a, int physical_b) {
+  QFS_ASSERT_MSG(0 <= physical_a && physical_a < num_qubits(), "range");
+  QFS_ASSERT_MSG(0 <= physical_b && physical_b < num_qubits(), "range");
+  QFS_ASSERT_MSG(physical_a != physical_b, "swap of a qubit with itself");
+  int va = p2v_[static_cast<std::size_t>(physical_a)];
+  int vb = p2v_[static_cast<std::size_t>(physical_b)];
+  std::swap(p2v_[static_cast<std::size_t>(physical_a)],
+            p2v_[static_cast<std::size_t>(physical_b)]);
+  v2p_[static_cast<std::size_t>(va)] = physical_b;
+  v2p_[static_cast<std::size_t>(vb)] = physical_a;
+}
+
+std::vector<int> Layout::initial_segment(int count) const {
+  QFS_ASSERT_MSG(0 <= count && count <= num_qubits(), "bad segment size");
+  return {v2p_.begin(), v2p_.begin() + count};
+}
+
+}  // namespace qfs::mapper

@@ -1,0 +1,55 @@
+// Layout: the bijection between virtual (circuit) and physical (chip)
+// qubits maintained during placement and routing.
+//
+// Internally the virtual register is padded to the physical size, so the
+// layout is always a full permutation; callers usually only care about the
+// first `num_virtual` entries.
+#pragma once
+
+#include <vector>
+
+#include "support/assert.h"
+
+namespace qfs::mapper {
+
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Identity layout: virtual i -> physical i, padded to num_physical.
+  static Layout identity(int num_physical);
+
+  /// Layout from an explicit virtual->physical injection of the first
+  /// entries; remaining physical qubits are assigned to padding virtuals in
+  /// ascending order.
+  static Layout from_partial(const std::vector<int>& virtual_to_physical,
+                             int num_physical);
+
+  int num_qubits() const { return static_cast<int>(v2p_.size()); }
+
+  int physical(int virtual_qubit) const {
+    QFS_ASSERT_MSG(0 <= virtual_qubit && virtual_qubit < num_qubits(),
+                   "virtual qubit out of range");
+    return v2p_[static_cast<std::size_t>(virtual_qubit)];
+  }
+  int virtual_qubit(int physical_qubit) const {
+    QFS_ASSERT_MSG(0 <= physical_qubit && physical_qubit < num_qubits(),
+                   "physical qubit out of range");
+    return p2v_[static_cast<std::size_t>(physical_qubit)];
+  }
+
+  /// Exchange the virtual qubits held by two physical locations (the
+  /// layout-level effect of a SWAP gate on the chip).
+  void apply_swap(int physical_a, int physical_b);
+
+  /// First `count` entries of the virtual->physical map.
+  std::vector<int> initial_segment(int count) const;
+
+  bool operator==(const Layout& other) const { return v2p_ == other.v2p_; }
+
+ private:
+  std::vector<int> v2p_;
+  std::vector<int> p2v_;
+};
+
+}  // namespace qfs::mapper

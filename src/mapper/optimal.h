@@ -1,0 +1,33 @@
+// Exact routing for small instances: A* over (layout, executed-prefix)
+// states with an admissible remaining-distance heuristic.
+//
+// Semantics match TrivialRouter's sequential model: gates execute in
+// program order; a SWAP on any coupling edge costs 1. The result is a
+// minimum-SWAP routing for that model, which serves as the optimality
+// anchor the heuristic routers are measured against (bench_optimality_gap)
+// and as a strong test oracle.
+#pragma once
+
+#include "mapper/routing.h"
+
+namespace qfs::mapper {
+
+class OptimalRouter final : public Router {
+ public:
+  /// `state_budget` bounds explored states; beyond it the router falls
+  /// back to TrivialRouter (correct, not optimal) and reports via
+  /// RoutingResult as usual.
+  explicit OptimalRouter(long long state_budget = 2000000)
+      : state_budget_(state_budget) {}
+
+  std::string name() const override { return "optimal"; }
+
+  RoutingResult route(const circuit::Circuit& circuit,
+                      const device::Device& device, const Layout& initial,
+                      qfs::Rng& rng) const override;
+
+ private:
+  long long state_budget_;
+};
+
+}  // namespace qfs::mapper

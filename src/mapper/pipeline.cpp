@@ -1,0 +1,131 @@
+#include "mapper/pipeline.h"
+
+#include <cmath>
+
+#include "compiler/decompose.h"
+#include "device/fidelity.h"
+
+namespace qfs::mapper {
+
+using circuit::Circuit;
+using device::Device;
+
+namespace {
+
+/// Fidelity of the pre-mapping circuit: evaluated with the same error model
+/// but ignoring connectivity (as if the chip were fully connected), which is
+/// exactly the paper's "before mapping" reference point.
+double log_fidelity_uniform(const Circuit& circuit, const Device& device) {
+  const auto& em = device.error_model();
+  double log_f = 0.0;
+  for (const auto& g : circuit.gates()) {
+    if (!circuit::is_unitary(g.kind)) continue;
+    if (g.qubits.size() == 1) {
+      log_f += std::log(em.single_qubit_fidelity());
+    } else {
+      log_f += std::log(em.two_qubit_fidelity());
+    }
+  }
+  return log_f;
+}
+
+}  // namespace
+
+MappingResult map_circuit(const Circuit& circuit, const Device& device,
+                          const MappingOptions& options, qfs::Rng& rng) {
+  QFS_ASSERT_MSG(circuit.num_qubits() <= device.num_qubits(),
+                 "circuit wider than device");
+
+  // Step 1: decompose to the primitive gate set.
+  Circuit decomposed = compiler::decompose_to_gateset(circuit, device.gateset());
+
+  // Step 2: initial placement.
+  Layout initial;
+  if (!options.initial_layout.empty()) {
+    QFS_ASSERT_MSG(static_cast<int>(options.initial_layout.size()) ==
+                       circuit.num_qubits(),
+                   "explicit initial layout must cover every circuit qubit");
+    initial = Layout::from_partial(options.initial_layout, device.num_qubits());
+  } else {
+    initial = make_placer(options.placer)->place(decomposed, device, rng);
+  }
+
+  // Step 3: routing, optionally preceded by SABRE-style refinement: the
+  // final layout of a forward+backward routing pass becomes the next
+  // initial placement, letting the circuit's own traffic shape the layout.
+  auto router = make_router(options.router);
+  if (options.sabre_refinement_rounds > 0) {
+    Circuit reversed(decomposed.num_qubits(), decomposed.name());
+    for (auto it = decomposed.gates().rbegin(); it != decomposed.gates().rend();
+         ++it) {
+      reversed.add(*it);
+    }
+    for (int round = 0; round < options.sabre_refinement_rounds; ++round) {
+      RoutingResult forward = router->route(decomposed, device, initial, rng);
+      RoutingResult backward =
+          router->route(reversed, device, forward.final_layout, rng);
+      initial = backward.final_layout;
+    }
+  }
+  RoutingResult routed = router->route(decomposed, device, initial, rng);
+
+  // Step 4: expand SWAPs, then lower any CX they introduced on CZ devices.
+  Circuit final_circuit = compiler::decompose_to_gateset(
+      compiler::expand_swaps(routed.mapped), device.gateset());
+
+  QFS_ASSERT_MSG(respects_connectivity(final_circuit, device),
+                 "routing postcondition violated");
+
+  MappingResult result;
+  result.mapped = std::move(final_circuit);
+  result.initial_layout = initial.initial_segment(circuit.num_qubits());
+  result.final_layout =
+      routed.final_layout.initial_segment(circuit.num_qubits());
+  result.swaps_inserted = routed.swaps_inserted;
+
+  result.gates_before = decomposed.gate_count();
+  result.gates_after = result.mapped.gate_count();
+  if (result.gates_before > 0) {
+    result.gate_overhead_pct =
+        100.0 * (result.gates_after - result.gates_before) /
+        static_cast<double>(result.gates_before);
+  }
+
+  result.depth_before = decomposed.depth();
+  result.depth_after = result.mapped.depth();
+  if (result.depth_before > 0) {
+    result.depth_overhead_pct =
+        100.0 * (result.depth_after - result.depth_before) /
+        static_cast<double>(result.depth_before);
+  }
+
+  result.log_fidelity_before = log_fidelity_uniform(decomposed, device);
+  result.log_fidelity_after =
+      device::estimate_log_gate_fidelity(result.mapped, device);
+  result.fidelity_before = std::exp(result.log_fidelity_before);
+  result.fidelity_after = std::exp(result.log_fidelity_after);
+  result.fidelity_decrease_pct =
+      100.0 *
+      (1.0 - std::exp(result.log_fidelity_after - result.log_fidelity_before));
+
+  if (options.compute_latency) {
+    compiler::ScheduleOptions sched;
+    result.latency_before_ns =
+        compiler::asap_schedule(decomposed, device, sched).makespan_ns();
+    result.latency_after_ns =
+        compiler::asap_schedule(result.mapped, device, sched).makespan_ns();
+    if (result.latency_before_ns > 0.0) {
+      result.latency_overhead_pct =
+          100.0 * (result.latency_after_ns - result.latency_before_ns) /
+          result.latency_before_ns;
+    }
+  }
+  return result;
+}
+
+MappingResult map_circuit(const Circuit& circuit, const Device& device,
+                          qfs::Rng& rng) {
+  return map_circuit(circuit, device, MappingOptions{}, rng);
+}
+
+}  // namespace qfs::mapper

@@ -1,0 +1,83 @@
+// The full mapping pipeline (the paper's Sec. III four-step process):
+//   1. decompose to the device's primitive gate set,
+//   2. place virtual qubits (initial layout),
+//   3. route with SWAP insertion,
+//   4. expand SWAPs to primitives and (optionally) schedule.
+//
+// The result carries the paper's evaluation metrics: gate overhead,
+// depth/latency overhead, and estimated fidelity before/after mapping.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "compiler/schedule.h"
+#include "device/device.h"
+#include "mapper/placement.h"
+#include "mapper/routing.h"
+#include "support/rng.h"
+
+namespace qfs::mapper {
+
+struct MappingOptions {
+  std::string placer = "trivial";
+  std::string router = "trivial";
+  /// Non-empty: use this explicit virtual->physical placement (one entry
+  /// per circuit qubit) instead of running the placer.
+  std::vector<int> initial_layout;
+  /// SABRE-style placement refinement: each round routes the circuit
+  /// forward then backward, feeding the resulting layout back as the next
+  /// initial placement. 0 disables refinement.
+  int sabre_refinement_rounds = 0;
+  /// Also compute ASAP schedules of the pre-/post-mapping circuits to
+  /// report latency overhead (slower; off for bulk sweeps).
+  bool compute_latency = false;
+};
+
+struct MappingResult {
+  /// Final physical circuit: primitives only, connectivity-compliant.
+  circuit::Circuit mapped;
+
+  /// Virtual -> physical maps over the original circuit's qubits.
+  std::vector<int> initial_layout;
+  std::vector<int> final_layout;
+
+  int swaps_inserted = 0;
+
+  /// Gate counts of the decomposed circuit before and after mapping.
+  int gates_before = 0;
+  int gates_after = 0;
+  /// (after - before) / before * 100.
+  double gate_overhead_pct = 0.0;
+
+  int depth_before = 0;
+  int depth_after = 0;
+  double depth_overhead_pct = 0.0;
+
+  /// Estimated fidelity (product over 1q/2q gates) before/after mapping.
+  double fidelity_before = 1.0;
+  double fidelity_after = 1.0;
+  double log_fidelity_before = 0.0;
+  double log_fidelity_after = 0.0;
+  /// (f_before - f_after) / f_before * 100 == (1 - exp(dlog)) * 100.
+  double fidelity_decrease_pct = 0.0;
+
+  /// ASAP makespans in ns (only when options.compute_latency).
+  double latency_before_ns = 0.0;
+  double latency_after_ns = 0.0;
+  double latency_overhead_pct = 0.0;
+};
+
+/// Map `circuit` onto `device`. The circuit may use any gate kinds; it is
+/// decomposed to the device gate set first. Deterministic given `rng`.
+MappingResult map_circuit(const circuit::Circuit& circuit,
+                          const device::Device& device,
+                          const MappingOptions& options, qfs::Rng& rng);
+
+/// Convenience overload: the paper's baseline (trivial placer + router).
+MappingResult map_circuit(const circuit::Circuit& circuit,
+                          const device::Device& device, qfs::Rng& rng);
+
+}  // namespace qfs::mapper

@@ -1,0 +1,367 @@
+#include "mapper/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "profile/interaction.h"
+
+namespace qfs::mapper {
+
+using circuit::Circuit;
+using device::Device;
+
+namespace {
+void check_fits(const Circuit& circuit, const Device& device) {
+  QFS_ASSERT_MSG(circuit.num_qubits() <= device.num_qubits(),
+                 "circuit wider than device");
+}
+}  // namespace
+
+Layout TrivialPlacer::place(const Circuit& circuit, const Device& device,
+                            qfs::Rng& rng) const {
+  (void)rng;
+  check_fits(circuit, device);
+  return Layout::identity(device.num_qubits());
+}
+
+Layout RandomPlacer::place(const Circuit& circuit, const Device& device,
+                           qfs::Rng& rng) const {
+  check_fits(circuit, device);
+  std::vector<int> perm(static_cast<std::size_t>(device.num_qubits()));
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.shuffle(perm);
+  perm.resize(static_cast<std::size_t>(circuit.num_qubits()));
+  return Layout::from_partial(perm, device.num_qubits());
+}
+
+Layout DegreeMatchPlacer::place(const Circuit& circuit, const Device& device,
+                                qfs::Rng& rng) const {
+  (void)rng;
+  check_fits(circuit, device);
+  graph::Graph ig = profile::interaction_graph(circuit);
+
+  // Virtual qubits by descending weighted degree (most interacting first).
+  std::vector<int> virtuals(static_cast<std::size_t>(circuit.num_qubits()));
+  std::iota(virtuals.begin(), virtuals.end(), 0);
+  std::stable_sort(virtuals.begin(), virtuals.end(), [&ig](int a, int b) {
+    return ig.weighted_degree(a) > ig.weighted_degree(b);
+  });
+
+  // Physical region: BFS from the highest-degree physical qubit keeps the
+  // chosen region compact; inside the BFS frontier order, prefer
+  // high-degree locations for high-degree virtuals.
+  const auto& coupling = device.topology().coupling();
+  int seed = 0;
+  for (int p = 1; p < coupling.num_nodes(); ++p) {
+    if (coupling.degree(p) > coupling.degree(seed)) seed = p;
+  }
+  std::vector<int> region = graph::bfs_order(coupling, seed);
+  QFS_ASSERT_MSG(static_cast<int>(region.size()) >= circuit.num_qubits(),
+                 "device coupling graph is disconnected");
+  region.resize(static_cast<std::size_t>(circuit.num_qubits()));
+  std::stable_sort(region.begin(), region.end(), [&coupling](int a, int b) {
+    return coupling.degree(a) > coupling.degree(b);
+  });
+
+  std::vector<int> v2p(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  for (std::size_t i = 0; i < virtuals.size(); ++i) {
+    v2p[static_cast<std::size_t>(virtuals[i])] = region[i];
+  }
+  return Layout::from_partial(v2p, device.num_qubits());
+}
+
+double AnnealingPlacer::placement_cost(const Circuit& circuit,
+                                       const Device& device,
+                                       const Layout& layout) {
+  graph::Graph ig = profile::interaction_graph(circuit);
+  double cost = 0.0;
+  for (const auto& e : ig.edges()) {
+    int d = device.topology().distance(layout.physical(e.u), layout.physical(e.v));
+    cost += e.weight * (d - 1);
+  }
+  return cost;
+}
+
+Layout AnnealingPlacer::place(const Circuit& circuit, const Device& device,
+                              qfs::Rng& rng) const {
+  check_fits(circuit, device);
+  graph::Graph ig = profile::interaction_graph(circuit);
+  const auto& topo = device.topology();
+
+  // Start from the degree-match heuristic.
+  Layout layout = DegreeMatchPlacer().place(circuit, device, rng);
+
+  auto cost_of = [&ig, &topo](const Layout& l) {
+    double cost = 0.0;
+    for (const auto& e : ig.edges()) {
+      cost += e.weight * (topo.distance(l.physical(e.u), l.physical(e.v)) - 1);
+    }
+    return cost;
+  };
+
+  double current = cost_of(layout);
+  Layout best = layout;
+  double best_cost = current;
+  double temp = initial_temp_;
+  const int np = device.num_qubits();
+
+  for (int it = 0; it < iterations_ && best_cost > 0.0; ++it) {
+    int a = rng.uniform_int(0, np - 1);
+    int b = rng.uniform_int(0, np - 1);
+    if (a == b) continue;
+    layout.apply_swap(a, b);
+    double candidate = cost_of(layout);
+    double delta = candidate - current;
+    if (delta <= 0.0 || rng.uniform_real(0.0, 1.0) < std::exp(-delta / temp)) {
+      current = candidate;
+      if (current < best_cost) {
+        best_cost = current;
+        best = layout;
+      }
+    } else {
+      layout.apply_swap(a, b);  // revert
+    }
+    temp = std::max(1e-3, temp * cooling_);
+  }
+  return best;
+}
+
+namespace {
+
+/// Recursive backtracking core for SubgraphPlacer::find_embedding.
+class EmbeddingSearch {
+ public:
+  EmbeddingSearch(const graph::Graph& pattern, const graph::Graph& host,
+                  long long budget)
+      : pattern_(pattern), host_(host), budget_(budget) {}
+
+  std::vector<int> run() {
+    const int np = pattern_.num_nodes();
+    if (np == 0) return {};
+    if (np > host_.num_nodes()) return {};
+    order_ = connectivity_order();
+    assignment_.assign(static_cast<std::size_t>(np), -1);
+    used_.assign(static_cast<std::size_t>(host_.num_nodes()), false);
+    if (extend(0)) return assignment_;
+    return {};
+  }
+
+ private:
+  /// Pattern nodes ordered so each (after the first) touches an earlier one
+  /// where possible; ties by descending degree (most constrained first).
+  std::vector<int> connectivity_order() const {
+    const int n = pattern_.num_nodes();
+    std::vector<int> order;
+    std::vector<bool> chosen(static_cast<std::size_t>(n), false);
+    for (int step = 0; step < n; ++step) {
+      int best = -1;
+      int best_links = -1, best_degree = -1;
+      for (int v = 0; v < n; ++v) {
+        if (chosen[static_cast<std::size_t>(v)]) continue;
+        int links = 0;
+        for (int u : order) {
+          if (pattern_.has_edge(v, u)) ++links;
+        }
+        int degree = pattern_.degree(v);
+        if (links > best_links ||
+            (links == best_links && degree > best_degree)) {
+          best = v;
+          best_links = links;
+          best_degree = degree;
+        }
+      }
+      order.push_back(best);
+      chosen[static_cast<std::size_t>(best)] = true;
+    }
+    return order;
+  }
+
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) return true;
+    if (--budget_ <= 0) return false;
+    int v = order_[depth];
+    // Candidate generation: if v already has a placed pattern neighbour,
+    // only the host neighbours of its image can work — a VF2-style cut
+    // that keeps the search linear on path/tree patterns.
+    std::vector<int> candidates;
+    int anchor = -1;
+    for (const auto& [u, w] : pattern_.neighbors(v)) {
+      (void)w;
+      if (assignment_[static_cast<std::size_t>(u)] >= 0) {
+        anchor = assignment_[static_cast<std::size_t>(u)];
+        break;
+      }
+    }
+    if (anchor >= 0) {
+      for (const auto& [p, w] : host_.neighbors(anchor)) {
+        (void)w;
+        candidates.push_back(p);
+      }
+    } else {
+      candidates.resize(static_cast<std::size_t>(host_.num_nodes()));
+      std::iota(candidates.begin(), candidates.end(), 0);
+    }
+    for (int p : candidates) {
+      if (used_[static_cast<std::size_t>(p)]) continue;
+      if (host_.degree(p) < pattern_.degree(v)) continue;
+      bool compatible = true;
+      for (const auto& [u, w] : pattern_.neighbors(v)) {
+        (void)w;
+        int pu = assignment_[static_cast<std::size_t>(u)];
+        if (pu >= 0 && !host_.has_edge(p, pu)) {
+          compatible = false;
+          break;
+        }
+      }
+      if (!compatible) continue;
+      assignment_[static_cast<std::size_t>(v)] = p;
+      used_[static_cast<std::size_t>(p)] = true;
+      if (forward_check() && extend(depth + 1)) return true;
+      assignment_[static_cast<std::size_t>(v)] = -1;
+      used_[static_cast<std::size_t>(p)] = false;
+      if (budget_ <= 0) return false;
+    }
+    return false;
+  }
+
+  /// Prune branches where some placed pattern node no longer has enough
+  /// free host neighbours for its unplaced pattern neighbours (the
+  /// "two-ended chain" trap on path-like interaction graphs).
+  bool forward_check() const {
+    for (int u = 0; u < pattern_.num_nodes(); ++u) {
+      int pu = assignment_[static_cast<std::size_t>(u)];
+      if (pu < 0) continue;
+      int unplaced = 0;
+      for (const auto& [nbr, w] : pattern_.neighbors(u)) {
+        (void)w;
+        if (assignment_[static_cast<std::size_t>(nbr)] < 0) ++unplaced;
+      }
+      if (unplaced == 0) continue;
+      int free_neighbors = 0;
+      for (const auto& [hn, w] : host_.neighbors(pu)) {
+        (void)w;
+        if (!used_[static_cast<std::size_t>(hn)]) ++free_neighbors;
+      }
+      if (free_neighbors < unplaced) return false;
+    }
+    return true;
+  }
+
+  const graph::Graph& pattern_;
+  const graph::Graph& host_;
+  long long budget_;
+  std::vector<int> order_;
+  std::vector<int> assignment_;
+  std::vector<bool> used_;
+};
+
+}  // namespace
+
+std::vector<int> SubgraphPlacer::find_embedding(const graph::Graph& pattern,
+                                                const graph::Graph& host,
+                                                long long node_budget) {
+  return EmbeddingSearch(pattern, host, node_budget).run();
+}
+
+Layout SubgraphPlacer::place(const Circuit& circuit, const Device& device,
+                             qfs::Rng& rng) const {
+  check_fits(circuit, device);
+  graph::Graph ig = profile::interaction_graph(circuit);
+  std::vector<int> embedding =
+      find_embedding(ig, device.topology().coupling(), node_budget_);
+  if (embedding.empty() && ig.num_nodes() > 0 && ig.num_edges() > 0) {
+    return AnnealingPlacer().place(circuit, device, rng);
+  }
+  if (static_cast<int>(embedding.size()) < circuit.num_qubits()) {
+    embedding.resize(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  }
+  // Isolated virtual qubits (or an empty circuit) need arbitrary free spots.
+  std::vector<bool> used(static_cast<std::size_t>(device.num_qubits()), false);
+  for (int p : embedding) {
+    if (p >= 0) used[static_cast<std::size_t>(p)] = true;
+  }
+  int next = 0;
+  for (auto& p : embedding) {
+    if (p >= 0) continue;
+    while (used[static_cast<std::size_t>(next)]) ++next;
+    p = next;
+    used[static_cast<std::size_t>(next)] = true;
+  }
+  return Layout::from_partial(embedding, device.num_qubits());
+}
+
+Layout NoiseAwarePlacer::place(const Circuit& circuit, const Device& device,
+                               qfs::Rng& rng) const {
+  (void)rng;
+  check_fits(circuit, device);
+  graph::Graph ig = profile::interaction_graph(circuit);
+  const auto& topo = device.topology();
+  const auto& em = device.error_model();
+
+  std::vector<int> virtuals(static_cast<std::size_t>(circuit.num_qubits()));
+  std::iota(virtuals.begin(), virtuals.end(), 0);
+  std::stable_sort(virtuals.begin(), virtuals.end(), [&ig](int a, int b) {
+    return ig.weighted_degree(a) > ig.weighted_degree(b);
+  });
+
+  std::vector<int> v2p(static_cast<std::size_t>(circuit.num_qubits()), -1);
+  std::vector<bool> used(static_cast<std::size_t>(device.num_qubits()), false);
+
+  // Seed: the physical qubit whose incident edges have the best total
+  // log-fidelity (the sweet spot of the chip).
+  auto site_quality = [&topo, &em](int p) {
+    double q = 0.0;
+    for (const auto& [nbr, w] : topo.coupling().neighbors(p)) {
+      (void)w;
+      q += std::log(em.edge_fidelity(p, nbr));
+    }
+    return q;
+  };
+
+  for (int v : virtuals) {
+    int best_p = -1;
+    double best_score = -std::numeric_limits<double>::infinity();
+    for (int p = 0; p < device.num_qubits(); ++p) {
+      if (used[static_cast<std::size_t>(p)]) continue;
+      double score = 0.0;
+      bool has_placed_neighbor = false;
+      for (const auto& [u, w] : ig.neighbors(v)) {
+        int pu = v2p[static_cast<std::size_t>(u)];
+        if (pu < 0) continue;
+        has_placed_neighbor = true;
+        if (topo.adjacent(p, pu)) {
+          score += w * std::log(em.edge_fidelity(p, pu));
+        } else {
+          // Each hop of distance will cost a SWAP (3 entanglers) at the
+          // chip's typical two-qubit fidelity.
+          score += w * 3.0 * (topo.distance(p, pu) - 1) *
+                   std::log(em.two_qubit_fidelity());
+        }
+      }
+      if (!has_placed_neighbor) score = site_quality(p);
+      if (score > best_score) {
+        best_score = score;
+        best_p = p;
+      }
+    }
+    v2p[static_cast<std::size_t>(v)] = best_p;
+    used[static_cast<std::size_t>(best_p)] = true;
+  }
+  return Layout::from_partial(v2p, device.num_qubits());
+}
+
+std::unique_ptr<Placer> make_placer(const std::string& name) {
+  if (name == "trivial") return std::make_unique<TrivialPlacer>();
+  if (name == "random") return std::make_unique<RandomPlacer>();
+  if (name == "degree-match") return std::make_unique<DegreeMatchPlacer>();
+  if (name == "annealing") return std::make_unique<AnnealingPlacer>();
+  if (name == "subgraph") return std::make_unique<SubgraphPlacer>();
+  if (name == "noise-aware") return std::make_unique<NoiseAwarePlacer>();
+  QFS_ASSERT_MSG(false, "unknown placer: " + name);
+  return nullptr;
+}
+
+}  // namespace qfs::mapper

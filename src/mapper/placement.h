@@ -1,0 +1,117 @@
+// Initial placement (mapping step 3): choose which physical qubit each
+// virtual qubit starts on.
+//
+// Implemented strategies:
+//  * TrivialPlacer     — identity map (the OpenQL trivial-mapper baseline
+//                        used throughout the paper's experiments).
+//  * RandomPlacer      — uniformly random injection (control baseline).
+//  * DegreeMatchPlacer — algorithm-driven: virtual qubits sorted by weighted
+//                        interaction-graph degree are laid onto a BFS-compact
+//                        region of the chip sorted by coupling degree.
+//  * AnnealingPlacer   — algorithm-driven: simulated annealing on the
+//                        weighted sum of coupling distances over interaction
+//                        edges (the routing-pressure proxy).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+#include "mapper/layout.h"
+#include "support/rng.h"
+
+namespace qfs::mapper {
+
+class Placer {
+ public:
+  virtual ~Placer() = default;
+  virtual std::string name() const = 0;
+  /// Produce an initial layout for `circuit` on `device`. The circuit must
+  /// not be wider than the device.
+  virtual Layout place(const circuit::Circuit& circuit,
+                       const device::Device& device, qfs::Rng& rng) const = 0;
+};
+
+class TrivialPlacer final : public Placer {
+ public:
+  std::string name() const override { return "trivial"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+};
+
+class RandomPlacer final : public Placer {
+ public:
+  std::string name() const override { return "random"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+};
+
+class DegreeMatchPlacer final : public Placer {
+ public:
+  std::string name() const override { return "degree-match"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+};
+
+class AnnealingPlacer final : public Placer {
+ public:
+  explicit AnnealingPlacer(int iterations = 20000, double initial_temp = 5.0,
+                           double cooling = 0.9995)
+      : iterations_(iterations), initial_temp_(initial_temp), cooling_(cooling) {}
+  std::string name() const override { return "annealing"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+
+  /// The annealer's objective: sum over interaction edges of
+  /// weight * (coupling distance - 1); 0 means every interacting pair is
+  /// already adjacent.
+  static double placement_cost(const circuit::Circuit& circuit,
+                               const device::Device& device,
+                               const Layout& layout);
+
+ private:
+  int iterations_;
+  double initial_temp_;
+  double cooling_;
+};
+
+/// Exact embedding search: if the circuit's interaction graph is
+/// subgraph-isomorphic to the coupling graph, every two-qubit gate becomes
+/// nearest-neighbour and routing inserts zero SWAPs. Backtracking with
+/// most-constrained-first ordering and a node budget; falls back to the
+/// annealing placer when no embedding is found in budget.
+class SubgraphPlacer final : public Placer {
+ public:
+  explicit SubgraphPlacer(long long node_budget = 200000)
+      : node_budget_(node_budget) {}
+  std::string name() const override { return "subgraph"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+
+  /// The embedding search itself: virtual-graph node -> coupling node, or
+  /// empty when no embedding was found within the budget.
+  static std::vector<int> find_embedding(const graph::Graph& pattern,
+                                         const graph::Graph& host,
+                                         long long node_budget);
+
+ private:
+  long long node_budget_;
+};
+
+/// Noise-aware greedy placement: virtual qubits (heaviest interaction
+/// first) are laid onto the physical region that maximises the log-fidelity
+/// of their realised interactions, penalising non-adjacent placements by
+/// coupling distance. The placement-side counterpart of NoiseAwareRouter.
+class NoiseAwarePlacer final : public Placer {
+ public:
+  std::string name() const override { return "noise-aware"; }
+  Layout place(const circuit::Circuit& circuit, const device::Device& device,
+               qfs::Rng& rng) const override;
+};
+
+/// Factory by name ("trivial", "random", "degree-match", "annealing",
+/// "subgraph", "noise-aware").
+std::unique_ptr<Placer> make_placer(const std::string& name);
+
+}  // namespace qfs::mapper

@@ -1,0 +1,40 @@
+#include "mapper/recommend.h"
+
+namespace qfs::mapper {
+
+MappingRecommendation recommend_mapping(const profile::CircuitProfile& p) {
+  MappingRecommendation rec;
+  rec.options.router = "lookahead";
+  rec.options.sabre_refinement_rounds = 1;
+
+  // Degree <= 4 and moderate density: the interaction graph has a real
+  // chance of embedding into a surface/grid chip outright.
+  if (p.ig_nodes >= 2 && p.max_degree <= 4 && p.density <= 0.5) {
+    rec.options.placer = "subgraph";
+    rec.rationale =
+        "sparse low-degree interaction graph (max degree " +
+        std::to_string(p.max_degree) +
+        "): try an exact embedding for zero-SWAP placement";
+    return rec;
+  }
+
+  // Concentrated interactions: a few pairs dominate the weight. The
+  // annealer can pin those pairs adjacent and eat the residual cheaply.
+  if (p.edge_weight_stddev > 0.5 * (p.edge_weight_mean + 1e-12)) {
+    rec.options.placer = "annealing";
+    rec.rationale =
+        "interaction weight concentrated on few pairs (weight CV > 0.5): "
+        "anneal the placement around the heavy edges";
+    return rec;
+  }
+
+  // Dense, uniform interaction structure: no placement can win big;
+  // degree-match is the cheap reasonable default.
+  rec.options.placer = "degree-match";
+  rec.rationale =
+      "dense/uniform interaction graph: match high-degree qubits to "
+      "high-degree sites and rely on lookahead routing";
+  return rec;
+}
+
+}  // namespace qfs::mapper

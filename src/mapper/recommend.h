@@ -1,0 +1,33 @@
+// Algorithm-driven strategy selection — the paper's thesis as an API.
+//
+// "Analysing interaction graphs might help us understand why a mapping
+// solution works better for specific (groups of) algorithms first, and
+// then come up with optimised mapping techniques that are both
+// algorithm-driven and hardware-aware."
+//
+// recommend_mapping() reads a circuit's interaction-graph profile and picks
+// the mapping strategy its structure calls for, with a human-readable
+// rationale. The rules use the paper's reduced metric set (max degree,
+// density/avg shortest path, adjacency-weight spread).
+#pragma once
+
+#include <string>
+
+#include "mapper/pipeline.h"
+#include "profile/circuit_profile.h"
+
+namespace qfs::mapper {
+
+struct MappingRecommendation {
+  MappingOptions options;
+  std::string rationale;
+};
+
+/// Heuristic strategy choice from the profile:
+///  * degree-<=4 sparse interaction graphs -> exact embedding (subgraph);
+///  * concentrated weights (high adjacency spread) -> annealing placement;
+///  * everything else -> degree-match placement;
+/// all with the lookahead router and one SABRE refinement round.
+MappingRecommendation recommend_mapping(const profile::CircuitProfile& p);
+
+}  // namespace qfs::mapper

@@ -1,0 +1,103 @@
+// Routing (mapping step 4): insert SWAP gates so every two-qubit gate acts
+// on coupled physical qubits.
+//
+// Implemented strategies:
+//  * TrivialRouter    — for each non-adjacent two-qubit gate, swap one
+//                       operand along a shortest coupling path until the
+//                       operands are neighbours. This is the OpenQL
+//                       trivial-mapper behaviour used for the paper's
+//                       Figs. 3 and 5.
+//  * LookaheadRouter  — SABRE-style: maintains the dependency front and
+//                       picks the swap minimising a front + lookahead
+//                       distance heuristic.
+//  * NoiseAwareRouter — like TrivialRouter but routes along the coupling
+//                       path with the highest SWAP fidelity product
+//                       (hardware-aware co-design: per-edge error rates flow
+//                       up into the compiler).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+#include "mapper/layout.h"
+#include "support/rng.h"
+
+namespace qfs::mapper {
+
+struct RoutingResult {
+  /// Routed circuit on the physical register (may contain SWAP gates).
+  circuit::Circuit mapped;
+  Layout final_layout;
+  int swaps_inserted = 0;
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::string name() const = 0;
+  /// Route `circuit` (gates of arity <= 2; decompose first) starting from
+  /// `initial`.
+  virtual RoutingResult route(const circuit::Circuit& circuit,
+                              const device::Device& device,
+                              const Layout& initial, qfs::Rng& rng) const = 0;
+};
+
+class TrivialRouter final : public Router {
+ public:
+  std::string name() const override { return "trivial"; }
+  RoutingResult route(const circuit::Circuit& circuit,
+                      const device::Device& device, const Layout& initial,
+                      qfs::Rng& rng) const override;
+};
+
+class LookaheadRouter final : public Router {
+ public:
+  explicit LookaheadRouter(int lookahead_window = 20,
+                           double lookahead_weight = 0.5)
+      : window_(lookahead_window), weight_(lookahead_weight) {}
+  std::string name() const override { return "lookahead"; }
+  RoutingResult route(const circuit::Circuit& circuit,
+                      const device::Device& device, const Layout& initial,
+                      qfs::Rng& rng) const override;
+
+ private:
+  int window_;
+  double weight_;
+};
+
+class NoiseAwareRouter final : public Router {
+ public:
+  std::string name() const override { return "noise-aware"; }
+  RoutingResult route(const circuit::Circuit& circuit,
+                      const device::Device& device, const Layout& initial,
+                      qfs::Rng& rng) const override;
+};
+
+/// TrivialRouter variant that realises distance-2 CX/CZ gates with the
+/// 4-CX bridge network through the middle qubit instead of a SWAP — the
+/// layout is preserved, which pays off when the same pair never interacts
+/// again. Longer distances fall back to SWAP insertion.
+class BridgeRouter final : public Router {
+ public:
+  std::string name() const override { return "bridge"; }
+  RoutingResult route(const circuit::Circuit& circuit,
+                      const device::Device& device, const Layout& initial,
+                      qfs::Rng& rng) const override;
+
+  /// Number of bridge networks emitted in the last result is reported via
+  /// RoutingResult::swaps_inserted staying untouched; bridges add gates
+  /// but no layout change.
+};
+
+/// Factory by name ("trivial", "lookahead", "noise-aware").
+std::unique_ptr<Router> make_router(const std::string& name);
+
+/// True when every multi-qubit gate of `mapped` respects the coupling graph
+/// (the routing postcondition; used by tests and the pipeline contract).
+bool respects_connectivity(const circuit::Circuit& mapped,
+                           const device::Device& device);
+
+}  // namespace qfs::mapper

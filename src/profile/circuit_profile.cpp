@@ -1,0 +1,129 @@
+#include "profile/circuit_profile.h"
+
+#include "graph/algorithms.h"
+#include "graph/metrics.h"
+#include "profile/interaction.h"
+
+namespace qfs::profile {
+
+CircuitProfile profile_circuit(const circuit::Circuit& circuit) {
+  CircuitProfile p;
+  p.name = circuit.name();
+  p.num_qubits = static_cast<int>(circuit.used_qubits().size());
+  p.gate_count = circuit.gate_count();
+  p.two_qubit_gates = circuit.two_qubit_gate_count();
+  p.two_qubit_fraction = circuit.two_qubit_fraction();
+  p.depth = circuit.depth();
+
+  graph::Graph ig = active_interaction_graph(circuit);
+  p.ig_nodes = ig.num_nodes();
+  p.ig_edges = ig.num_edges();
+  if (ig.num_nodes() == 0) return p;
+
+  p.avg_shortest_path = graph::average_shortest_path(ig);
+  p.avg_closeness = graph::average_closeness(ig);
+  int diam = graph::diameter(ig);
+  p.diameter = (diam == graph::kUnreachable) ? -1 : diam;
+
+  auto deg = graph::degree_stats(ig);
+  p.min_degree = deg.min;
+  p.max_degree = deg.max;
+  p.mean_degree = deg.mean;
+  p.degree_stddev = deg.stddev;
+  p.density = graph::density(ig);
+  p.clustering = graph::average_clustering(ig);
+
+  auto ew = graph::edge_weight_stats(ig);
+  p.edge_weight_mean = ew.mean;
+  p.edge_weight_min = ew.min;
+  p.edge_weight_max = ew.max;
+  p.edge_weight_stddev = ew.stddev;
+  p.edge_weight_variance = ew.variance;
+
+  auto adj = graph::adjacency_matrix_stats(ig);
+  p.adj_matrix_mean = adj.mean;
+  p.adj_matrix_stddev = adj.stddev;
+
+  p.assortativity = graph::degree_assortativity(ig);
+
+  auto betweenness = graph::betweenness_centrality(ig);
+  double sum = 0.0, worst = 0.0;
+  for (double b : betweenness) {
+    sum += b;
+    worst = std::max(worst, b);
+  }
+  p.avg_betweenness = sum / ig.num_nodes();
+  p.max_betweenness = worst;
+  p.radius = graph::radius(ig);
+  p.algebraic_connectivity = graph::algebraic_connectivity(ig);
+  return p;
+}
+
+const std::vector<std::string>& graph_metric_names() {
+  static const std::vector<std::string> names = {
+      // Ordered by mapping relevance: the paper's reduced set first, so the
+      // greedy Pearson reduction keeps exactly these representatives.
+      "avg_shortest_path",
+      "max_degree",
+      "min_degree",
+      "adj_matrix_stddev",
+      // Redundant companions (expected to be pruned on typical suites).
+      "avg_closeness",
+      "diameter",
+      "mean_degree",
+      "degree_stddev",
+      "density",
+      "clustering",
+      "edge_weight_mean",
+      "edge_weight_stddev",
+      "edge_weight_variance",
+      "adj_matrix_mean",
+      "assortativity",
+      "avg_betweenness",
+      "max_betweenness",
+      "radius",
+      "algebraic_connectivity",
+  };
+  return names;
+}
+
+std::vector<double> graph_metric_vector(const CircuitProfile& p) {
+  return {
+      p.avg_shortest_path,
+      static_cast<double>(p.max_degree),
+      static_cast<double>(p.min_degree),
+      p.adj_matrix_stddev,
+      p.avg_closeness,
+      static_cast<double>(p.diameter),
+      p.mean_degree,
+      p.degree_stddev,
+      p.density,
+      p.clustering,
+      p.edge_weight_mean,
+      p.edge_weight_stddev,
+      p.edge_weight_variance,
+      p.adj_matrix_mean,
+      p.assortativity,
+      p.avg_betweenness,
+      p.max_betweenness,
+      static_cast<double>(p.radius),
+      p.algebraic_connectivity,
+  };
+}
+
+std::vector<stats::Feature> profiles_to_features(
+    const std::vector<CircuitProfile>& profiles) {
+  const auto& names = graph_metric_names();
+  std::vector<stats::Feature> features(names.size());
+  for (std::size_t i = 0; i < names.size(); ++i) features[i].name = names[i];
+  for (const auto& p : profiles) {
+    std::vector<double> v = graph_metric_vector(p);
+    QFS_ASSERT(v.size() == names.size());
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      features[i].values.push_back(v[i]);
+    }
+  }
+  return features;
+}
+
+}  // namespace qfs::profile

@@ -1,0 +1,66 @@
+// Circuit profiles: the common size parameters plus the interaction-graph
+// metric set of Table I (and the auxiliary metrics the paper's Pearson
+// analysis starts from).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "stats/correlation.h"
+
+namespace qfs::profile {
+
+struct CircuitProfile {
+  std::string name;
+
+  // Common circuit parameters ("the only parameters taken into account in
+  // literature").
+  int num_qubits = 0;        ///< active qubits (participating in any gate)
+  int gate_count = 0;
+  int two_qubit_gates = 0;
+  double two_qubit_fraction = 0.0;
+  int depth = 0;
+
+  // Interaction-graph metrics (on the active interaction graph).
+  int ig_nodes = 0;
+  int ig_edges = 0;
+  double avg_shortest_path = 0.0;   ///< hopcount (Table I)
+  double avg_closeness = 0.0;       ///< closeness (Table I)
+  int diameter = 0;
+  int min_degree = 0;               ///< Table I
+  int max_degree = 0;               ///< Table I
+  double mean_degree = 0.0;
+  double degree_stddev = 0.0;
+  double density = 0.0;             ///< a.k.a. connectivity
+  double clustering = 0.0;
+  double edge_weight_mean = 0.0;
+  double edge_weight_min = 0.0;
+  double edge_weight_max = 0.0;
+  double edge_weight_stddev = 0.0;
+  double edge_weight_variance = 0.0;
+  double adj_matrix_mean = 0.0;
+  double adj_matrix_stddev = 0.0;   ///< Table I ("adjacency matrix std. dev.")
+  double assortativity = 0.0;
+  double avg_betweenness = 0.0;
+  double max_betweenness = 0.0;
+  int radius = 0;
+  double algebraic_connectivity = 0.0;
+};
+
+/// Profile one circuit.
+CircuitProfile profile_circuit(const circuit::Circuit& circuit);
+
+/// The full hand-picked metric vector for Pearson reduction, in a fixed
+/// order. Size parameters are excluded (they are not graph metrics).
+std::vector<double> graph_metric_vector(const CircuitProfile& p);
+
+/// Names matching graph_metric_vector entries.
+const std::vector<std::string>& graph_metric_names();
+
+/// Convert a set of profiles into named feature columns for
+/// stats::correlation_matrix / stats::reduce_features.
+std::vector<stats::Feature> profiles_to_features(
+    const std::vector<CircuitProfile>& profiles);
+
+}  // namespace qfs::profile

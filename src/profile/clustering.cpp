@@ -1,0 +1,42 @@
+#include "profile/clustering.h"
+
+#include "stats/descriptive.h"
+
+namespace qfs::profile {
+
+ClusteringResult cluster_profiles(const std::vector<CircuitProfile>& profiles,
+                                  int k, qfs::Rng& rng, bool reduce_first,
+                                  double pearson_threshold) {
+  QFS_ASSERT_MSG(!profiles.empty(), "clustering needs at least one profile");
+  auto features = profiles_to_features(profiles);
+
+  ClusteringResult result;
+  if (reduce_first) {
+    auto reduction = stats::reduce_features(features, pearson_threshold);
+    result.feature_indices = reduction.kept;
+  } else {
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      result.feature_indices.push_back(static_cast<int>(i));
+    }
+  }
+
+  // z-score each kept column, then assemble sample rows.
+  std::vector<std::vector<double>> columns;
+  for (int idx : result.feature_indices) {
+    columns.push_back(
+        stats::standardize(features[static_cast<std::size_t>(idx)].values));
+  }
+  std::vector<std::vector<double>> samples(
+      profiles.size(), std::vector<double>(columns.size(), 0.0));
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    for (std::size_t s = 0; s < profiles.size(); ++s) {
+      samples[s][c] = columns[c][s];
+    }
+  }
+
+  result.kmeans = stats::kmeans(samples, k, rng);
+  result.cluster_of_circuit = result.kmeans.assignment;
+  return result;
+}
+
+}  // namespace qfs::profile

@@ -1,0 +1,28 @@
+// Algorithm clustering (Sec. IV): group circuits by their interaction-graph
+// feature vectors so that "quantum algorithms with similar properties show
+// similar performance when run on specific chips".
+#pragma once
+
+#include <vector>
+
+#include "profile/circuit_profile.h"
+#include "stats/kmeans.h"
+
+namespace qfs::profile {
+
+struct ClusteringResult {
+  std::vector<int> cluster_of_circuit;
+  stats::KMeansResult kmeans;
+  std::vector<int> feature_indices;  ///< which graph metrics were used
+};
+
+/// Cluster profiles with k-means on z-scored metric columns. When
+/// `reduce_first` is set, the Pearson reduction (|rho| >= threshold) is run
+/// first and only the kept metrics form the feature space — the paper's
+/// pipeline.
+ClusteringResult cluster_profiles(const std::vector<CircuitProfile>& profiles,
+                                  int k, qfs::Rng& rng,
+                                  bool reduce_first = true,
+                                  double pearson_threshold = 0.85);
+
+}  // namespace qfs::profile

@@ -1,0 +1,33 @@
+#include "profile/dot_export.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace qfs::profile {
+
+std::string to_dot(const graph::Graph& graph, const DotOptions& options) {
+  std::ostringstream os;
+  os << "graph " << options.graph_name << " {\n";
+  os << "  node [shape=circle];\n";
+  double max_weight = 1.0;
+  for (const auto& e : graph.edges()) max_weight = std::max(max_weight, e.weight);
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    os << "  " << options.node_prefix << v << ";\n";
+  }
+  for (const auto& e : graph.edges()) {
+    os << "  " << options.node_prefix << e.u << " -- " << options.node_prefix
+       << e.v;
+    if (options.weight_styling) {
+      double width = 1.0 + 4.0 * e.weight / max_weight;
+      os << " [label=\"" << qfs::format_double(e.weight, 0)
+         << "\", penwidth=" << qfs::format_double(width, 2) << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace qfs::profile

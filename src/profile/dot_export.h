@@ -1,0 +1,22 @@
+// Graphviz DOT export of weighted graphs — render interaction graphs and
+// coupling graphs the way the paper's Figs. 2 and 4 draw them.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace qfs::profile {
+
+struct DotOptions {
+  std::string graph_name = "g";
+  std::string node_prefix = "q";
+  /// Scale pen width by edge weight (interaction graphs); off for coupling
+  /// graphs where weights are structural.
+  bool weight_styling = true;
+};
+
+/// Undirected DOT rendering with weight labels.
+std::string to_dot(const graph::Graph& graph, const DotOptions& options = {});
+
+}  // namespace qfs::profile

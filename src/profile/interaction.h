@@ -1,0 +1,42 @@
+// Qubit interaction graphs (Sec. III/IV of the paper).
+//
+// The interaction graph of a circuit has a node per qubit and an edge per
+// interacting qubit pair, weighted by how many two-qubit gates act on that
+// pair. It captures "the core constraint that needs to be dealt with during
+// the mapping process".
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+
+namespace qfs::profile {
+
+/// Interaction graph over the full circuit register (isolated nodes for
+/// qubits without two-qubit gates). Multi-qubit gates beyond two qubits
+/// contribute an edge per operand pair.
+graph::Graph interaction_graph(const circuit::Circuit& circuit);
+
+/// Interaction graph compacted to the qubits that participate in at least
+/// one two-qubit interaction; `qubit_of_node[i]` maps node i back to the
+/// original qubit index. Metrics are computed on this graph so that unused
+/// register padding does not dilute averages.
+graph::Graph active_interaction_graph(const circuit::Circuit& circuit,
+                                      std::vector<int>* qubit_of_node = nullptr);
+
+/// Temporal slicing: split the circuit's gate list into `slices`
+/// consecutive windows of (near-)equal gate count and return each window's
+/// interaction graph (over the full register). Captures how the
+/// interaction pattern drifts over the course of the algorithm —
+/// information a static interaction graph hides.
+std::vector<graph::Graph> sliced_interaction_graphs(
+    const circuit::Circuit& circuit, int slices);
+
+/// Interaction drift: mean normalised L1 distance between the adjacency
+/// matrices of consecutive slices. 0 = the interaction pattern is
+/// stationary (e.g. a repeated VQE layer); 1 = consecutive windows share
+/// no interactions at all.
+double interaction_drift(const circuit::Circuit& circuit, int slices = 4);
+
+}  // namespace qfs::profile

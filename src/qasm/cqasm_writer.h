@@ -1,0 +1,20 @@
+// cQASM 1.0 emission — the native format of the OpenQL toolchain the
+// paper's experiments used. Supports plain circuits and timed programs
+// (bundle notation with '|').
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "isa/timed_program.h"
+
+namespace qfs::qasm {
+
+/// Render a circuit as a cQASM 1.0 program.
+std::string to_cqasm(const circuit::Circuit& circuit);
+
+/// Render a timed program: bundles become "{ a | b }" lines preceded by
+/// explicit "wait" instructions covering idle gaps.
+std::string to_cqasm(const isa::TimedProgram& program);
+
+}  // namespace qfs::qasm

@@ -1,0 +1,30 @@
+// OpenQASM 2.0 parser.
+//
+// Supported: the OPENQASM/include headers, one qreg and one creg, the
+// qelib1 gate names that map onto the qfs vocabulary (id x y z h s sdg t tdg
+// sx sxdg rx ry rz p/u1 u3/u cx cy cz cp/cu1 swap ccx cswap), measure,
+// reset, barrier, comments, angle expressions over + - * / ( ) pi and
+// decimal literals, **user gate definitions** (`gate name(p) a,b { ... }`,
+// expanded at invocation with parameter substitution, nested definitions
+// allowed), and **register broadcast** (`h q;`, `measure q -> c;`,
+// `cx q[0],q;`-style element-wise application).
+//
+// Unsupported constructs (if, opaque, multiple registers) produce a parse
+// error that names the offending line.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+#include "support/status.h"
+
+namespace qfs::qasm {
+
+/// Parse a full OpenQASM 2.0 program into a Circuit.
+qfs::StatusOr<circuit::Circuit> parse(const std::string& source);
+
+/// Evaluate a constant angle expression ("pi/2", "-3*pi/4", "0.25").
+/// Exposed for direct testing.
+qfs::StatusOr<double> evaluate_angle_expression(const std::string& expr);
+
+}  // namespace qfs::qasm

@@ -1,0 +1,86 @@
+#include "qasm/writer.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace qfs::qasm {
+
+using circuit::Gate;
+using circuit::GateKind;
+
+namespace {
+
+std::string angle(double value) {
+  // 12 significant decimals round-trips doubles well enough for angles.
+  return qfs::format_double(value, 12);
+}
+
+void emit_operands(std::ostringstream& os, const Gate& g) {
+  for (std::size_t i = 0; i < g.qubits.size(); ++i) {
+    if (i) os << ',';
+    os << "q[" << g.qubits[i] << ']';
+  }
+  os << ";\n";
+}
+
+void emit_gate(std::ostringstream& os, const Gate& g) {
+  switch (g.kind) {
+    case GateKind::kMeasure:
+      os << "measure q[" << g.qubits[0] << "] -> c[" << g.qubits[0] << "];\n";
+      return;
+    case GateKind::kReset:
+      os << "reset q[" << g.qubits[0] << "];\n";
+      return;
+    case GateKind::kBarrier:
+      os << "barrier ";
+      emit_operands(os, g);
+      return;
+    case GateKind::kPhase:
+      // qelib1 calls the phase gate u1.
+      os << "u1(" << angle(g.params[0]) << ") ";
+      emit_operands(os, g);
+      return;
+    case GateKind::kCphase:
+      os << "cu1(" << angle(g.params[0]) << ") ";
+      emit_operands(os, g);
+      return;
+    case GateKind::kCcz: {
+      // qelib1 has no ccz; emit the standard h-ccx-h conjugation.
+      int t = g.qubits[2];
+      os << "h q[" << t << "];\n";
+      os << "ccx q[" << g.qubits[0] << "],q[" << g.qubits[1] << "],q[" << t
+         << "];\n";
+      os << "h q[" << t << "];\n";
+      return;
+    }
+    default:
+      break;
+  }
+  os << circuit::gate_name(g.kind);
+  if (!g.params.empty()) {
+    os << '(';
+    for (std::size_t i = 0; i < g.params.size(); ++i) {
+      if (i) os << ',';
+      os << angle(g.params[i]);
+    }
+    os << ')';
+  }
+  os << ' ';
+  emit_operands(os, g);
+}
+
+}  // namespace
+
+std::string to_qasm(const circuit::Circuit& circuit) {
+  std::ostringstream os;
+  os << "OPENQASM 2.0;\n";
+  os << "include \"qelib1.inc\";\n";
+  if (!circuit.name().empty()) os << "// circuit: " << circuit.name() << '\n';
+  os << "qreg q[" << circuit.num_qubits() << "];\n";
+  os << "creg c[" << circuit.num_qubits() << "];\n";
+  for (const Gate& g : circuit.gates()) emit_gate(os, g);
+  return os.str();
+}
+
+}  // namespace qfs::qasm

@@ -1,0 +1,17 @@
+// OpenQASM 2.0 emission for qfs circuits.
+//
+// Every gate kind in the qfs vocabulary maps to a qelib1 gate (or to the
+// sxdg/ccz compositions emitted inline), so the output is consumable by
+// other toolchains.
+#pragma once
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace qfs::qasm {
+
+/// Render a full OpenQASM 2.0 program (header, qreg/creg, body).
+std::string to_qasm(const circuit::Circuit& circuit);
+
+}  // namespace qfs::qasm

@@ -1,0 +1,65 @@
+#include "report/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/strings.h"
+
+namespace qfs::report {
+
+std::string render_histogram(const std::vector<double>& values,
+                             const HistogramOptions& options) {
+  QFS_ASSERT_MSG(options.bins >= 1, "need at least one bin");
+  QFS_ASSERT_MSG(options.max_bar_width >= 1, "bar width must be positive");
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (values.empty()) {
+    os << "(no data)\n";
+    return os.str();
+  }
+
+  double lo = options.lower, hi = options.upper;
+  if (lo >= hi) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (lo == hi) hi = lo + 1.0;
+  }
+  const double width = (hi - lo) / options.bins;
+
+  std::vector<int> counts(static_cast<std::size_t>(options.bins), 0);
+  for (double v : values) {
+    int bin = static_cast<int>(std::floor((v - lo) / width));
+    bin = std::clamp(bin, 0, options.bins - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+  }
+  int max_count = *std::max_element(counts.begin(), counts.end());
+
+  // Align the range labels.
+  std::vector<std::string> labels;
+  std::size_t label_width = 0;
+  for (int b = 0; b < options.bins; ++b) {
+    std::string label = "[" + qfs::format_double(lo + b * width, 1) + ", " +
+                        qfs::format_double(lo + (b + 1) * width, 1) +
+                        (b + 1 == options.bins ? "]" : ")");
+    label_width = std::max(label_width, label.size());
+    labels.push_back(std::move(label));
+  }
+  for (int b = 0; b < options.bins; ++b) {
+    const std::string& label = labels[static_cast<std::size_t>(b)];
+    os << label << std::string(label_width - label.size(), ' ') << ' ';
+    int count = counts[static_cast<std::size_t>(b)];
+    int bar = max_count == 0
+                  ? 0
+                  : static_cast<int>(std::lround(
+                        static_cast<double>(count) * options.max_bar_width /
+                        max_count));
+    if (count > 0 && bar == 0) bar = 1;  // non-empty bins stay visible
+    for (int i = 0; i < bar; ++i) os << "█";
+    os << ' ' << count << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qfs::report

@@ -1,0 +1,24 @@
+// ASCII histograms: distribution views for bench output.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qfs::report {
+
+struct HistogramOptions {
+  int bins = 10;
+  int max_bar_width = 50;  ///< columns for the largest bin
+  std::string title;
+  /// Fixed range; when lower >= upper the data range is used.
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Render values into equal-width bins with proportional bars:
+///   [  0.0,  50.0) ███████████ 23
+/// Values outside a fixed range are clamped into the edge bins.
+std::string render_histogram(const std::vector<double>& values,
+                             const HistogramOptions& options = {});
+
+}  // namespace qfs::report

@@ -1,0 +1,97 @@
+#include "report/scatter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/assert.h"
+#include "support/strings.h"
+
+namespace qfs::report {
+
+std::string render_scatter(const std::vector<ScatterSeries>& series,
+                           const ScatterOptions& options) {
+  QFS_ASSERT_MSG(options.width >= 10 && options.height >= 5, "plot too small");
+  double min_x = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double min_y = min_x, max_y = max_x;
+  std::size_t points = 0;
+  for (const auto& s : series) {
+    QFS_ASSERT_MSG(s.xs.size() == s.ys.size(), "series length mismatch");
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double y = s.ys[i];
+      if (options.log_y) {
+        if (y <= 0.0) continue;
+        y = std::log10(y);
+      }
+      min_x = std::min(min_x, s.xs[i]);
+      max_x = std::max(max_x, s.xs[i]);
+      min_y = std::min(min_y, y);
+      max_y = std::max(max_y, y);
+      ++points;
+    }
+  }
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  if (points == 0) {
+    os << "(no data)\n";
+    return os.str();
+  }
+  if (max_x == min_x) max_x = min_x + 1.0;
+  if (max_y == min_y) max_y = min_y + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(options.height),
+                                std::string(static_cast<std::size_t>(options.width), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      double y = s.ys[i];
+      if (options.log_y) {
+        if (y <= 0.0) continue;
+        y = std::log10(y);
+      }
+      int col = static_cast<int>(std::lround(
+          (s.xs[i] - min_x) / (max_x - min_x) * (options.width - 1)));
+      int row = static_cast<int>(std::lround(
+          (y - min_y) / (max_y - min_y) * (options.height - 1)));
+      row = options.height - 1 - row;  // origin bottom-left
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = s.marker;
+    }
+  }
+
+  std::string y_hi = qfs::format_double(options.log_y ? std::pow(10, max_y) : max_y, 3);
+  std::string y_lo = qfs::format_double(options.log_y ? std::pow(10, min_y) : min_y, 3);
+  std::size_t margin = std::max(y_hi.size(), y_lo.size());
+
+  for (int r = 0; r < options.height; ++r) {
+    std::string label;
+    if (r == 0) label = y_hi;
+    if (r == options.height - 1) label = y_lo;
+    os << label << std::string(margin - label.size(), ' ') << " |"
+       << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << std::string(margin + 1, ' ') << '+'
+     << std::string(static_cast<std::size_t>(options.width), '-') << '\n';
+  std::string x_lo = qfs::format_double(min_x, 3);
+  std::string x_hi = qfs::format_double(max_x, 3);
+  os << std::string(margin + 2, ' ') << x_lo
+     << std::string(std::max<std::size_t>(
+            1, static_cast<std::size_t>(options.width) - x_lo.size() - x_hi.size()),
+                    ' ')
+     << x_hi << '\n';
+  if (!options.x_label.empty() || !options.y_label.empty()) {
+    os << std::string(margin + 2, ' ') << "x: " << options.x_label;
+    if (options.log_y) {
+      os << "   y (log scale): " << options.y_label;
+    } else {
+      os << "   y: " << options.y_label;
+    }
+    os << '\n';
+  }
+  for (const auto& s : series) {
+    os << "  '" << s.marker << "' = " << s.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace qfs::report

@@ -1,0 +1,31 @@
+// ASCII scatter plots: terminal renderings of the paper's figures so a
+// bench binary's stdout shows the series shape directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qfs::report {
+
+struct ScatterSeries {
+  std::string label;
+  char marker = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ScatterOptions {
+  int width = 72;    ///< plot area columns
+  int height = 20;   ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  bool log_y = false;  ///< plot log10(y) (y must be > 0)
+};
+
+/// Render one or more series into a character grid with axis ranges in the
+/// margins. Later series overdraw earlier ones where they collide.
+std::string render_scatter(const std::vector<ScatterSeries>& series,
+                           const ScatterOptions& options);
+
+}  // namespace qfs::report

@@ -1,0 +1,25 @@
+// Aligned text tables for bench output (the "rows the paper reports").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qfs::report {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment and a header underline.
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace qfs::report

@@ -1,0 +1,77 @@
+#include "sim/equivalence.h"
+
+namespace qfs::sim {
+
+using circuit::CMatrix;
+using circuit::Circuit;
+
+CMatrix circuit_unitary(const Circuit& circuit) {
+  const int n = circuit.num_qubits();
+  QFS_ASSERT_MSG(n <= 10, "circuit_unitary limited to 10 qubits");
+  const std::size_t dim = std::size_t{1} << n;
+  CMatrix u(static_cast<int>(dim));
+  for (std::size_t col = 0; col < dim; ++col) {
+    std::vector<Complex> amps(dim, Complex{});
+    amps[col] = 1.0;
+    StateVector sv = StateVector::from_amplitudes(std::move(amps));
+    sv.apply_circuit(circuit);
+    for (std::size_t row = 0; row < dim; ++row) {
+      u.at(static_cast<int>(row), static_cast<int>(col)) = sv.amplitude(row);
+    }
+  }
+  return u;
+}
+
+bool circuits_equivalent(const Circuit& a, const Circuit& b, double tol) {
+  if (a.num_qubits() != b.num_qubits()) return false;
+  return circuit::approx_equal_up_to_phase(circuit_unitary(a),
+                                           circuit_unitary(b), tol);
+}
+
+StateVector embed_state(const StateVector& state, int num_physical_qubits,
+                        const std::vector<int>& layout) {
+  const int nv = state.num_qubits();
+  QFS_ASSERT_MSG(static_cast<int>(layout.size()) == nv, "layout size mismatch");
+  QFS_ASSERT_MSG(num_physical_qubits >= nv, "physical register too small");
+  std::vector<bool> used(static_cast<std::size_t>(num_physical_qubits), false);
+  for (int p : layout) {
+    QFS_ASSERT_MSG(0 <= p && p < num_physical_qubits, "layout target range");
+    QFS_ASSERT_MSG(!used[static_cast<std::size_t>(p)], "layout not injective");
+    used[static_cast<std::size_t>(p)] = true;
+  }
+
+  std::vector<Complex> out(std::size_t{1} << num_physical_qubits, Complex{});
+  for (std::size_t basis = 0; basis < state.dim(); ++basis) {
+    std::size_t target = 0;
+    for (int v = 0; v < nv; ++v) {
+      if ((basis >> v) & 1) {
+        target |= std::size_t{1} << layout[static_cast<std::size_t>(v)];
+      }
+    }
+    out[target] = state.amplitude(basis);
+  }
+  return StateVector::from_amplitudes(std::move(out));
+}
+
+bool mapping_preserves_semantics(const Circuit& original,
+                                 const Circuit& mapped,
+                                 const std::vector<int>& initial_layout,
+                                 const std::vector<int>& final_layout,
+                                 qfs::Rng& rng, int trials, double tol) {
+  const int np = mapped.num_qubits();
+  for (int trial = 0; trial < trials; ++trial) {
+    StateVector input = StateVector::random(original.num_qubits(), rng);
+
+    StateVector expected_small = input;
+    expected_small.apply_circuit(original);
+    StateVector expected = embed_state(expected_small, np, final_layout);
+
+    StateVector actual = embed_state(input, np, initial_layout);
+    actual.apply_circuit(mapped);
+
+    if (!approx_equal_up_to_phase(expected, actual, tol)) return false;
+  }
+  return true;
+}
+
+}  // namespace qfs::sim

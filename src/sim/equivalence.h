@@ -1,0 +1,40 @@
+// Circuit equivalence checking.
+//
+// Two flavours:
+//  * exact unitary comparison (small circuits, <= 10 qubits), and
+//  * mapping-aware state checks: a routed circuit must act like the
+//    original once initial/final qubit layouts are accounted for.
+#pragma once
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/matrix.h"
+#include "sim/statevector.h"
+#include "support/rng.h"
+
+namespace qfs::sim {
+
+/// Full 2^n x 2^n unitary of a (unitary-only) circuit; n <= 10 by contract.
+circuit::CMatrix circuit_unitary(const circuit::Circuit& circuit);
+
+/// Unitary equality up to global phase.
+bool circuits_equivalent(const circuit::Circuit& a, const circuit::Circuit& b,
+                         double tol = 1e-9);
+
+/// Embed an n_v-qubit state into n_p qubits, placing virtual qubit v on
+/// physical qubit layout[v]; all other physical qubits are |0>.
+StateVector embed_state(const StateVector& state, int num_physical_qubits,
+                        const std::vector<int>& layout);
+
+/// Verify that `mapped` (on the physical register) implements `original`
+/// (on the virtual register) given the mapper's initial and final layouts
+/// (virtual -> physical). Uses `trials` random input states.
+bool mapping_preserves_semantics(const circuit::Circuit& original,
+                                 const circuit::Circuit& mapped,
+                                 const std::vector<int>& initial_layout,
+                                 const std::vector<int>& final_layout,
+                                 qfs::Rng& rng, int trials = 3,
+                                 double tol = 1e-7);
+
+}  // namespace qfs::sim

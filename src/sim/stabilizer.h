@@ -1,0 +1,87 @@
+// Stabilizer (tableau) simulation — Aaronson-Gottesman style.
+//
+// Clifford circuits (H, S, X, Y, Z, CX, CZ, SWAP, ...) act on stabilizer
+// states in polynomial time, which lets qfs verify routed circuits at the
+// *full device scale* (e.g. a 97-qubit mapped GHZ) where state vectors are
+// hopeless. The destabilizer rows are tracked so measurement outcomes are
+// available too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "support/rng.h"
+
+namespace qfs::sim {
+
+/// True when every gate of the kind is Clifford (simulable here),
+/// independent of parameters.
+bool is_clifford_gate(circuit::GateKind kind);
+
+/// Parameter-aware check: additionally accepts rx/ry/rz/p gates whose
+/// angle is a multiple of pi/2 (within tolerance) — these are Clifford and
+/// appear in decomposed H/CX networks on rotation-based gate sets.
+bool is_clifford_gate(const circuit::Gate& g);
+
+/// True when all unitary gates of the circuit are Clifford (angle-aware).
+bool is_clifford_circuit(const circuit::Circuit& circuit);
+
+class StabilizerState {
+ public:
+  /// |0...0> on n qubits.
+  explicit StabilizerState(int num_qubits);
+
+  int num_qubits() const { return n_; }
+
+  /// Apply a Clifford gate (contract violation otherwise; use
+  /// is_clifford_gate to screen). Barriers are no-ops.
+  void apply_gate(const circuit::Gate& g);
+
+  /// Apply all gates of a Clifford circuit (measure/reset are a contract
+  /// violation — use measure() explicitly).
+  void apply_circuit(const circuit::Circuit& circuit);
+
+  /// Measure qubit q in the Z basis; deterministic outcomes return their
+  /// value, random outcomes consume `rng` and collapse the state.
+  bool measure(int q, qfs::Rng& rng);
+
+  /// The stabilizer row i as a Pauli string, e.g. "+XZI".
+  std::string stabilizer_string(int row) const;
+
+  /// Canonical form of the stabilizer group (row-reduced generators),
+  /// usable for state-equality comparison.
+  std::vector<std::string> canonical_stabilizers() const;
+
+  /// True when both states stabilise the same group (same quantum state up
+  /// to phase).
+  static bool same_state(const StabilizerState& a, const StabilizerState& b);
+
+  /// Expectation structure helper: is the outcome of measuring qubit q
+  /// deterministic in this state?
+  bool is_deterministic(int q) const;
+
+ private:
+  // Tableau rows 0..n-1: destabilizers, n..2n-1: stabilizers.
+  // x_[r][q]/z_[r][q] are the Pauli-X/Z components, r_[r] the sign bit.
+  int n_ = 0;
+  std::vector<std::vector<std::uint8_t>> x_;
+  std::vector<std::vector<std::uint8_t>> z_;
+  std::vector<std::uint8_t> sign_;
+
+  void row_mult(int target, int source);  ///< row_target *= row_source
+  int row_phase(int target, int source) const;
+};
+
+/// Verify a mapped Clifford circuit at device scale: the analogue of
+/// sim::mapping_preserves_semantics that works for ~100 qubits. Prepares
+/// |0..0>, runs the original on virtual qubits and the mapped circuit on
+/// physical qubits, then compares stabilizer groups after relabelling
+/// through the final layout.
+bool clifford_mapping_preserves_state(const circuit::Circuit& original,
+                                      const circuit::Circuit& mapped,
+                                      const std::vector<int>& initial_layout,
+                                      const std::vector<int>& final_layout);
+
+}  // namespace qfs::sim

@@ -1,0 +1,143 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+namespace qfs::sim {
+
+namespace {
+bool is_power_of_two(std::size_t x) { return x != 0 && (x & (x - 1)) == 0; }
+}  // namespace
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits) {
+  QFS_ASSERT_MSG(0 <= num_qubits && num_qubits <= 26,
+                 "state vector limited to 26 qubits");
+  amps_.assign(std::size_t{1} << num_qubits, Complex{});
+  amps_[0] = 1.0;
+}
+
+StateVector StateVector::from_amplitudes(std::vector<Complex> amplitudes) {
+  QFS_ASSERT_MSG(is_power_of_two(amplitudes.size()),
+                 "amplitude count must be a power of two");
+  int n = 0;
+  while ((std::size_t{1} << n) < amplitudes.size()) ++n;
+  StateVector sv(n);
+  sv.amps_ = std::move(amplitudes);
+  return sv;
+}
+
+StateVector StateVector::random(int num_qubits, qfs::Rng& rng) {
+  StateVector sv(num_qubits);
+  for (auto& a : sv.amps_) a = Complex(rng.normal(0, 1), rng.normal(0, 1));
+  sv.normalize();
+  return sv;
+}
+
+void StateVector::apply_gate(const circuit::Gate& g) {
+  if (g.kind == circuit::GateKind::kBarrier) return;
+  QFS_ASSERT_MSG(circuit::is_unitary(g.kind),
+                 "state-vector simulation of non-unitary gate");
+  for (int q : g.qubits) {
+    QFS_ASSERT_MSG(0 <= q && q < num_qubits_, "gate qubit out of range");
+  }
+  const circuit::CMatrix u = circuit::gate_matrix(g);
+  const int k = static_cast<int>(g.qubits.size());
+  const int local_dim = 1 << k;
+
+  // Bit masks per operand; operand 0 is the most significant local bit.
+  std::vector<std::size_t> masks(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    masks[static_cast<std::size_t>(i)] = std::size_t{1} << g.qubits[static_cast<std::size_t>(i)];
+  }
+  std::size_t operand_union = 0;
+  for (auto m : masks) operand_union |= m;
+
+  std::vector<Complex> local(static_cast<std::size_t>(local_dim));
+  const std::size_t dim = amps_.size();
+  for (std::size_t base = 0; base < dim; ++base) {
+    if ((base & operand_union) != 0) continue;  // enumerate operand-zero bases
+    // Gather the 2^k amplitudes of this block.
+    for (int l = 0; l < local_dim; ++l) {
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((l >> (k - 1 - i)) & 1) idx |= masks[static_cast<std::size_t>(i)];
+      }
+      local[static_cast<std::size_t>(l)] = amps_[idx];
+    }
+    // Multiply and scatter back.
+    for (int r = 0; r < local_dim; ++r) {
+      Complex acc{};
+      for (int c = 0; c < local_dim; ++c) {
+        acc += u.at(r, c) * local[static_cast<std::size_t>(c)];
+      }
+      std::size_t idx = base;
+      for (int i = 0; i < k; ++i) {
+        if ((r >> (k - 1 - i)) & 1) idx |= masks[static_cast<std::size_t>(i)];
+      }
+      amps_[idx] = acc;
+    }
+  }
+}
+
+void StateVector::apply_circuit(const circuit::Circuit& circuit) {
+  QFS_ASSERT_MSG(circuit.num_qubits() <= num_qubits_,
+                 "circuit wider than state");
+  for (const auto& g : circuit.gates()) apply_gate(g);
+}
+
+double StateVector::probability(std::size_t basis) const {
+  QFS_ASSERT_MSG(basis < amps_.size(), "basis index out of range");
+  return std::norm(amps_[basis]);
+}
+
+double StateVector::marginal_one_probability(int q) const {
+  QFS_ASSERT_MSG(0 <= q && q < num_qubits_, "qubit out of range");
+  const std::size_t mask = std::size_t{1} << q;
+  double p = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    if (i & mask) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+Complex StateVector::inner_product(const StateVector& other) const {
+  QFS_ASSERT_MSG(amps_.size() == other.amps_.size(), "dimension mismatch");
+  Complex acc{};
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::conj(amps_[i]) * other.amps_[i];
+  }
+  return acc;
+}
+
+double StateVector::norm() const {
+  double acc = 0.0;
+  for (const auto& a : amps_) acc += std::norm(a);
+  return std::sqrt(acc);
+}
+
+void StateVector::normalize() {
+  double n = norm();
+  QFS_ASSERT_MSG(n > 0.0, "cannot normalise the zero vector");
+  for (auto& a : amps_) a /= n;
+}
+
+std::size_t StateVector::sample(qfs::Rng& rng) const {
+  double r = rng.uniform_real(0.0, 1.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < amps_.size(); ++i) {
+    acc += std::norm(amps_[i]);
+    if (acc >= r) return i;
+  }
+  return amps_.size() - 1;
+}
+
+double state_fidelity(const StateVector& a, const StateVector& b) {
+  return std::norm(a.inner_product(b));
+}
+
+bool approx_equal_up_to_phase(const StateVector& a, const StateVector& b,
+                              double tol) {
+  if (a.dim() != b.dim()) return false;
+  return std::abs(state_fidelity(a, b) - 1.0) <= tol;
+}
+
+}  // namespace qfs::sim

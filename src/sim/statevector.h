@@ -1,0 +1,76 @@
+// Dense state-vector simulator.
+//
+// Scope: unitary-circuit simulation for correctness checking (mapping
+// equivalence, decomposition identities) on up to ~20 qubits. Measurement
+// sampling is supported via explicit probability queries; mid-circuit
+// collapse is intentionally out of scope for the compilation experiments.
+//
+// Bit convention: qubit q is bit q of the basis-state index (qubit 0 is the
+// least-significant bit). Gate matrices use operand 0 as the most
+// significant local bit (see circuit/matrix.h); apply_gate translates.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "circuit/matrix.h"
+#include "support/rng.h"
+
+namespace qfs::sim {
+
+using circuit::Complex;
+
+class StateVector {
+ public:
+  /// |0...0> on `num_qubits` qubits.
+  explicit StateVector(int num_qubits);
+
+  /// State from explicit amplitudes (size must be a power of two).
+  static StateVector from_amplitudes(std::vector<Complex> amplitudes);
+
+  /// Haar-ish random state (normal components, normalised).
+  static StateVector random(int num_qubits, qfs::Rng& rng);
+
+  int num_qubits() const { return num_qubits_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  const Complex& amplitude(std::size_t basis) const { return amps_[basis]; }
+  const std::vector<Complex>& amplitudes() const { return amps_; }
+
+  /// Apply one unitary gate (contract violation for measure/reset; barriers
+  /// are no-ops).
+  void apply_gate(const circuit::Gate& g);
+
+  /// Apply every unitary gate of a circuit in order (barriers skipped).
+  /// Circuits containing measure/reset are a contract violation.
+  void apply_circuit(const circuit::Circuit& circuit);
+
+  /// Probability of measuring basis state `basis`.
+  double probability(std::size_t basis) const;
+
+  /// Marginal probability of qubit q being |1>.
+  double marginal_one_probability(int q) const;
+
+  /// <this|other>.
+  Complex inner_product(const StateVector& other) const;
+
+  double norm() const;
+  void normalize();
+
+  /// Sample a basis state index from the measurement distribution.
+  std::size_t sample(qfs::Rng& rng) const;
+
+ private:
+  int num_qubits_ = 0;
+  std::vector<Complex> amps_;
+};
+
+/// |<a|b>|^2 — state fidelity between pure states.
+double state_fidelity(const StateVector& a, const StateVector& b);
+
+/// True when a == e^{i phi} b for some phase.
+bool approx_equal_up_to_phase(const StateVector& a, const StateVector& b,
+                              double tol = 1e-9);
+
+}  // namespace qfs::sim

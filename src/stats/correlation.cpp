@@ -1,0 +1,93 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "stats/descriptive.h"
+#include "support/assert.h"
+
+namespace qfs::stats {
+
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+namespace {
+std::vector<double> fractional_ranks(const std::vector<double>& xs) {
+  std::vector<std::size_t> idx(xs.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(),
+            [&xs](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(xs.size(), 0.0);
+  std::size_t i = 0;
+  while (i < idx.size()) {
+    std::size_t j = i;
+    while (j + 1 < idx.size() && xs[idx[j + 1]] == xs[idx[i]]) ++j;
+    // Average rank for ties (1-based ranks).
+    double r = 0.5 * (static_cast<double>(i) + static_cast<double>(j)) + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[idx[k]] = r;
+    i = j + 1;
+  }
+  return ranks;
+}
+}  // namespace
+
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys) {
+  if (xs.size() != ys.size() || xs.empty()) return 0.0;
+  return pearson(fractional_ranks(xs), fractional_ranks(ys));
+}
+
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<Feature>& features) {
+  const std::size_t k = features.size();
+  std::vector<std::vector<double>> m(k, std::vector<double>(k, 0.0));
+  for (std::size_t i = 0; i < k; ++i) {
+    m[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      QFS_ASSERT_MSG(features[i].values.size() == features[j].values.size(),
+                     "feature columns of unequal length");
+      double r = pearson(features[i].values, features[j].values);
+      m[i][j] = r;
+      m[j][i] = r;
+    }
+  }
+  return m;
+}
+
+ReductionResult reduce_features(const std::vector<Feature>& features,
+                                double threshold) {
+  QFS_ASSERT_MSG(threshold > 0.0 && threshold <= 1.0, "bad threshold");
+  ReductionResult result;
+  auto m = correlation_matrix(features);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    int redundant = -1;
+    for (int kept : result.kept) {
+      if (std::abs(m[i][static_cast<std::size_t>(kept)]) >= threshold) {
+        redundant = kept;
+        break;
+      }
+    }
+    if (redundant == -1) {
+      result.kept.push_back(static_cast<int>(i));
+    } else {
+      result.dropped.push_back(static_cast<int>(i));
+      result.redundant_with.push_back(redundant);
+    }
+  }
+  return result;
+}
+
+}  // namespace qfs::stats

@@ -1,0 +1,42 @@
+// Correlation analysis: Pearson / Spearman coefficients, correlation
+// matrices over feature tables, and the greedy |rho|-threshold feature
+// reduction the paper applies to its interaction-graph metric set (Sec. IV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qfs::stats {
+
+/// Pearson correlation coefficient; 0 when either series is constant or
+/// sizes mismatch/empty (callers treat that as "no linear relation").
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// Spearman rank correlation (Pearson on fractional ranks).
+double spearman(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/// A named feature column: `values[i]` belongs to sample i.
+struct Feature {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Symmetric Pearson matrix over feature columns; diagonal is 1.
+std::vector<std::vector<double>> correlation_matrix(
+    const std::vector<Feature>& features);
+
+struct ReductionResult {
+  std::vector<int> kept;     ///< indices into the input feature vector
+  std::vector<int> dropped;  ///< indices dropped as redundant
+  /// dropped[i] was removed because of |rho| >= threshold with kept feature
+  /// redundant_with[i].
+  std::vector<int> redundant_with;
+};
+
+/// Greedy forward selection in the given priority order: a feature is kept
+/// unless it correlates (|rho| >= threshold) with an already-kept one.
+/// This mirrors the paper's reduction of the hand-picked metric set.
+ReductionResult reduce_features(const std::vector<Feature>& features,
+                                double threshold);
+
+}  // namespace qfs::stats

@@ -1,0 +1,87 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/assert.h"
+
+namespace qfs::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_value(const std::vector<double>& xs) {
+  QFS_ASSERT_MSG(!xs.empty(), "min of empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(const std::vector<double>& xs) {
+  QFS_ASSERT_MSG(!xs.empty(), "max of empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  QFS_ASSERT_MSG(0.0 <= q && q <= 1.0, "quantile out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  double pos = q * static_cast<double>(xs.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
+                                     qfs::Rng& rng, int resamples,
+                                     double alpha) {
+  QFS_ASSERT_MSG(resamples >= 1, "need at least one resample");
+  QFS_ASSERT_MSG(0.0 < alpha && alpha < 1.0, "alpha out of (0,1)");
+  ConfidenceInterval ci;
+  if (xs.empty()) return ci;
+  ci.point = mean(xs);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sum += xs[rng.uniform_index(xs.size())];
+    }
+    means.push_back(sum / static_cast<double>(xs.size()));
+  }
+  ci.lower = quantile(means, alpha / 2.0);
+  ci.upper = quantile(std::move(means), 1.0 - alpha / 2.0);
+  return ci;
+}
+
+std::vector<double> standardize(const std::vector<double>& xs) {
+  double m = mean(xs);
+  double s = stddev(xs);
+  std::vector<double> out(xs.size(), 0.0);
+  if (s == 0.0) return out;
+  for (std::size_t i = 0; i < xs.size(); ++i) out[i] = (xs[i] - m) / s;
+  return out;
+}
+
+}  // namespace qfs::stats

@@ -1,0 +1,46 @@
+// Descriptive statistics over samples.
+#pragma once
+
+#include <vector>
+
+namespace qfs::stats {
+
+double mean(const std::vector<double>& xs);
+
+/// Population variance (divide by N). 0 for empty input.
+double variance(const std::vector<double>& xs);
+
+double stddev(const std::vector<double>& xs);
+
+double min_value(const std::vector<double>& xs);
+double max_value(const std::vector<double>& xs);
+
+/// Median (average of middle two for even N). 0 for empty input.
+double median(std::vector<double> xs);
+
+/// Linear-interpolated quantile, q in [0, 1]. 0 for empty input.
+double quantile(std::vector<double> xs, double q);
+
+/// z-score standardisation; constant series map to all zeros.
+std::vector<double> standardize(const std::vector<double>& xs);
+
+}  // namespace qfs::stats
+
+#include "support/rng.h"
+
+namespace qfs::stats {
+
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double point = 0.0;  ///< the sample mean
+};
+
+/// Percentile-bootstrap confidence interval for the mean: resample with
+/// replacement `resamples` times, take the (alpha/2, 1-alpha/2) quantiles
+/// of the resampled means. Empty input returns a zero interval.
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
+                                     qfs::Rng& rng, int resamples = 2000,
+                                     double alpha = 0.05);
+
+}  // namespace qfs::stats

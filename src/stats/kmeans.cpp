@@ -1,0 +1,119 @@
+#include "stats/kmeans.h"
+
+#include <limits>
+
+#include "support/assert.h"
+
+namespace qfs::stats {
+
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  QFS_ASSERT_MSG(a.size() == b.size(), "dimension mismatch");
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+namespace {
+
+std::vector<std::vector<double>> kmeanspp_seed(
+    const std::vector<std::vector<double>>& samples, int k, qfs::Rng& rng) {
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(samples[rng.uniform_index(samples.size())]);
+  std::vector<double> d2(samples.size());
+  while (static_cast<int>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : centroids) {
+        best = std::min(best, squared_distance(samples[i], c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total == 0.0) {
+      // All remaining samples coincide with a centroid; duplicate one.
+      centroids.push_back(samples[rng.uniform_index(samples.size())]);
+      continue;
+    }
+    double r = rng.uniform_real(0.0, total);
+    std::size_t chosen = samples.size() - 1;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      acc += d2[i];
+      if (acc >= r) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(samples[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const std::vector<std::vector<double>>& samples, int k,
+                    qfs::Rng& rng, int max_iterations) {
+  QFS_ASSERT_MSG(!samples.empty(), "kmeans on empty sample set");
+  QFS_ASSERT_MSG(1 <= k && k <= static_cast<int>(samples.size()),
+                 "k out of range");
+  const std::size_t dim = samples[0].size();
+  for (const auto& s : samples) {
+    QFS_ASSERT_MSG(s.size() == dim, "ragged sample matrix");
+  }
+
+  KMeansResult result;
+  result.centroids = kmeanspp_seed(samples, k, rng);
+  result.assignment.assign(samples.size(), -1);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      int best = 0;
+      double best_d = squared_distance(samples[i], result.centroids[0]);
+      for (int c = 1; c < k; ++c) {
+        double d = squared_distance(samples[i],
+                                    result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+
+    std::vector<std::vector<double>> sums(
+        static_cast<std::size_t>(k), std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<std::size_t>(k), 0);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      auto c = static_cast<std::size_t>(result.assignment[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += samples[i][d];
+    }
+    for (std::size_t c = 0; c < static_cast<std::size_t>(k); ++c) {
+      if (counts[c] == 0) continue;  // keep the old centroid for empty clusters
+      for (std::size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / counts[c];
+      }
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    result.inertia += squared_distance(
+        samples[i],
+        result.centroids[static_cast<std::size_t>(result.assignment[i])]);
+  }
+  return result;
+}
+
+}  // namespace qfs::stats

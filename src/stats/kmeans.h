@@ -1,0 +1,28 @@
+// k-means clustering, used to group quantum algorithms by their
+// interaction-graph feature vectors (Sec. IV: "algorithms can be clustered
+// based on their similarities").
+#pragma once
+
+#include <vector>
+
+#include "support/rng.h"
+
+namespace qfs::stats {
+
+struct KMeansResult {
+  std::vector<int> assignment;                 ///< cluster id per sample
+  std::vector<std::vector<double>> centroids;  ///< k x dim
+  double inertia = 0.0;                        ///< sum of squared distances
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Samples are row vectors of
+/// equal dimension. k must satisfy 1 <= k <= samples.size().
+KMeansResult kmeans(const std::vector<std::vector<double>>& samples, int k,
+                    qfs::Rng& rng, int max_iterations = 100);
+
+/// Squared Euclidean distance between equal-length vectors.
+double squared_distance(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace qfs::stats

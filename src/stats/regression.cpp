@@ -1,0 +1,40 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace qfs::stats {
+
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  LinearFit fit;
+  if (xs.size() != ys.size() || xs.size() < 2) return fit;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+LinearFit exponential_fit(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  std::vector<double> fx, fy;
+  for (std::size_t i = 0; i < xs.size() && i < ys.size(); ++i) {
+    if (ys[i] > 0.0) {
+      fx.push_back(xs[i]);
+      fy.push_back(std::log(ys[i]));
+    }
+  }
+  return linear_fit(fx, fy);
+}
+
+}  // namespace qfs::stats

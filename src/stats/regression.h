@@ -1,0 +1,24 @@
+// Simple regressions used to extract figure trend lines (e.g. the
+// exponential fidelity-vs-gate-count decay of Fig. 3a).
+#pragma once
+
+#include <vector>
+
+namespace qfs::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+
+/// Ordinary least squares y = slope*x + intercept.
+LinearFit linear_fit(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+/// Fit y = a * exp(b*x) by OLS on log(y); requires all y > 0 (pairs with
+/// y <= 0 are skipped). Returns slope=b, intercept=log(a).
+LinearFit exponential_fit(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+}  // namespace qfs::stats

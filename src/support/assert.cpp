@@ -1,0 +1,15 @@
+#include "support/assert.h"
+
+#include <sstream>
+
+namespace qfs::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "assertion failed: (" << expr << ") at " << file << ":" << line;
+  if (!message.empty()) os << " — " << message;
+  throw AssertionError(os.str());
+}
+
+}  // namespace qfs::detail

@@ -1,0 +1,38 @@
+// Contract checking for qfs.
+//
+// QFS_ASSERT is used for programming-contract violations (preconditions,
+// invariants). It throws qfs::AssertionError so that unit tests can observe
+// violated contracts without aborting the process, and so that library users
+// get a catchable, message-bearing failure instead of UB.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace qfs {
+
+/// Thrown when a QFS_ASSERT contract check fails.
+class AssertionError : public std::logic_error {
+ public:
+  explicit AssertionError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+}  // namespace detail
+
+}  // namespace qfs
+
+/// Check `cond`; on failure throw qfs::AssertionError with location info.
+#define QFS_ASSERT(cond)                                                \
+  do {                                                                  \
+    if (!(cond)) ::qfs::detail::assert_fail(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Like QFS_ASSERT but with an extra human-readable message.
+#define QFS_ASSERT_MSG(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::qfs::detail::assert_fail(#cond, __FILE__, __LINE__, (msg));     \
+  } while (0)

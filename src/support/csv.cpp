@@ -1,0 +1,40 @@
+#include "support/csv.h"
+
+#include "support/assert.h"
+
+namespace qfs {
+
+std::string csv_escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) os << ',';
+    os << csv_escape(fields[i]);
+  }
+  os << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  QFS_ASSERT_MSG(!header_written_, "CSV header written twice");
+  columns_ = names.size();
+  header_written_ = true;
+  write_csv_row(os_, names);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  QFS_ASSERT_MSG(header_written_, "CSV row before header");
+  QFS_ASSERT_MSG(fields.size() == columns_, "CSV row width mismatch");
+  write_csv_row(os_, fields);
+}
+
+}  // namespace qfs

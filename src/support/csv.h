@@ -1,0 +1,30 @@
+// Minimal CSV emission used by benches to dump figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace qfs {
+
+/// Escape one CSV field (quotes fields containing comma/quote/newline).
+std::string csv_escape(const std::string& field);
+
+/// Write one CSV row terminated by '\n'.
+void write_csv_row(std::ostream& os, const std::vector<std::string>& fields);
+
+/// Accumulates rows and streams them out; header written on first row.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void header(const std::vector<std::string>& names);
+  void row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_ = 0;
+  bool header_written_ = false;
+};
+
+}  // namespace qfs

@@ -1,0 +1,175 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/assert.h"
+
+namespace qfs {
+
+JsonValue JsonValue::null() { return JsonValue(); }
+
+JsonValue JsonValue::boolean(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::integer(long long value) {
+  JsonValue v;
+  v.kind_ = Kind::kInteger;
+  v.integer_ = value;
+  return v;
+}
+
+JsonValue JsonValue::string(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::push_back(JsonValue value) {
+  QFS_ASSERT_MSG(kind_ == Kind::kArray, "push_back on non-array JSON value");
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+JsonValue& JsonValue::set(const std::string& key, JsonValue value) {
+  QFS_ASSERT_MSG(kind_ == Kind::kObject, "set on non-object JSON value");
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonValue::render(std::string& out, int indent, int depth) const {
+  auto newline = [&out, indent, depth](int extra) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * (depth + extra)), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      return;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::kInteger: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld", integer_);
+      out += buf;
+      return;
+    }
+    case Kind::kNumber: {
+      QFS_ASSERT_MSG(std::isfinite(number_), "JSON cannot encode NaN/Inf");
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.12g", number_);
+      out += buf;
+      return;
+    }
+    case Kind::kString:
+      out += '"';
+      out += json_escape(string_);
+      out += '"';
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline(1);
+        items_[i].render(out, indent, depth + 1);
+      }
+      newline(0);
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : members_) {
+        if (!first) out += ',';
+        first = false;
+        newline(1);
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        v.render(out, indent, depth + 1);
+      }
+      newline(0);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string JsonValue::to_string() const {
+  std::string out;
+  render(out, 0, 0);
+  return out;
+}
+
+std::string JsonValue::to_pretty_string(int indent) const {
+  std::string out;
+  render(out, indent, 0);
+  return out;
+}
+
+}  // namespace qfs

@@ -1,0 +1,56 @@
+// Minimal JSON document builder (output only) for machine-readable
+// compilation reports. Covers the JSON value kinds qfs emits; no parsing.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace qfs {
+
+class JsonValue {
+ public:
+  JsonValue() : kind_(Kind::kNull) {}
+
+  static JsonValue null();
+  static JsonValue boolean(bool value);
+  static JsonValue number(double value);
+  static JsonValue integer(long long value);
+  static JsonValue string(std::string value);
+  static JsonValue array();
+  static JsonValue object();
+
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Append to an array (contract violation on non-arrays).
+  JsonValue& push_back(JsonValue value);
+
+  /// Set an object member (contract violation on non-objects).
+  JsonValue& set(const std::string& key, JsonValue value);
+
+  /// Compact rendering ({"a":1,...}); keys in insertion order.
+  std::string to_string() const;
+
+  /// Indented rendering.
+  std::string to_pretty_string(int indent = 2) const;
+
+ private:
+  enum class Kind { kNull, kBool, kNumber, kInteger, kString, kArray, kObject };
+
+  void render(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  long long integer_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Escape a string for embedding in JSON (quotes not included).
+std::string json_escape(const std::string& s);
+
+}  // namespace qfs

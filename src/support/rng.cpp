@@ -1,0 +1,46 @@
+#include "support/rng.h"
+
+#include <numeric>
+
+namespace qfs {
+
+int Rng::uniform_int(int lo, int hi) {
+  QFS_ASSERT_MSG(lo <= hi, "uniform_int: lo > hi");
+  return std::uniform_int_distribution<int>(lo, hi)(engine_);
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  QFS_ASSERT_MSG(n > 0, "uniform_index: n == 0");
+  return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+std::vector<int> Rng::sample_without_replacement(int n, int k) {
+  QFS_ASSERT_MSG(0 <= k && k <= n, "sample_without_replacement: k out of range");
+  std::vector<int> all(static_cast<std::size_t>(n));
+  std::iota(all.begin(), all.end(), 0);
+  // Partial Fisher-Yates: fix the first k positions.
+  for (int i = 0; i < k; ++i) {
+    int j = uniform_int(i, n - 1);
+    std::swap(all[static_cast<std::size_t>(i)], all[static_cast<std::size_t>(j)]);
+  }
+  all.resize(static_cast<std::size_t>(k));
+  return all;
+}
+
+}  // namespace qfs

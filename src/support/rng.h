@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in qfs (workload generators, annealers, routing
+// tie-breaks) takes an explicit Rng so that all experiments are reproducible
+// from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/assert.h"
+
+namespace qfs {
+
+/// Seeded pseudo-random generator with the sampling helpers qfs needs.
+/// Wraps std::mt19937_64; copyable so a generator state can be forked.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int uniform_int(int lo, int hi);
+
+  /// Uniform 64-bit unsigned in [0, n). Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool bernoulli(double p);
+
+  /// Normal deviate with the given mean and standard deviation.
+  double normal(double mean, double stddev);
+
+  /// A fresh independent generator derived from this one (for sub-tasks).
+  Rng fork();
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_index(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    QFS_ASSERT_MSG(!items.empty(), "pick() from empty vector");
+    return items[static_cast<std::size_t>(uniform_index(items.size()))];
+  }
+
+  /// k distinct indices drawn uniformly from [0, n). Requires k <= n.
+  std::vector<int> sample_without_replacement(int n, int k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace qfs

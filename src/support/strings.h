@@ -1,0 +1,31 @@
+// Small string utilities shared across qfs (no std::format in GCC 12).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace qfs {
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string> split_whitespace(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+bool ends_with(std::string_view s, std::string_view suffix);
+
+std::string to_lower(std::string_view s);
+
+/// Fixed-precision decimal rendering of a double (printf %.*f).
+std::string format_double(double value, int precision);
+
+/// Parse helpers returning false on malformed input instead of throwing.
+bool parse_int(std::string_view s, int& out);
+bool parse_double(std::string_view s, double& out);
+
+}  // namespace qfs

@@ -1,0 +1,86 @@
+// Real quantum algorithm generators — the "real algorithms" family of the
+// benchmark suite (GHZ, QFT, Bernstein-Vazirani, Grover, ripple-carry
+// adder, QAOA-MaxCut, hardware-efficient VQE ansatz).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "graph/graph.h"
+#include "support/rng.h"
+
+namespace qfs::workloads {
+
+/// GHZ state preparation: H then a CX chain. n >= 1.
+circuit::Circuit ghz(int n);
+
+/// Quantum Fourier transform on n qubits (controlled-phase ladder).
+/// `with_final_swaps` appends the bit-reversal SWAP network.
+circuit::Circuit qft(int n, bool with_final_swaps = true);
+
+/// Bernstein-Vazirani for an n-bit secret (bit i of `secret` = qubit i).
+/// Uses n data qubits plus one ancilla (qubit n).
+circuit::Circuit bernstein_vazirani(int n, std::uint64_t secret);
+
+/// Grover search for one marked n-bit item, `iterations` rounds
+/// (0 = the floor(pi/4*sqrt(2^n)) optimum). Multi-controlled Z is built
+/// with a CCX ladder over max(0, n-2) ancilla qubits, so the circuit has
+/// n + max(0, n-2) qubits.
+circuit::Circuit grover(int n, std::uint64_t marked, int iterations = 0);
+
+/// Cuccaro ripple-carry adder: computes b += a on two n-bit registers.
+/// Register layout: carry-in (qubit 0), then a_i/b_i interleaved, then the
+/// carry-out qubit; 2n + 2 qubits total.
+circuit::Circuit cuccaro_adder(int n);
+
+/// QAOA for MaxCut on `problem`: p layers of ZZ(gamma) cost + Rx(beta)
+/// mixer after an initial Hadamard layer. Angles drawn from `rng`.
+circuit::Circuit qaoa_maxcut(const graph::Graph& problem, int layers,
+                             qfs::Rng& rng);
+
+/// Hardware-efficient VQE ansatz: `layers` of per-qubit Ry+Rz rotations and
+/// a linear CX entangler. Angles drawn from `rng`.
+circuit::Circuit vqe_ansatz(int n, int layers, qfs::Rng& rng);
+
+/// W-state preparation on n qubits (carrier-walk construction with
+/// controlled-Ry splitters decomposed into ry/cx).
+circuit::Circuit w_state(int n);
+
+/// Quantum phase estimation of the phase gate P(2*pi*phase) with
+/// `counting_qubits` precision qubits plus one eigenstate qubit (prepared
+/// in |1>). Ends with the inverse QFT on the counting register and
+/// measurements.
+circuit::Circuit phase_estimation(int counting_qubits, double phase);
+
+/// Deutsch-Jozsa on an n-bit input register (+1 ancilla). `balanced_mask`
+/// == 0 gives a constant oracle; otherwise f(x) = parity(x & mask).
+circuit::Circuit deutsch_jozsa(int n, std::uint64_t balanced_mask);
+
+/// First-order Trotterised transverse-field Ising evolution on a chain:
+/// `steps` repetitions of exp(-i J dt ZZ) links + exp(-i h dt X) fields.
+circuit::Circuit ising_trotter(int n, int steps, double j_coupling,
+                               double h_field, double dt);
+
+/// Quantum-volume style model circuit: `depth` layers of a random qubit
+/// permutation followed by random two-qubit blocks (u3/cx sandwiches) on
+/// adjacent pairs.
+circuit::Circuit quantum_volume(int n, int depth, qfs::Rng& rng);
+
+/// Cut value of a bitstring assignment for a MaxCut problem graph: the
+/// total weight of edges whose endpoints fall on opposite sides. Bit i of
+/// `assignment` is vertex i's side.
+double maxcut_value(const graph::Graph& problem, std::uint64_t assignment);
+
+/// Largest cut over all 2^n assignments (exact, n <= 24 by contract);
+/// the denominator of QAOA approximation ratios.
+double maxcut_optimum(const graph::Graph& problem);
+
+/// `rounds` rounds of repetition-code syndrome extraction on `n_data` data
+/// qubits: ancilla i (between data i and i+1) accumulates the ZZ parity of
+/// its neighbours via two CX and is measured. Qubit layout: data 0..n-1,
+/// ancillas n..2n-2. Clifford, so verifiable at scale with the stabilizer
+/// simulator; the canonical NISQ error-detection workload.
+circuit::Circuit repetition_code_cycle(int n_data, int rounds = 1);
+
+}  // namespace qfs::workloads

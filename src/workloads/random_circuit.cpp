@@ -1,0 +1,56 @@
+#include "workloads/random_circuit.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace qfs::workloads {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+Circuit random_circuit(const RandomCircuitSpec& spec, qfs::Rng& rng) {
+  QFS_ASSERT_MSG(spec.num_qubits >= 1, "need at least one qubit");
+  QFS_ASSERT_MSG(spec.num_gates >= 0, "negative gate count");
+  QFS_ASSERT_MSG(0.0 <= spec.two_qubit_fraction && spec.two_qubit_fraction <= 1.0,
+                 "two-qubit fraction out of [0,1]");
+  int two_qubit_gates =
+      static_cast<int>(std::lround(spec.two_qubit_fraction * spec.num_gates));
+  QFS_ASSERT_MSG(spec.num_qubits >= 2 || two_qubit_gates == 0,
+                 "two-qubit gates need at least two qubits");
+
+  std::ostringstream name;
+  name << "random_q" << spec.num_qubits << "_g" << spec.num_gates;
+  Circuit c(spec.num_qubits, name.str());
+
+  // Choose which gate slots are two-qubit.
+  std::vector<bool> is_two(static_cast<std::size_t>(spec.num_gates), false);
+  auto chosen = rng.sample_without_replacement(spec.num_gates, two_qubit_gates);
+  for (int idx : chosen) is_two[static_cast<std::size_t>(idx)] = true;
+
+  static const GateKind one_q_pool[] = {
+      GateKind::kX,  GateKind::kY,  GateKind::kZ, GateKind::kH,
+      GateKind::kS,  GateKind::kT,  GateKind::kRx, GateKind::kRy,
+      GateKind::kRz};
+  static const GateKind two_q_pool[] = {GateKind::kCx, GateKind::kCz};
+
+  for (int i = 0; i < spec.num_gates; ++i) {
+    if (is_two[static_cast<std::size_t>(i)]) {
+      int a = rng.uniform_int(0, spec.num_qubits - 1);
+      int b = rng.uniform_int(0, spec.num_qubits - 2);
+      if (b >= a) ++b;
+      GateKind kind = two_q_pool[rng.uniform_int(0, 1)];
+      c.add(kind, {a, b});
+    } else {
+      GateKind kind = one_q_pool[rng.uniform_int(0, 8)];
+      int q = rng.uniform_int(0, spec.num_qubits - 1);
+      if (circuit::gate_param_count(kind) == 1) {
+        c.add(kind, {q}, {rng.uniform_real(-M_PI, M_PI)});
+      } else {
+        c.add(kind, {q});
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace qfs::workloads

@@ -1,0 +1,25 @@
+// Random (synthetic) circuit generation — the "randomly generated circuits"
+// family of the paper's benchmark suite. Size parameters are controlled
+// exactly so random circuits can be pinned to the same (qubits, gates,
+// two-qubit %) triple as a real algorithm (Fig. 4).
+#pragma once
+
+#include "circuit/circuit.h"
+#include "support/rng.h"
+
+namespace qfs::workloads {
+
+struct RandomCircuitSpec {
+  int num_qubits = 4;
+  int num_gates = 100;
+  /// Exact fraction of two-qubit gates (rounded to a whole gate count).
+  double two_qubit_fraction = 0.3;
+};
+
+/// Uniformly random circuit: two-qubit gates (cx/cz) on uniform random
+/// pairs, single-qubit gates from {x,y,z,h,s,t,rx,ry,rz} with random
+/// angles. The exact requested number of two-qubit gates is placed at
+/// random positions.
+circuit::Circuit random_circuit(const RandomCircuitSpec& spec, qfs::Rng& rng);
+
+}  // namespace qfs::workloads

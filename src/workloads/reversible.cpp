@@ -1,0 +1,56 @@
+#include "workloads/reversible.h"
+
+#include <sstream>
+
+namespace qfs::workloads {
+
+using circuit::Circuit;
+
+Circuit random_reversible(const ReversibleSpec& spec, qfs::Rng& rng) {
+  QFS_ASSERT_MSG(spec.num_qubits >= 3, "reversible circuits need >= 3 qubits");
+  std::ostringstream name;
+  name << "rev_q" << spec.num_qubits << "_g" << spec.num_gates;
+  Circuit c(spec.num_qubits, name.str());
+  for (int i = 0; i < spec.num_gates; ++i) {
+    int pick = rng.uniform_int(0, 4);  // 1:2:2 weights for x:cx:ccx
+    if (pick == 0) {
+      c.x(rng.uniform_int(0, spec.num_qubits - 1));
+    } else if (pick <= 2) {
+      auto qs = rng.sample_without_replacement(spec.num_qubits, 2);
+      c.cx(qs[0], qs[1]);
+    } else {
+      auto qs = rng.sample_without_replacement(spec.num_qubits, 3);
+      c.ccx(qs[0], qs[1], qs[2]);
+    }
+  }
+  return c;
+}
+
+Circuit reversible_majority_chain(int n) {
+  QFS_ASSERT_MSG(n >= 3, "majority chain needs >= 3 qubits");
+  std::ostringstream name;
+  name << "maj_q" << n;
+  Circuit c(n, name.str());
+  for (int i = 0; i + 2 < n; ++i) {
+    c.cx(i + 2, i + 1);
+    c.cx(i + 2, i);
+    c.ccx(i, i + 1, i + 2);
+  }
+  return c;
+}
+
+Circuit reversible_bit_reversal(int n) {
+  QFS_ASSERT_MSG(n >= 2, "bit reversal needs >= 2 qubits");
+  std::ostringstream name;
+  name << "bitrev_q" << n;
+  Circuit c(n, name.str());
+  for (int i = 0; i < n / 2; ++i) {
+    int j = n - 1 - i;
+    c.cx(i, j);
+    c.cx(j, i);
+    c.cx(i, j);
+  }
+  return c;
+}
+
+}  // namespace qfs::workloads

@@ -1,0 +1,26 @@
+// Reversible-logic circuits (the RevLib-style family of the benchmark
+// suite): Toffoli/CNOT/NOT networks and a few named reversible functions.
+#pragma once
+
+#include "circuit/circuit.h"
+#include "support/rng.h"
+
+namespace qfs::workloads {
+
+struct ReversibleSpec {
+  int num_qubits = 6;
+  int num_gates = 200;
+  /// Mix of {x, cx, ccx} drawn with weights (1 : 2 : 2), matching the
+  /// Toffoli-heavy profile of RevLib netlists.
+};
+
+/// Random reversible (Toffoli-network) circuit.
+circuit::Circuit random_reversible(const ReversibleSpec& spec, qfs::Rng& rng);
+
+/// n-bit reversible full comparator-style majority chain (named function).
+circuit::Circuit reversible_majority_chain(int n);
+
+/// Bit-reversal permutation implemented with CX swaps (named function).
+circuit::Circuit reversible_bit_reversal(int n);
+
+}  // namespace qfs::workloads

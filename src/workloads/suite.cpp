@@ -1,0 +1,168 @@
+#include "workloads/suite.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+#include "workloads/reversible.h"
+
+namespace qfs::workloads {
+
+const char* family_name(Family family) {
+  switch (family) {
+    case Family::kRandom: return "random";
+    case Family::kReal: return "real";
+    case Family::kReversible: return "reversible";
+  }
+  return "?";
+}
+
+namespace {
+
+int log_uniform(int lo, int hi, qfs::Rng& rng) {
+  QFS_ASSERT_MSG(1 <= lo && lo <= hi, "bad log-uniform range");
+  double v = rng.uniform_real(std::log(static_cast<double>(lo)),
+                              std::log(static_cast<double>(hi) + 1.0));
+  int out = static_cast<int>(std::exp(v));
+  return std::clamp(out, lo, hi);
+}
+
+Benchmark make_random_benchmark(const SuiteOptions& o, qfs::Rng& rng) {
+  RandomCircuitSpec spec;
+  spec.num_qubits = rng.uniform_int(std::max(2, o.min_qubits), o.max_qubits);
+  spec.num_gates = log_uniform(o.min_gates, o.max_gates, rng);
+  spec.two_qubit_fraction =
+      rng.uniform_real(o.min_two_qubit_fraction, o.max_two_qubit_fraction);
+  circuit::Circuit c = random_circuit(spec, rng);
+  return Benchmark{c.name(), Family::kRandom, std::move(c)};
+}
+
+Benchmark make_real_benchmark(const SuiteOptions& o, int index, qfs::Rng& rng) {
+  // Cycle through the algorithm families so the suite stays diverse even
+  // for small counts.
+  const int family = index % 13;
+  const int max_q = o.max_qubits;
+  circuit::Circuit c;
+  switch (family) {
+    case 12: {
+      int n_data = rng.uniform_int(2, std::max(2, (max_q + 1) / 2));
+      c = repetition_code_cycle(n_data, rng.uniform_int(1, 3));
+      break;
+    }
+    case 7:
+      c = w_state(rng.uniform_int(std::max(3, o.min_qubits), max_q));
+      break;
+    case 8:
+      c = phase_estimation(rng.uniform_int(3, std::min(16, max_q - 1)),
+                           rng.uniform_real(0.0, 1.0));
+      break;
+    case 9: {
+      int n = rng.uniform_int(std::max(3, o.min_qubits),
+                              std::min(48, max_q - 1));
+      std::uint64_t mask = 0;
+      for (int b = 0; b < n; ++b) {
+        if (rng.bernoulli(0.5)) mask |= std::uint64_t{1} << b;
+      }
+      c = deutsch_jozsa(n, mask);
+      break;
+    }
+    case 10:
+      c = ising_trotter(rng.uniform_int(std::max(3, o.min_qubits), max_q),
+                        rng.uniform_int(1, 8), 1.0, 0.7, 0.1);
+      break;
+    case 11:
+      c = quantum_volume(rng.uniform_int(std::max(4, o.min_qubits),
+                                         std::min(30, max_q)),
+                         rng.uniform_int(2, 8), rng);
+      break;
+    case 0:
+      c = ghz(rng.uniform_int(std::max(3, o.min_qubits), max_q));
+      break;
+    case 1:
+      c = qft(rng.uniform_int(std::max(3, o.min_qubits), std::min(24, max_q)));
+      break;
+    case 2: {
+      int n = rng.uniform_int(std::max(3, o.min_qubits),
+                              std::min(48, max_q - 1));
+      std::uint64_t secret = 0;
+      for (int b = 0; b < n; ++b) {
+        if (rng.bernoulli(0.5)) secret |= std::uint64_t{1} << b;
+      }
+      c = bernstein_vazirani(n, secret);
+      break;
+    }
+    case 3: {
+      int n = rng.uniform_int(3, 8);
+      std::uint64_t marked =
+          rng.uniform_index(std::uint64_t{1} << n);
+      c = grover(n, marked, rng.uniform_int(1, 3));
+      break;
+    }
+    case 4: {
+      int bits = rng.uniform_int(2, std::min(22, (max_q - 2) / 2));
+      c = cuccaro_adder(bits);
+      break;
+    }
+    case 5: {
+      int n = rng.uniform_int(std::max(4, o.min_qubits), std::min(40, max_q));
+      qfs::Rng g = rng.fork();
+      graph::Graph problem = graph::random_connected_graph(n, 0.15, g);
+      c = qaoa_maxcut(problem, rng.uniform_int(1, 4), rng);
+      break;
+    }
+    default: {
+      int n = rng.uniform_int(std::max(4, o.min_qubits), std::min(30, max_q));
+      c = vqe_ansatz(n, rng.uniform_int(1, 6), rng);
+      break;
+    }
+  }
+  return Benchmark{c.name(), Family::kReal, std::move(c)};
+}
+
+Benchmark make_reversible_benchmark(const SuiteOptions& o, int index,
+                                    qfs::Rng& rng) {
+  // Every fourth instance is a named reversible function; the rest are
+  // random Toffoli networks.
+  if (index % 4 == 3) {
+    int n = rng.uniform_int(std::max(3, o.min_qubits), o.max_qubits);
+    circuit::Circuit c = (index % 8 == 3) ? reversible_majority_chain(n)
+                                          : reversible_bit_reversal(n);
+    return Benchmark{c.name(), Family::kReversible, std::move(c)};
+  }
+  ReversibleSpec spec;
+  spec.num_qubits = rng.uniform_int(std::max(3, o.min_qubits), o.max_qubits);
+  spec.num_gates = log_uniform(o.min_gates, o.max_gates, rng);
+  circuit::Circuit c = random_reversible(spec, rng);
+  return Benchmark{c.name(), Family::kReversible, std::move(c)};
+}
+
+}  // namespace
+
+std::vector<Benchmark> make_suite(const SuiteOptions& options, qfs::Rng& rng) {
+  std::vector<Benchmark> suite;
+  suite.reserve(static_cast<std::size_t>(
+      options.random_count + options.real_count + options.reversible_count));
+  for (int i = 0; i < options.random_count; ++i) {
+    suite.push_back(make_random_benchmark(options, rng));
+  }
+  for (int i = 0; i < options.real_count; ++i) {
+    suite.push_back(make_real_benchmark(options, i, rng));
+  }
+  for (int i = 0; i < options.reversible_count; ++i) {
+    suite.push_back(make_reversible_benchmark(options, i, rng));
+  }
+  // Disambiguate duplicate names with an index suffix.
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    suite[i].name += "_#" + std::to_string(i);
+    suite[i].circuit.set_name(suite[i].name);
+  }
+  return suite;
+}
+
+std::vector<Benchmark> paper_suite(qfs::Rng& rng) {
+  return make_suite(SuiteOptions{}, rng);
+}
+
+}  // namespace qfs::workloads

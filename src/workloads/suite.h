@@ -1,0 +1,46 @@
+// The qbench-like benchmark suite: a seeded, offline stand-in for the
+// paper's benchmark set [34] covering the same three families (random,
+// real algorithms, reversible) and the same size ranges (the paper quotes
+// 1-54 qubits, 5-100000 gates, 10-90 % two-qubit gates).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "support/rng.h"
+
+namespace qfs::workloads {
+
+enum class Family { kRandom, kReal, kReversible };
+
+const char* family_name(Family family);
+
+struct Benchmark {
+  std::string name;
+  Family family = Family::kRandom;
+  circuit::Circuit circuit;
+};
+
+struct SuiteOptions {
+  int random_count = 80;
+  int real_count = 80;
+  int reversible_count = 40;
+  int min_qubits = 2;
+  int max_qubits = 54;
+  int min_gates = 5;
+  /// Gate counts are drawn log-uniformly in [min_gates, max_gates].
+  int max_gates = 20000;
+  double min_two_qubit_fraction = 0.10;
+  double max_two_qubit_fraction = 0.90;
+};
+
+/// Deterministic suite for a given rng seed. Real-algorithm instances cycle
+/// through {ghz, qft, bv, grover, adder, qaoa, vqe, reversible named
+/// functions} with sizes drawn from the configured ranges.
+std::vector<Benchmark> make_suite(const SuiteOptions& options, qfs::Rng& rng);
+
+/// The default 200-circuit suite of the paper's Sec. IV experiments.
+std::vector<Benchmark> paper_suite(qfs::Rng& rng);
+
+}  // namespace qfs::workloads

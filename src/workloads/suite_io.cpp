@@ -1,0 +1,114 @@
+#include "workloads/suite_io.h"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+#include "support/csv.h"
+#include "support/strings.h"
+
+namespace qfs::workloads {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// File-system-safe version of a benchmark name.
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_') {
+      out += c;
+    } else {
+      out += '_';
+    }
+  }
+  return out.empty() ? "circuit" : out;
+}
+
+qfs::StatusOr<Family> family_from_name(const std::string& name) {
+  if (name == "random") return Family::kRandom;
+  if (name == "real") return Family::kReal;
+  if (name == "reversible") return Family::kReversible;
+  return qfs::parse_error("unknown family '" + name + "' in manifest");
+}
+
+}  // namespace
+
+qfs::Status write_suite_to_directory(const std::vector<Benchmark>& suite,
+                                     const std::string& directory) {
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return qfs::io_error("cannot create directory '" + directory +
+                         "': " + ec.message());
+  }
+  std::ofstream manifest(fs::path(directory) / "manifest.csv");
+  if (!manifest) return qfs::io_error("cannot write manifest in " + directory);
+  qfs::CsvWriter csv(manifest);
+  csv.header({"name", "family", "qubits", "gates", "file"});
+  for (const auto& b : suite) {
+    std::string filename = sanitize(b.name) + ".qasm";
+    std::ofstream out(fs::path(directory) / filename);
+    if (!out) return qfs::io_error("cannot write " + filename);
+    out << qasm::to_qasm(b.circuit);
+    csv.row({b.name, family_name(b.family),
+             std::to_string(b.circuit.num_qubits()),
+             std::to_string(b.circuit.gate_count()), filename});
+  }
+  return qfs::Status::ok();
+}
+
+qfs::StatusOr<circuit::Circuit> load_circuit_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return qfs::io_error("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = qasm::parse(buffer.str());
+  if (!parsed.is_ok()) return parsed.status();
+  circuit::Circuit c = std::move(parsed).value();
+  c.set_name(fs::path(path).stem().string());
+  return c;
+}
+
+qfs::StatusOr<std::vector<Benchmark>> load_suite_from_directory(
+    const std::string& directory) {
+  std::ifstream manifest(fs::path(directory) / "manifest.csv");
+  if (!manifest) {
+    return qfs::io_error("cannot open manifest in '" + directory + "'");
+  }
+  std::vector<Benchmark> suite;
+  std::string line;
+  bool header = true;
+  int line_no = 0;
+  while (std::getline(manifest, line)) {
+    ++line_no;
+    if (header) {
+      header = false;
+      continue;
+    }
+    if (qfs::trim(line).empty()) continue;
+    auto fields = qfs::split(line, ',');
+    if (fields.size() != 5) {
+      return qfs::parse_error("manifest line " + std::to_string(line_no) +
+                              ": expected 5 fields");
+    }
+    auto family = family_from_name(fields[1]);
+    if (!family.is_ok()) return family.status();
+    auto circuit =
+        load_circuit_file((fs::path(directory) / fields[4]).string());
+    if (!circuit.is_ok()) return circuit.status();
+    Benchmark b;
+    b.name = fields[0];
+    b.family = family.value();
+    b.circuit = std::move(circuit).value();
+    b.circuit.set_name(b.name);
+    suite.push_back(std::move(b));
+  }
+  return suite;
+}
+
+}  // namespace qfs::workloads

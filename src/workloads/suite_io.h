@@ -1,0 +1,26 @@
+// Suite persistence: materialise a generated benchmark suite as OpenQASM
+// files plus a manifest, and load circuits back — so experiments can be
+// re-run on the exact same inputs (or exchanged with other toolchains).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+#include "workloads/suite.h"
+
+namespace qfs::workloads {
+
+/// Write every benchmark as "<dir>/<name>.qasm" plus "<dir>/manifest.csv"
+/// (columns: name, family, qubits, gates, file). Creates the directory.
+qfs::Status write_suite_to_directory(const std::vector<Benchmark>& suite,
+                                     const std::string& directory);
+
+/// Load one OpenQASM file as a circuit.
+qfs::StatusOr<circuit::Circuit> load_circuit_file(const std::string& path);
+
+/// Load a previously written suite via its manifest.
+qfs::StatusOr<std::vector<Benchmark>> load_suite_from_directory(
+    const std::string& directory);
+
+}  // namespace qfs::workloads

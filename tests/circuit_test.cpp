@@ -1,0 +1,419 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "circuit/circuit.h"
+#include "circuit/dag.h"
+#include "circuit/draw.h"
+#include "circuit/gate.h"
+#include "support/strings.h"
+
+namespace qfs::circuit {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Gate model
+// ---------------------------------------------------------------------------
+
+TEST(Gate, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (int k = 0; k < kNumGateKinds; ++k) {
+    names.insert(gate_name(static_cast<GateKind>(k)));
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), kNumGateKinds);
+}
+
+TEST(Gate, ArityTable) {
+  EXPECT_EQ(gate_arity(GateKind::kH), 1);
+  EXPECT_EQ(gate_arity(GateKind::kCx), 2);
+  EXPECT_EQ(gate_arity(GateKind::kCcx), 3);
+  EXPECT_EQ(gate_arity(GateKind::kBarrier), 0);
+  EXPECT_EQ(gate_arity(GateKind::kMeasure), 1);
+}
+
+TEST(Gate, ParamCountTable) {
+  EXPECT_EQ(gate_param_count(GateKind::kRz), 1);
+  EXPECT_EQ(gate_param_count(GateKind::kU3), 3);
+  EXPECT_EQ(gate_param_count(GateKind::kCphase), 1);
+  EXPECT_EQ(gate_param_count(GateKind::kH), 0);
+}
+
+TEST(Gate, UnitaryClassification) {
+  EXPECT_TRUE(is_unitary(GateKind::kH));
+  EXPECT_TRUE(is_unitary(GateKind::kCz));
+  EXPECT_FALSE(is_unitary(GateKind::kMeasure));
+  EXPECT_FALSE(is_unitary(GateKind::kReset));
+  EXPECT_FALSE(is_unitary(GateKind::kBarrier));
+}
+
+TEST(Gate, TwoQubitClassification) {
+  EXPECT_TRUE(is_two_qubit(GateKind::kCx));
+  EXPECT_TRUE(is_two_qubit(GateKind::kSwap));
+  EXPECT_FALSE(is_two_qubit(GateKind::kH));
+  EXPECT_FALSE(is_two_qubit(GateKind::kCcx));
+  EXPECT_FALSE(is_two_qubit(GateKind::kBarrier));
+}
+
+TEST(Gate, MakeGateValidatesArity) {
+  EXPECT_THROW(make_gate(GateKind::kH, {0, 1}), AssertionError);
+  EXPECT_THROW(make_gate(GateKind::kCx, {0}), AssertionError);
+}
+
+TEST(Gate, MakeGateValidatesParams) {
+  EXPECT_THROW(make_gate(GateKind::kRz, {0}), AssertionError);
+  EXPECT_THROW(make_gate(GateKind::kH, {0}, {1.0}), AssertionError);
+}
+
+TEST(Gate, MakeGateRejectsRepeatedOperands) {
+  EXPECT_THROW(make_gate(GateKind::kCx, {1, 1}), AssertionError);
+  EXPECT_THROW(make_gate(GateKind::kCcx, {0, 1, 0}), AssertionError);
+}
+
+TEST(Gate, MakeGateRejectsNegativeQubit) {
+  EXPECT_THROW(make_gate(GateKind::kX, {-1}), AssertionError);
+}
+
+TEST(Gate, BarrierAcceptsAnyPositiveArity) {
+  EXPECT_NO_THROW(make_gate(GateKind::kBarrier, {0}));
+  EXPECT_NO_THROW(make_gate(GateKind::kBarrier, {0, 1, 2, 3}));
+  EXPECT_THROW(make_gate(GateKind::kBarrier, {}), AssertionError);
+}
+
+TEST(Gate, InverseOfSelfInverseKinds) {
+  for (GateKind kind : {GateKind::kX, GateKind::kY, GateKind::kZ, GateKind::kH,
+                        GateKind::kCx, GateKind::kCz, GateKind::kSwap,
+                        GateKind::kCcx}) {
+    Gate g = make_gate(kind, kind == GateKind::kCcx
+                                 ? std::vector<int>{0, 1, 2}
+                                 : (gate_arity(kind) == 2
+                                        ? std::vector<int>{0, 1}
+                                        : std::vector<int>{0}));
+    EXPECT_EQ(inverse_gate(g).kind, kind);
+  }
+}
+
+TEST(Gate, InversePairs) {
+  EXPECT_EQ(inverse_gate(make_gate(GateKind::kS, {0})).kind, GateKind::kSdg);
+  EXPECT_EQ(inverse_gate(make_gate(GateKind::kSdg, {0})).kind, GateKind::kS);
+  EXPECT_EQ(inverse_gate(make_gate(GateKind::kT, {0})).kind, GateKind::kTdg);
+  EXPECT_EQ(inverse_gate(make_gate(GateKind::kSx, {0})).kind, GateKind::kSxdg);
+}
+
+TEST(Gate, InverseNegatesRotationAngle) {
+  Gate g = make_gate(GateKind::kRy, {2}, {0.7});
+  Gate inv = inverse_gate(g);
+  EXPECT_EQ(inv.kind, GateKind::kRy);
+  EXPECT_DOUBLE_EQ(inv.params[0], -0.7);
+}
+
+TEST(Gate, InverseOfU3SwapsPhiLambda) {
+  Gate g = make_gate(GateKind::kU3, {0}, {0.1, 0.2, 0.3});
+  Gate inv = inverse_gate(g);
+  EXPECT_DOUBLE_EQ(inv.params[0], -0.1);
+  EXPECT_DOUBLE_EQ(inv.params[1], -0.3);
+  EXPECT_DOUBLE_EQ(inv.params[2], -0.2);
+}
+
+TEST(Gate, InverseOfMeasureIsContractViolation) {
+  EXPECT_THROW(inverse_gate(make_gate(GateKind::kMeasure, {0})),
+               AssertionError);
+}
+
+TEST(Gate, ToStringRendersOperandsAndParams) {
+  EXPECT_EQ(gate_to_string(make_gate(GateKind::kCx, {0, 3})), "cx q[0],q[3]");
+  std::string s = gate_to_string(make_gate(GateKind::kRz, {1}, {0.5}));
+  EXPECT_NE(s.find("rz(0.5"), std::string::npos);
+  EXPECT_NE(s.find("q[1]"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit
+// ---------------------------------------------------------------------------
+
+TEST(Circuit, EmptyCircuit) {
+  Circuit c(3, "empty");
+  EXPECT_EQ(c.num_qubits(), 3);
+  EXPECT_EQ(c.gate_count(), 0);
+  EXPECT_EQ(c.depth(), 0);
+  EXPECT_TRUE(c.used_qubits().empty());
+}
+
+TEST(Circuit, FluentBuildersAppend) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cz(1, 2).measure(2);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.gates()[1].kind, GateKind::kCx);
+}
+
+TEST(Circuit, AddRejectsOutOfRangeQubit) {
+  Circuit c(2);
+  EXPECT_THROW(c.h(2), AssertionError);
+  EXPECT_THROW(c.cx(0, 5), AssertionError);
+}
+
+TEST(Circuit, GateCountExcludesBarriers) {
+  Circuit c(3);
+  c.h(0).barrier({0, 1, 2}).x(1);
+  EXPECT_EQ(c.gate_count(), 2);
+  EXPECT_EQ(c.size(), 3u);
+}
+
+TEST(Circuit, TwoQubitCounting) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cz(1, 2).swap(0, 2).ccx(0, 1, 2).measure(0);
+  EXPECT_EQ(c.two_qubit_gate_count(), 3);  // ccx and measure excluded
+  EXPECT_EQ(c.gate_count(), 6);
+  EXPECT_DOUBLE_EQ(c.two_qubit_fraction(), 0.5);
+}
+
+TEST(Circuit, TwoQubitFractionEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(Circuit(2).two_qubit_fraction(), 0.0);
+}
+
+TEST(Circuit, DepthSerialisesSharedQubits) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);  // one layer
+  EXPECT_EQ(c.depth(), 1);
+  c.cx(0, 1);  // second layer
+  EXPECT_EQ(c.depth(), 2);
+  c.x(2);  // still fits layer 2
+  EXPECT_EQ(c.depth(), 2);
+  c.cx(1, 2);  // forced after both
+  EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(Circuit, DepthBarrierSynchronises) {
+  Circuit c(2);
+  c.h(0);
+  c.barrier({0, 1});
+  c.x(1);  // must start after the barrier, i.e. after h(0)
+  EXPECT_EQ(c.depth(), 2);
+}
+
+TEST(Circuit, UsedQubits) {
+  Circuit c(5);
+  c.h(1).cx(3, 1);
+  auto used = c.used_qubits();
+  ASSERT_EQ(used.size(), 2u);
+  EXPECT_EQ(used[0], 1);
+  EXPECT_EQ(used[1], 3);
+}
+
+TEST(Circuit, UsedQubitsIgnoresBarriers) {
+  Circuit c(3);
+  c.barrier({0, 1, 2});
+  EXPECT_TRUE(c.used_qubits().empty());
+}
+
+TEST(Circuit, AppendCircuit) {
+  Circuit a(2);
+  a.h(0);
+  Circuit b(2);
+  b.cx(0, 1);
+  a.append(b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Circuit, AppendWiderIsContractViolation) {
+  Circuit a(2), b(3);
+  EXPECT_THROW(a.append(b), AssertionError);
+}
+
+TEST(Circuit, InverseReversesAndInverts) {
+  Circuit c(2);
+  c.h(0).s(1).cx(0, 1);
+  Circuit inv = c.inverse();
+  ASSERT_EQ(inv.size(), 3u);
+  EXPECT_EQ(inv.gates()[0].kind, GateKind::kCx);
+  EXPECT_EQ(inv.gates()[1].kind, GateKind::kSdg);
+  EXPECT_EQ(inv.gates()[2].kind, GateKind::kH);
+}
+
+TEST(Circuit, InverseOfMeasureIsContractViolation) {
+  Circuit c(1);
+  c.measure(0);
+  EXPECT_THROW(c.inverse(), AssertionError);
+}
+
+TEST(Circuit, CountByKind) {
+  Circuit c(2);
+  c.h(0).h(1).cx(0, 1);
+  auto counts = c.count_by_kind();
+  EXPECT_EQ(counts[GateKind::kH], 2);
+  EXPECT_EQ(counts[GateKind::kCx], 1);
+}
+
+TEST(Circuit, SatisfiesConnectivity) {
+  Circuit c(3);
+  c.cx(0, 1).cx(1, 2);
+  auto line_adjacent = [](int a, int b) { return std::abs(a - b) == 1; };
+  EXPECT_TRUE(c.satisfies_connectivity(line_adjacent));
+  c.cx(0, 2);
+  EXPECT_FALSE(c.satisfies_connectivity(line_adjacent));
+}
+
+TEST(Circuit, EqualityIsStructural) {
+  Circuit a(2), b(2);
+  a.h(0);
+  b.h(0);
+  EXPECT_EQ(a, b);
+  b.x(1);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// ASCII drawing
+// ---------------------------------------------------------------------------
+
+TEST(Draw, SingleQubitLabels) {
+  Circuit c(1);
+  c.h(0).x(0).measure(0);
+  std::string art = draw(c);
+  EXPECT_NE(art.find("q0: "), std::string::npos);
+  EXPECT_NE(art.find("H"), std::string::npos);
+  EXPECT_NE(art.find("X"), std::string::npos);
+  EXPECT_NE(art.find("M"), std::string::npos);
+}
+
+TEST(Draw, ControlDotAndTarget) {
+  Circuit c(2);
+  c.cx(0, 1);
+  std::string art = draw(c);
+  EXPECT_NE(art.find("●"), std::string::npos);
+  EXPECT_NE(art.find("X"), std::string::npos);
+  EXPECT_NE(art.find("│"), std::string::npos);  // bridge between rows
+}
+
+TEST(Draw, CrossingWireUsesCrossGlyph) {
+  Circuit c(3);
+  c.cz(0, 2);  // passes over q1
+  std::string art = draw(c);
+  EXPECT_NE(art.find("┼"), std::string::npos);
+}
+
+TEST(Draw, UnrelatedSameLayerGatesDoNotBridge) {
+  // rx(0) and swap(1,2) share a layer: no vertical bar between q0 and q1.
+  Circuit c(3);
+  c.cz(0, 1).swap(1, 2).rx(1.5, 0);
+  std::string art = draw(c);
+  auto lines = qfs::split(art, '\n');
+  // Line 1 is the q0-q1 connector row; the rx/swap column must hold no '│'
+  // beyond the cz one. Count bridges in that row: exactly 1 (the cz).
+  int bridges = 0;
+  for (std::size_t i = 0; i + 2 < lines[1].size(); ++i) {
+    if (lines[1].compare(i, 3, "│") == 0) ++bridges;
+  }
+  EXPECT_EQ(bridges, 1);
+}
+
+TEST(Draw, ParamsShownOnDemand) {
+  Circuit c(1);
+  c.rx(1.5708, 0);
+  EXPECT_EQ(draw(c).find("1.57"), std::string::npos);
+  DrawOptions opts;
+  opts.show_params = true;
+  EXPECT_NE(draw(c, opts).find("rx(1.57)"), std::string::npos);
+}
+
+TEST(Draw, TruncatesLongCircuits) {
+  Circuit c(1);
+  for (int i = 0; i < 100; ++i) c.x(0);
+  DrawOptions opts;
+  opts.max_layers = 5;
+  std::string art = draw(c, opts);
+  EXPECT_NE(art.find("…"), std::string::npos);
+}
+
+TEST(Draw, RowCountMatchesQubits) {
+  Circuit c(4);
+  c.h(0);
+  auto lines = qfs::split(draw(c), '\n');
+  // 4 wire rows + 3 connector rows + trailing empty after final newline.
+  EXPECT_EQ(lines.size(), 8u);
+}
+
+// ---------------------------------------------------------------------------
+// DependencyDag
+// ---------------------------------------------------------------------------
+
+TEST(Dag, IndependentGatesShareLayerZero) {
+  Circuit c(3);
+  c.h(0).h(1).h(2);
+  DependencyDag dag(c);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(dag.predecessors(i).empty());
+    EXPECT_EQ(dag.asap_layer()[static_cast<std::size_t>(i)], 0);
+  }
+  EXPECT_EQ(dag.depth(), 1);
+}
+
+TEST(Dag, ChainDependencies) {
+  Circuit c(2);
+  c.h(0).cx(0, 1).x(1);
+  DependencyDag dag(c);
+  EXPECT_TRUE(dag.predecessors(0).empty());
+  ASSERT_EQ(dag.predecessors(1).size(), 1u);
+  EXPECT_EQ(dag.predecessors(1)[0], 0);
+  ASSERT_EQ(dag.predecessors(2).size(), 1u);
+  EXPECT_EQ(dag.predecessors(2)[0], 1);
+  EXPECT_EQ(dag.depth(), 3);
+}
+
+TEST(Dag, SharedTwoQubitPredecessorNotDuplicated) {
+  Circuit c(2);
+  c.cx(0, 1).cx(0, 1);
+  DependencyDag dag(c);
+  EXPECT_EQ(dag.predecessors(1).size(), 1u);
+  EXPECT_EQ(dag.successors(0).size(), 1u);
+}
+
+TEST(Dag, DepthMatchesCircuitDepth) {
+  Circuit c(4);
+  c.h(0).cx(0, 1).cx(2, 3).cz(1, 2).x(0);
+  DependencyDag dag(c);
+  EXPECT_EQ(dag.depth(), c.depth());
+}
+
+TEST(Dag, BarrierOrdersButAddsNoDepth) {
+  Circuit c(2);
+  c.h(0);
+  c.barrier({0, 1});
+  c.x(1);
+  DependencyDag dag(c);
+  EXPECT_EQ(dag.depth(), 2);
+  // x(1) transitively depends on h(0) through the barrier.
+  ASSERT_EQ(dag.predecessors(2).size(), 1u);
+  EXPECT_EQ(dag.predecessors(2)[0], 1);
+}
+
+TEST(Dag, LayersPartitionAllGates) {
+  Circuit c(4);
+  c.h(0).cx(0, 1).h(2).cx(2, 3).cz(1, 2);
+  DependencyDag dag(c);
+  auto layers = dag.layers();
+  std::size_t total = 0;
+  for (const auto& layer : layers) total += layer.size();
+  EXPECT_EQ(total, c.size());
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  Circuit c(3);
+  c.h(0).cx(0, 1).cz(1, 2).x(2);
+  DependencyDag dag(c);
+  auto order = dag.topological_order();
+  std::vector<int> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    position[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+  }
+  for (int g = 0; g < dag.num_gates(); ++g) {
+    for (int p : dag.predecessors(g)) {
+      EXPECT_LT(position[static_cast<std::size_t>(p)],
+                position[static_cast<std::size_t>(g)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qfs::circuit

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include "compiler/schedule.h"
+#include "device/device.h"
+#include "isa/binary.h"
+#include "isa/pulse.h"
+#include "isa/timed_program.h"
+#include "mapper/pipeline.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+namespace qfs::isa {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+using device::Device;
+
+TimedProgram lower(const Circuit& c, const Device& d) {
+  return lower_to_timed_program(c, compiler::asap_schedule(c, d));
+}
+
+TEST(TimedProgram, EmptyCircuit) {
+  Device d = device::line_device(2);
+  TimedProgram p = lower(Circuit(2), d);
+  EXPECT_EQ(p.instruction_count(), 0);
+  EXPECT_EQ(p.makespan_cycles(), 0);
+  EXPECT_DOUBLE_EQ(p.average_bundle_width(), 0.0);
+}
+
+TEST(TimedProgram, ParallelGatesShareBundle) {
+  Device d = device::line_device(3);
+  Circuit c(3);
+  c.rx(0.1, 0).rx(0.2, 1).rx(0.3, 2);
+  TimedProgram p = lower(c, d);
+  ASSERT_EQ(p.bundles().size(), 1u);
+  EXPECT_EQ(p.bundles()[0].instructions.size(), 3u);
+  EXPECT_DOUBLE_EQ(p.average_bundle_width(), 3.0);
+}
+
+TEST(TimedProgram, SequentialGatesSeparateBundles) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.rx(0.1, 0).rz(0.2, 0);
+  TimedProgram p = lower(c, d);
+  ASSERT_EQ(p.bundles().size(), 2u);
+  EXPECT_EQ(p.bundles()[0].start_cycle, 0);
+  EXPECT_EQ(p.bundles()[1].start_cycle, 1);
+}
+
+TEST(TimedProgram, BarriersDropped) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.rx(0.1, 0);
+  c.barrier({0, 1});
+  c.rx(0.2, 1);
+  TimedProgram p = lower(c, d);
+  EXPECT_EQ(p.instruction_count(), 2);
+  for (const auto& b : p.bundles()) {
+    for (const auto& ins : b.instructions) {
+      EXPECT_NE(ins.kind, GateKind::kBarrier);
+    }
+  }
+}
+
+TEST(TimedProgram, MakespanMatchesSchedule) {
+  Device d = device::line_device(4);
+  Circuit c(4);
+  c.cz(0, 1).cz(1, 2).measure(3);
+  auto schedule = compiler::asap_schedule(c, d);
+  TimedProgram p = lower_to_timed_program(c, schedule);
+  EXPECT_EQ(p.makespan_cycles(), schedule.makespan_cycles);
+}
+
+TEST(TimedProgram, QubitUtilization) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.cz(0, 1);  // 2 cycles on both qubits, makespan 2
+  TimedProgram p = lower(c, d);
+  auto util = p.qubit_utilization();
+  EXPECT_DOUBLE_EQ(util[0], 1.0);
+  EXPECT_DOUBLE_EQ(util[1], 1.0);
+}
+
+TEST(TimedProgram, TextFormat) {
+  Device d = device::line_device(2);
+  Circuit c(2, "demo");
+  c.rx(1.5, 0).cz(0, 1);
+  TimedProgram p = lower(c, d);
+  std::string text = p.to_text();
+  EXPECT_NE(text.find("# timed program: demo"), std::string::npos);
+  EXPECT_NE(text.find(".qubits 2"), std::string::npos);
+  EXPECT_NE(text.find("rx(1.5"), std::string::npos);
+  EXPECT_NE(text.find("cz Q0,Q1"), std::string::npos);
+  EXPECT_NE(text.find("0: {"), std::string::npos);
+}
+
+TEST(TimedProgram, BundleOrderingEnforced) {
+  std::vector<Bundle> out_of_order(2);
+  out_of_order[0].start_cycle = 5;
+  out_of_order[1].start_cycle = 3;
+  EXPECT_THROW(TimedProgram("bad", 20.0, 2, out_of_order), AssertionError);
+}
+
+TEST(ProgramValidation, MappedScheduledProgramIsValid) {
+  Device d = device::surface17_device();
+  qfs::Rng rng(1);
+  Circuit c = workloads::qft(5);
+  mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+  auto schedule = compiler::asap_schedule(r.mapped, d);
+  TimedProgram p = lower_to_timed_program(r.mapped, schedule);
+  EXPECT_TRUE(program_is_valid(p, d));
+  EXPECT_GT(p.average_bundle_width(), 1.0);  // some parallelism exists
+}
+
+TEST(ProgramValidation, DetectsUncoupledTwoQubitInstruction) {
+  Device d = device::line_device(3);
+  Bundle b;
+  b.start_cycle = 0;
+  b.instructions.push_back(Instruction{GateKind::kCz, {0, 2}, {}, 2});
+  TimedProgram p("bad", 20.0, 3, {b});
+  EXPECT_FALSE(program_is_valid(p, d));
+}
+
+TEST(ProgramValidation, DetectsQubitOverlap) {
+  Device d = device::line_device(2);
+  Bundle b0, b1;
+  b0.start_cycle = 0;
+  b0.instructions.push_back(Instruction{GateKind::kCz, {0, 1}, {}, 2});
+  b1.start_cycle = 1;  // overlaps the 2-cycle cz
+  b1.instructions.push_back(Instruction{GateKind::kX, {0}, {}, 1});
+  TimedProgram p("bad", 20.0, 2, {b0, b1});
+  EXPECT_FALSE(program_is_valid(p, d));
+}
+
+TEST(ProgramValidation, DetectsControlGroupViolation) {
+  Device d = device::surface17_device();
+  // Qubits 0 and 1 share group 0: different kinds in one bundle = invalid.
+  Bundle b;
+  b.start_cycle = 0;
+  b.instructions.push_back(Instruction{GateKind::kRx, {0}, {0.1}, 1});
+  b.instructions.push_back(Instruction{GateKind::kRy, {1}, {0.1}, 1});
+  TimedProgram p("bad", 20.0, 17, {b});
+  EXPECT_FALSE(program_is_valid(p, d));
+}
+
+TEST(ProgramValidation, WiderThanDeviceInvalid) {
+  Device d = device::line_device(2);
+  TimedProgram p("wide", 20.0, 5, {});
+  EXPECT_FALSE(program_is_valid(p, d));
+}
+
+// ---------------------------------------------------------------------------
+// Pulse lowering (control electronics)
+// ---------------------------------------------------------------------------
+
+TEST(Pulse, ChannelsByInstructionKind) {
+  Device d = device::line_device(3);
+  Circuit c(3);
+  c.rx(0.5, 0).cz(1, 2).measure(0);
+  auto result = lower_to_pulses(lower(c, d), d);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const PulseSchedule& ps = result.value();
+  EXPECT_EQ(ps.total_pulses(), 3);
+  bool have_drive = false, have_flux = false, have_readout = false;
+  for (const auto& [id, pulses] : ps.channels()) {
+    (void)pulses;
+    if (id.kind == ChannelKind::kDrive) have_drive = true;
+    if (id.kind == ChannelKind::kFlux) have_flux = true;
+    if (id.kind == ChannelKind::kReadout) have_readout = true;
+  }
+  EXPECT_TRUE(have_drive);
+  EXPECT_TRUE(have_flux);
+  EXPECT_TRUE(have_readout);
+}
+
+TEST(Pulse, WaveformNamesCarryAngles) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.rx(1.5, 0);
+  auto result = lower_to_pulses(lower(c, d), d);
+  ASSERT_TRUE(result.is_ok());
+  const auto& pulses = result.value().channels().begin()->second;
+  ASSERT_EQ(pulses.size(), 1u);
+  EXPECT_NE(pulses[0].waveform.find("drag(rx,1.5"), std::string::npos);
+}
+
+TEST(Pulse, UncoupledPairRejected) {
+  Device d = device::line_device(3);
+  Bundle b;
+  b.start_cycle = 0;
+  b.instructions.push_back(Instruction{GateKind::kCz, {0, 2}, {}, 2});
+  TimedProgram p("bad", 20.0, 3, {b});
+  auto result = lower_to_pulses(p, d);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("flux"), std::string::npos);
+}
+
+TEST(Pulse, ChannelExclusivityValidated) {
+  Device d = device::line_device(2);
+  // Two overlapping pulses on one drive channel — an invalid hand-built
+  // program (same qubit, overlapping bundles).
+  Bundle b0, b1;
+  b0.start_cycle = 0;
+  b0.instructions.push_back(Instruction{GateKind::kRx, {0}, {0.1}, 3});
+  b1.start_cycle = 1;
+  b1.instructions.push_back(Instruction{GateKind::kRz, {0}, {0.1}, 3});
+  TimedProgram p("bad", 20.0, 2, {b0, b1});
+  auto result = lower_to_pulses(p, d);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(Pulse, MappedScheduledCircuitLowersCleanly) {
+  Device d = device::surface17_device();
+  qfs::Rng rng(4);
+  Circuit c = workloads::qft(5);
+  mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+  TimedProgram p = lower(r.mapped, d);
+  auto result = lower_to_pulses(p, d);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().total_pulses(), p.instruction_count());
+  EXPECT_TRUE(result.value().channels_exclusive());
+  // Utilisation is bounded by 1 everywhere.
+  for (const auto& [id, util] :
+       result.value().channel_utilization(p.makespan_cycles())) {
+    (void)id;
+    EXPECT_LE(util, 1.0 + 1e-12);
+    EXPECT_GT(util, 0.0);
+  }
+}
+
+TEST(Pulse, ChannelNames) {
+  EXPECT_EQ(channel_name(ChannelId{ChannelKind::kDrive, 3, -1}), "drive:Q3");
+  EXPECT_EQ(channel_name(ChannelId{ChannelKind::kFlux, 1, 4}), "flux:Q1-Q4");
+  EXPECT_EQ(channel_name(ChannelId{ChannelKind::kReadout, 0, -1}),
+            "readout:Q0");
+}
+
+// ---------------------------------------------------------------------------
+// Binary encoding
+// ---------------------------------------------------------------------------
+
+TEST(Binary, RoundTripSmallProgram) {
+  Device d = device::line_device(3);
+  Circuit c(3, "bin");
+  c.rx(0.5, 0).cz(0, 1).rz(-1.25, 2).measure(1);
+  TimedProgram p = lower(c, d);
+  auto words = encode_program(p);
+  EXPECT_EQ(words[0], kBinaryMagic);
+  auto back = decode_program(words);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  const TimedProgram& q = back.value();
+  EXPECT_EQ(q.num_qubits(), p.num_qubits());
+  EXPECT_EQ(q.instruction_count(), p.instruction_count());
+  EXPECT_EQ(q.makespan_cycles(), p.makespan_cycles());
+  EXPECT_DOUBLE_EQ(q.cycle_time_ns(), p.cycle_time_ns());
+  // Structure: same bundles, same kinds/qubits, angles to float32 accuracy.
+  ASSERT_EQ(q.bundles().size(), p.bundles().size());
+  for (std::size_t b = 0; b < p.bundles().size(); ++b) {
+    ASSERT_EQ(q.bundles()[b].instructions.size(),
+              p.bundles()[b].instructions.size());
+    EXPECT_EQ(q.bundles()[b].start_cycle, p.bundles()[b].start_cycle);
+    for (std::size_t i = 0; i < p.bundles()[b].instructions.size(); ++i) {
+      const auto& orig = p.bundles()[b].instructions[i];
+      const auto& dec = q.bundles()[b].instructions[i];
+      EXPECT_EQ(dec.kind, orig.kind);
+      EXPECT_EQ(dec.qubits, orig.qubits);
+      ASSERT_EQ(dec.params.size(), orig.params.size());
+      for (std::size_t pi = 0; pi < orig.params.size(); ++pi) {
+        EXPECT_NEAR(dec.params[pi], orig.params[pi], 1e-6);
+      }
+    }
+  }
+}
+
+TEST(Binary, RoundTripMappedCircuit) {
+  Device d = device::surface17_device();
+  qfs::Rng rng(3);
+  Circuit c = workloads::qft(5);
+  mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+  TimedProgram p = lower(r.mapped, d);
+  auto back = decode_program(encode_program(p));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(back.value().instruction_count(), p.instruction_count());
+  EXPECT_TRUE(program_is_valid(back.value(), d));
+}
+
+TEST(Binary, DecodeRejectsBadMagic) {
+  auto result = decode_program({0xDEADBEEF, 2, 200, 0});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("magic"), std::string::npos);
+}
+
+TEST(Binary, DecodeRejectsTruncation) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.cz(0, 1);
+  auto words = encode_program(lower(c, d));
+  words.pop_back();
+  EXPECT_FALSE(decode_program(words).is_ok());
+}
+
+TEST(Binary, DecodeRejectsTrailingGarbage) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.x(0);
+  auto words = encode_program(lower(c, d));
+  words.push_back(123);
+  EXPECT_FALSE(decode_program(words).is_ok());
+}
+
+TEST(Binary, DecodeRejectsBadOpcode) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.x(0);
+  auto words = encode_program(lower(c, d));
+  words[4] = (words[4] & ~0xFFu) | 0xEE;  // invalid opcode
+  EXPECT_FALSE(decode_program(words).is_ok());
+}
+
+TEST(Binary, DecodeRejectsOperandOutOfRange) {
+  Device d = device::line_device(2);
+  Circuit c(2);
+  c.x(0);
+  auto words = encode_program(lower(c, d));
+  words[4] = (words[4] & ~0xFF00u) | (7u << 8);  // qubit 7 of 2
+  EXPECT_FALSE(decode_program(words).is_ok());
+}
+
+TEST(Binary, EmptyProgramEncodes) {
+  Device d = device::line_device(1);
+  TimedProgram p = lower(Circuit(1), d);
+  auto back = decode_program(encode_program(p));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().instruction_count(), 0);
+}
+
+TEST(ProgramValidation, RandomMappedCircuitsLowerCleanly) {
+  Device d = device::surface17_device();
+  qfs::Rng gen(2);
+  for (int trial = 0; trial < 4; ++trial) {
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 8;
+    spec.num_gates = 60;
+    spec.two_qubit_fraction = 0.35;
+    Circuit c = workloads::random_circuit(spec, gen);
+    qfs::Rng rng(trial);
+    mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+    auto schedule = compiler::asap_schedule(r.mapped, d);
+    TimedProgram p = lower_to_timed_program(r.mapped, schedule);
+    EXPECT_TRUE(program_is_valid(p, d)) << "trial " << trial;
+    EXPECT_EQ(p.instruction_count(), r.mapped.gate_count());
+  }
+}
+
+}  // namespace
+}  // namespace qfs::isa

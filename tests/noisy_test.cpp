@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/device.h"
+#include "sim/density_matrix.h"
+#include "sim/noisy.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+namespace qfs::sim {
+namespace {
+
+using circuit::Circuit;
+using device::ErrorModel;
+
+TEST(Noisy, PerfectModelGivesPerfectFidelity) {
+  ErrorModel perfect(1.0, 1.0, 1.0);
+  Circuit c = workloads::ghz(4);
+  qfs::Rng rng(1);
+  NoisyRunResult r = run_noisy(c, perfect, rng, {.shots = 20});
+  EXPECT_DOUBLE_EQ(r.mean_state_fidelity, 1.0);
+  EXPECT_DOUBLE_EQ(r.error_free_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_errors_per_shot, 0.0);
+}
+
+TEST(Noisy, ErrorFreeFractionTracksAnalyticProduct) {
+  // The expectation of the error-free fraction IS the analytic product of
+  // gate fidelities — the paper's Fig. 3 metric.
+  ErrorModel em(0.99, 0.95, 1.0);
+  Circuit c(3);
+  for (int i = 0; i < 10; ++i) c.cz(i % 2, 2);
+  for (int i = 0; i < 20; ++i) c.rx(0.1, i % 3);
+  double analytic = std::pow(0.95, 10) * std::pow(0.99, 20);
+  qfs::Rng rng(2);
+  NoisyRunResult r = run_noisy(c, em, rng, {.shots = 4000});
+  EXPECT_NEAR(r.error_free_fraction, analytic, 0.03);
+}
+
+TEST(Noisy, StateFidelityAtLeastErrorFreeFraction) {
+  // Some injected errors still land close to the ideal state (e.g. Z on a
+  // computational state), so mean state fidelity >= error-free fraction.
+  ErrorModel em(0.97, 0.90, 1.0);
+  Circuit c = workloads::ghz(5);
+  qfs::Rng rng(3);
+  NoisyRunResult r = run_noisy(c, em, rng, {.shots = 500});
+  EXPECT_GE(r.mean_state_fidelity, r.error_free_fraction - 0.02);
+  EXPECT_LT(r.mean_state_fidelity, 1.0);
+}
+
+TEST(Noisy, MoreGatesMoreErrors) {
+  ErrorModel em(0.995, 0.97, 1.0);
+  qfs::Rng gen(4);
+  workloads::RandomCircuitSpec small_spec{4, 20, 0.4};
+  workloads::RandomCircuitSpec big_spec{4, 200, 0.4};
+  Circuit small = workloads::random_circuit(small_spec, gen);
+  Circuit big = workloads::random_circuit(big_spec, gen);
+  qfs::Rng r1(5), r2(5);
+  NoisyRunResult rs = run_noisy(small, em, r1, {.shots = 300});
+  NoisyRunResult rb = run_noisy(big, em, r2, {.shots = 300});
+  EXPECT_LT(rb.mean_state_fidelity, rs.mean_state_fidelity);
+  EXPECT_GT(rb.mean_errors_per_shot, rs.mean_errors_per_shot);
+}
+
+TEST(Noisy, PerEdgeOverridesAreHonoured) {
+  ErrorModel em(1.0, 1.0, 1.0);
+  em.set_edge_fidelity(0, 1, 0.5);  // only this edge is noisy
+  Circuit c(3);
+  for (int i = 0; i < 8; ++i) c.cz(0, 1);
+  for (int i = 0; i < 8; ++i) c.cz(1, 2);
+  qfs::Rng rng(6);
+  NoisyRunResult r = run_noisy(c, em, rng, {.shots = 1500});
+  EXPECT_NEAR(r.error_free_fraction, std::pow(0.5, 8), 0.01);
+}
+
+TEST(Noisy, MeasurementErrorsCountedWhenEnabled) {
+  ErrorModel em(1.0, 1.0, 0.5);
+  Circuit c(1);
+  c.measure(0);
+  qfs::Rng rng(7);
+  NoisyRunResult off = run_noisy(c, em, rng, {.shots = 400});
+  EXPECT_DOUBLE_EQ(off.error_free_fraction, 1.0);
+  qfs::Rng rng2(7);
+  NoisyRunResult on = run_noisy(
+      c, em, rng2, {.shots = 400, .include_measurement_errors = true});
+  EXPECT_NEAR(on.error_free_fraction, 0.5, 0.08);
+  // Measurement errors never perturb the tracked pure state.
+  EXPECT_DOUBLE_EQ(on.mean_state_fidelity, 1.0);
+}
+
+TEST(Noisy, ContractChecks) {
+  ErrorModel em;
+  Circuit wide(17);
+  qfs::Rng rng(8);
+  EXPECT_THROW(run_noisy(wide, em, rng), AssertionError);
+  Circuit ok(2);
+  EXPECT_THROW(run_noisy(ok, em, rng, {.shots = 0}), AssertionError);
+}
+
+// ---------------------------------------------------------------------------
+// Density matrix
+// ---------------------------------------------------------------------------
+
+TEST(DensityMatrix, InitialStatePureZero) {
+  DensityMatrix rho(2);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-12);
+  StateVector zero(2);
+  EXPECT_NEAR(rho.fidelity_with(zero), 1.0, 1e-12);
+}
+
+TEST(DensityMatrix, UnitaryEvolutionMatchesStateVector) {
+  qfs::Rng rng(11);
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.7, 2).cz(1, 2).t(0);
+  DensityMatrix rho(3);
+  StateVector sv(3);
+  for (const auto& g : c.gates()) {
+    rho.apply_gate(g);
+    sv.apply_gate(g);
+  }
+  EXPECT_NEAR(rho.fidelity_with(sv), 1.0, 1e-10);
+  EXPECT_NEAR(rho.purity(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, FromPureRoundTrip) {
+  qfs::Rng rng(12);
+  StateVector sv = StateVector::random(3, rng);
+  DensityMatrix rho = DensityMatrix::from_pure(sv);
+  EXPECT_NEAR(rho.fidelity_with(sv), 1.0, 1e-10);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, DepolarizingReducesPurity) {
+  DensityMatrix rho(1);
+  rho.apply_gate(circuit::make_gate(circuit::GateKind::kH, {0}));
+  rho.apply_depolarizing({0}, 0.5);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+  EXPECT_LT(rho.purity(), 1.0);
+}
+
+TEST(DensityMatrix, FullDepolarizingOnOneQubitIsMaximallyMixed) {
+  DensityMatrix rho(1);
+  // p = 3/4 of a uniform Pauli error = the fully depolarizing channel.
+  rho.apply_depolarizing({0}, 0.75);
+  EXPECT_NEAR(rho.purity(), 0.5, 1e-10);
+}
+
+TEST(DensityMatrix, TwoQubitDepolarizingKeepsTrace) {
+  DensityMatrix rho(2);
+  rho.apply_gate(circuit::make_gate(circuit::GateKind::kH, {0}));
+  rho.apply_gate(circuit::make_gate(circuit::GateKind::kCx, {0, 1}));
+  rho.apply_depolarizing({0, 1}, 0.3);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-10);
+}
+
+TEST(DensityMatrix, ExactNoisyFidelityMatchesMonteCarlo) {
+  // The three estimators triangulate: DM exact == MC limit, and both are
+  // bounded below by the analytic error-free product.
+  ErrorModel em(0.99, 0.95, 1.0);
+  Circuit c = workloads::ghz(4);
+  double exact = exact_noisy_fidelity(c, em);
+  qfs::Rng rng(13);
+  NoisyRunResult mc = run_noisy(c, em, rng, {.shots = 3000});
+  EXPECT_NEAR(mc.mean_state_fidelity, exact, 0.02);
+  EXPECT_GE(exact + 1e-9, mc.error_free_fraction - 0.03);
+}
+
+TEST(DensityMatrix, ExactFidelityDecreasesWithNoise) {
+  Circuit c = workloads::ghz(3);
+  double clean = exact_noisy_fidelity(c, ErrorModel(1.0, 1.0, 1.0));
+  double noisy = exact_noisy_fidelity(c, ErrorModel(0.98, 0.9, 1.0));
+  EXPECT_NEAR(clean, 1.0, 1e-10);
+  EXPECT_LT(noisy, 0.95);
+}
+
+TEST(DensityMatrix, WidthContract) {
+  EXPECT_THROW(DensityMatrix(9), AssertionError);
+}
+
+TEST(Noisy, DeterministicPerSeed) {
+  ErrorModel em(0.99, 0.95, 0.99);
+  Circuit c = workloads::ghz(4);
+  qfs::Rng a(9), b(9);
+  NoisyRunResult ra = run_noisy(c, em, a, {.shots = 100});
+  NoisyRunResult rb = run_noisy(c, em, b, {.shots = 100});
+  EXPECT_DOUBLE_EQ(ra.mean_state_fidelity, rb.mean_state_fidelity);
+  EXPECT_DOUBLE_EQ(ra.error_free_fraction, rb.error_free_fraction);
+}
+
+}  // namespace
+}  // namespace qfs::sim

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "report/histogram.h"
+#include "report/scatter.h"
+#include "report/table.h"
+#include "support/assert.h"
+#include "support/strings.h"
+
+namespace qfs::report {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  t.add_row({"y", "2"});
+  std::string s = t.to_string();
+  // Both value fields must start at the same column.
+  auto lines = qfs::split(s, '\n');
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TextTable, RowWidthMismatchIsContractViolation) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only"}), qfs::AssertionError);
+}
+
+TEST(TextTable, EmptyHeaderIsContractViolation) {
+  EXPECT_THROW(TextTable({}), qfs::AssertionError);
+}
+
+TEST(Scatter, PlacesExtremePoints) {
+  ScatterSeries s;
+  s.label = "demo";
+  s.marker = 'o';
+  s.xs = {0.0, 10.0};
+  s.ys = {0.0, 5.0};
+  ScatterOptions opts;
+  opts.width = 40;
+  opts.height = 10;
+  std::string out = render_scatter({s}, opts);
+  // Two markers must appear in the plot area (lines containing the axis
+  // bar; the legend line also contains the marker char and is excluded).
+  int count = 0;
+  for (const std::string& line : qfs::split(out, '\n')) {
+    if (line.find('|') == std::string::npos) continue;
+    for (char c : line) {
+      if (c == 'o') ++count;
+    }
+  }
+  EXPECT_EQ(count, 2);
+  // Legend mentions the label.
+  EXPECT_NE(out.find("demo"), std::string::npos);
+}
+
+TEST(Scatter, MultipleSeriesDifferentMarkers) {
+  ScatterSeries a{"real", 'o', {1, 2}, {1, 2}};
+  ScatterSeries b{"random", 's', {3, 4}, {3, 4}};
+  std::string out = render_scatter({a, b}, {});
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('s'), std::string::npos);
+}
+
+TEST(Scatter, EmptyDataSafe) {
+  std::string out = render_scatter({}, {});
+  EXPECT_NE(out.find("(no data)"), std::string::npos);
+}
+
+TEST(Scatter, LogScaleSkipsNonPositive) {
+  ScatterSeries s{"f", '*', {1, 2, 3}, {0.0, 0.1, 1.0}};
+  ScatterOptions opts;
+  opts.log_y = true;
+  std::string out = render_scatter({s}, opts);
+  int count = 0;
+  for (const std::string& line : qfs::split(out, '\n')) {
+    if (line.find('|') == std::string::npos) continue;
+    for (char c : line) {
+      if (c == '*') ++count;
+    }
+  }
+  EXPECT_EQ(count, 2);  // the y=0 point is dropped
+}
+
+TEST(Scatter, TitleAndAxisLabelsRendered) {
+  ScatterSeries s{"f", '*', {1}, {1}};
+  ScatterOptions opts;
+  opts.title = "Figure 3a";
+  opts.x_label = "gates";
+  opts.y_label = "fidelity";
+  std::string out = render_scatter({s}, opts);
+  EXPECT_NE(out.find("Figure 3a"), std::string::npos);
+  EXPECT_NE(out.find("gates"), std::string::npos);
+  EXPECT_NE(out.find("fidelity"), std::string::npos);
+}
+
+TEST(Scatter, TooSmallPlotIsContractViolation) {
+  ScatterOptions opts;
+  opts.width = 2;
+  EXPECT_THROW(render_scatter({}, opts), qfs::AssertionError);
+}
+
+TEST(Scatter, ConstantSeriesHandled) {
+  ScatterSeries s{"const", '*', {1, 2, 3}, {5, 5, 5}};
+  EXPECT_NO_THROW(render_scatter({s}, {}));
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+TEST(Histogram, CountsPartitionValues) {
+  HistogramOptions opts;
+  opts.bins = 2;
+  opts.lower = 0.0;
+  opts.upper = 10.0;
+  std::string out = render_histogram({1, 2, 3, 8, 9}, opts);
+  EXPECT_NE(out.find("[0.0, 5.0) "), std::string::npos);
+  EXPECT_NE(out.find(" 3\n"), std::string::npos);
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+}
+
+TEST(Histogram, AutoRangeFromData) {
+  HistogramOptions opts;
+  opts.bins = 4;
+  std::string out = render_histogram({0, 1, 2, 3, 4}, opts);
+  EXPECT_NE(out.find("[0.0, 1.0)"), std::string::npos);
+  EXPECT_NE(out.find("[3.0, 4.0]"), std::string::npos);
+}
+
+TEST(Histogram, OutOfRangeValuesClampToEdgeBins) {
+  HistogramOptions opts;
+  opts.bins = 2;
+  opts.lower = 0.0;
+  opts.upper = 2.0;
+  std::string out = render_histogram({-100, 100}, opts);
+  // Both land somewhere: counts 1 and 1.
+  int ones = 0;
+  for (const std::string& line : qfs::split(out, '\n')) {
+    if (line.size() >= 2 && line.substr(line.size() - 2) == " 1") ++ones;
+  }
+  EXPECT_EQ(ones, 2);
+}
+
+TEST(Histogram, EmptyAndDegenerateData) {
+  EXPECT_NE(render_histogram({}, {}).find("(no data)"), std::string::npos);
+  EXPECT_NO_THROW(render_histogram({7, 7, 7}, {}));
+}
+
+TEST(Histogram, NonEmptyBinsAlwaysVisible) {
+  HistogramOptions opts;
+  opts.bins = 2;
+  opts.max_bar_width = 5;
+  opts.lower = 0.0;
+  opts.upper = 2.0;
+  // 1000 in bin 0, 1 in bin 1: the single count still draws one block.
+  std::vector<double> values(1000, 0.5);
+  values.push_back(1.5);
+  std::string out = render_histogram(values, opts);
+  EXPECT_NE(out.find("█ 1"), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  HistogramOptions opts;
+  opts.bins = 0;
+  EXPECT_THROW(render_histogram({1.0}, opts), qfs::AssertionError);
+}
+
+}  // namespace
+}  // namespace qfs::report

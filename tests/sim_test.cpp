@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/equivalence.h"
+#include "sim/statevector.h"
+
+namespace qfs::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+constexpr double kTol = 1e-10;
+
+TEST(StateVector, InitialStateIsZeroKet) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(sv.probability(0), 1.0, kTol);
+  for (std::size_t i = 1; i < 8; ++i) EXPECT_NEAR(sv.probability(i), 0.0, kTol);
+}
+
+TEST(StateVector, XFlipsQubit) {
+  StateVector sv(2);
+  sv.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  EXPECT_NEAR(sv.probability(0b01), 1.0, kTol);
+  sv.apply_gate(circuit::make_gate(GateKind::kX, {1}));
+  EXPECT_NEAR(sv.probability(0b11), 1.0, kTol);
+}
+
+TEST(StateVector, HCreatesEqualSuperposition) {
+  StateVector sv(1);
+  sv.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  EXPECT_NEAR(sv.probability(0), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(1), 0.5, kTol);
+}
+
+TEST(StateVector, BellState) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).cx(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability(0b00), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b11), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(0b01), 0.0, kTol);
+  EXPECT_NEAR(sv.probability(0b10), 0.0, kTol);
+}
+
+TEST(StateVector, GhzOnFiveQubits) {
+  Circuit c(5);
+  c.h(0);
+  for (int i = 0; i < 4; ++i) c.cx(i, i + 1);
+  StateVector sv(5);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.probability(0), 0.5, kTol);
+  EXPECT_NEAR(sv.probability(31), 0.5, kTol);
+}
+
+TEST(StateVector, CxControlQubitConvention) {
+  // Control = operand 0. Prepare |q1 q0> = |01> (q0 set), cx(0, 1) should
+  // flip q1 -> |11>.
+  StateVector sv(2);
+  sv.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  sv.apply_gate(circuit::make_gate(GateKind::kCx, {0, 1}));
+  EXPECT_NEAR(sv.probability(0b11), 1.0, kTol);
+  // Control clear: no flip.
+  StateVector sv2(2);
+  sv2.apply_gate(circuit::make_gate(GateKind::kCx, {0, 1}));
+  EXPECT_NEAR(sv2.probability(0b00), 1.0, kTol);
+}
+
+TEST(StateVector, SwapMovesAmplitude) {
+  StateVector sv(2);
+  sv.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  sv.apply_gate(circuit::make_gate(GateKind::kSwap, {0, 1}));
+  EXPECT_NEAR(sv.probability(0b10), 1.0, kTol);
+}
+
+TEST(StateVector, ToffoliTruthTable) {
+  for (int input = 0; input < 8; ++input) {
+    StateVector sv(3);
+    for (int b = 0; b < 3; ++b) {
+      if ((input >> b) & 1) sv.apply_gate(circuit::make_gate(GateKind::kX, {b}));
+    }
+    sv.apply_gate(circuit::make_gate(GateKind::kCcx, {0, 1, 2}));
+    int expected = input;
+    if ((input & 0b011) == 0b011) expected ^= 0b100;
+    EXPECT_NEAR(sv.probability(static_cast<std::size_t>(expected)), 1.0, kTol)
+        << "input " << input;
+  }
+}
+
+TEST(StateVector, MarginalProbability) {
+  StateVector sv(2);
+  sv.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  EXPECT_NEAR(sv.marginal_one_probability(0), 0.5, kTol);
+  EXPECT_NEAR(sv.marginal_one_probability(1), 0.0, kTol);
+}
+
+TEST(StateVector, NormPreservedByUnitaries) {
+  qfs::Rng rng(3);
+  StateVector sv = StateVector::random(4, rng);
+  Circuit c(4);
+  c.h(0).cx(0, 1).rz(0.7, 2).ccx(0, 1, 3).swap(2, 3).t(1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.norm(), 1.0, 1e-9);
+}
+
+TEST(StateVector, RandomStateNormalised) {
+  qfs::Rng rng(5);
+  EXPECT_NEAR(StateVector::random(6, rng).norm(), 1.0, 1e-9);
+}
+
+TEST(StateVector, MeasureGateIsContractViolation) {
+  StateVector sv(1);
+  EXPECT_THROW(sv.apply_gate(circuit::make_gate(GateKind::kMeasure, {0})),
+               AssertionError);
+}
+
+TEST(StateVector, BarrierIsNoOp) {
+  StateVector sv(2);
+  StateVector before = sv;
+  sv.apply_gate(circuit::make_gate(GateKind::kBarrier, {0, 1}));
+  EXPECT_NEAR(state_fidelity(before, sv), 1.0, kTol);
+}
+
+TEST(StateVector, InnerProductOrthogonalStates) {
+  StateVector a(1);  // |0>
+  StateVector b(1);
+  b.apply_gate(circuit::make_gate(GateKind::kX, {0}));  // |1>
+  EXPECT_NEAR(std::abs(a.inner_product(b)), 0.0, kTol);
+}
+
+TEST(StateVector, SampleFollowsDistribution) {
+  qfs::Rng rng(7);
+  StateVector sv(1);
+  sv.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  int ones = 0;
+  const int trials = 2000;
+  for (int i = 0; i < trials; ++i) {
+    if (sv.sample(rng) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.5, 0.05);
+}
+
+TEST(StateVector, FromAmplitudesValidatesPowerOfTwo) {
+  EXPECT_THROW(StateVector::from_amplitudes({1.0, 0.0, 0.0}), AssertionError);
+}
+
+// ---------------------------------------------------------------------------
+// Phase correctness (amplitudes, not just probabilities)
+// ---------------------------------------------------------------------------
+
+TEST(StateVector, SGatePhase) {
+  StateVector sv(1);
+  sv.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  sv.apply_gate(circuit::make_gate(GateKind::kS, {0}));
+  EXPECT_NEAR(std::arg(sv.amplitude(1)), M_PI / 2, kTol);
+}
+
+TEST(StateVector, CzPhaseKickback) {
+  StateVector sv(2);
+  Circuit c(2);
+  c.h(0).h(1).cz(0, 1);
+  sv.apply_circuit(c);
+  EXPECT_NEAR(sv.amplitude(0b11).real(), -0.5, kTol);
+  EXPECT_NEAR(sv.amplitude(0b00).real(), 0.5, kTol);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence checking
+// ---------------------------------------------------------------------------
+
+TEST(Equivalence, CircuitUnitaryOfCx) {
+  Circuit c(2);
+  c.cx(0, 1);
+  circuit::CMatrix u = circuit_unitary(c);
+  // Statevector convention: qubit 0 is the LSB; cx(0,1) maps |01> -> |11>.
+  EXPECT_NEAR(std::abs(u.at(3, 1) - circuit::Complex(1)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(u.at(1, 3) - circuit::Complex(1)), 0.0, kTol);
+  EXPECT_NEAR(std::abs(u.at(0, 0) - circuit::Complex(1)), 0.0, kTol);
+}
+
+TEST(Equivalence, HzhEqualsX) {
+  Circuit a(1), b(1);
+  a.h(0).z(0).h(0);
+  b.x(0);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+TEST(Equivalence, CxFromCzAndHadamards) {
+  Circuit a(2), b(2);
+  a.h(1).cz(0, 1).h(1);
+  b.cx(0, 1);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+TEST(Equivalence, SwapFromThreeCx) {
+  Circuit a(2), b(2);
+  a.cx(0, 1).cx(1, 0).cx(0, 1);
+  b.swap(0, 1);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+TEST(Equivalence, DifferentCircuitsNotEquivalent) {
+  Circuit a(1), b(1);
+  a.x(0);
+  b.z(0);
+  EXPECT_FALSE(circuits_equivalent(a, b));
+}
+
+TEST(Equivalence, GlobalPhaseIgnored) {
+  Circuit a(1), b(1);
+  a.rz(M_PI, 0);  // = -iZ
+  b.z(0);
+  EXPECT_TRUE(circuits_equivalent(a, b));
+}
+
+TEST(Equivalence, WidthMismatchNotEquivalent) {
+  EXPECT_FALSE(circuits_equivalent(Circuit(1), Circuit(2)));
+}
+
+TEST(Equivalence, InverseComposesToIdentity) {
+  qfs::Rng rng(11);
+  Circuit c(3);
+  c.h(0).cx(0, 1).rz(0.3, 2).ccx(0, 1, 2).t(1).swap(0, 2);
+  Circuit full = c;
+  full.append(c.inverse());
+  EXPECT_TRUE(circuits_equivalent(full, Circuit(3)));
+}
+
+TEST(Equivalence, EmbedStateIdentityLayout) {
+  qfs::Rng rng(13);
+  StateVector small = StateVector::random(2, rng);
+  StateVector big = embed_state(small, 4, {0, 1});
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(std::abs(big.amplitude(i) - small.amplitude(i)), 0.0, kTol);
+  }
+  for (std::size_t i = 4; i < 16; ++i) {
+    EXPECT_NEAR(std::abs(big.amplitude(i)), 0.0, kTol);
+  }
+}
+
+TEST(Equivalence, EmbedStatePermutedLayout) {
+  StateVector small(1);
+  small.apply_gate(circuit::make_gate(GateKind::kX, {0}));  // |1>
+  StateVector big = embed_state(small, 3, {2});             // virtual 0 -> phys 2
+  EXPECT_NEAR(big.probability(0b100), 1.0, kTol);
+}
+
+TEST(Equivalence, EmbedStateRejectsBadLayout) {
+  StateVector small(2);
+  EXPECT_THROW(embed_state(small, 3, {0, 0}), AssertionError);   // not injective
+  EXPECT_THROW(embed_state(small, 3, {0, 3}), AssertionError);   // out of range
+  EXPECT_THROW(embed_state(small, 1, {0, 1}), AssertionError);   // too small
+}
+
+TEST(Equivalence, MappingSemanticsIdentityLayouts) {
+  qfs::Rng rng(17);
+  Circuit c(3);
+  c.h(0).cx(0, 1).cz(1, 2);
+  // "Mapped" = same circuit on a 5-qubit register.
+  Circuit mapped(5);
+  mapped.h(0).cx(0, 1).cz(1, 2);
+  EXPECT_TRUE(mapping_preserves_semantics(c, mapped, {0, 1, 2}, {0, 1, 2}, rng));
+}
+
+TEST(Equivalence, MappingSemanticsDetectsWrongCircuit) {
+  qfs::Rng rng(19);
+  Circuit c(2);
+  c.cx(0, 1);
+  Circuit mapped(3);
+  mapped.cx(0, 2);  // acts on the wrong qubit given the claimed layout
+  EXPECT_FALSE(
+      mapping_preserves_semantics(c, mapped, {0, 1}, {0, 1}, rng));
+}
+
+TEST(Equivalence, MappingSemanticsWithSwapAndFinalLayout) {
+  qfs::Rng rng(23);
+  Circuit c(2);
+  c.cx(0, 1);
+  // Physical line 0-1-2 with virtual 0 on phys 0, virtual 1 on phys 2:
+  // swap phys 1,2 brings virtual 1 next to virtual 0, then cx(0,1).
+  Circuit mapped(3);
+  mapped.swap(1, 2).cx(0, 1);
+  EXPECT_TRUE(
+      mapping_preserves_semantics(c, mapped, {0, 2}, {0, 1}, rng));
+  // Wrong final layout must fail.
+  EXPECT_FALSE(
+      mapping_preserves_semantics(c, mapped, {0, 2}, {0, 2}, rng));
+}
+
+}  // namespace
+}  // namespace qfs::sim

@@ -1,0 +1,284 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/device.h"
+#include "mapper/pipeline.h"
+#include "sim/equivalence.h"
+#include "sim/stabilizer.h"
+#include "sim/statevector.h"
+#include "workloads/algorithms.h"
+#include "workloads/reversible.h"
+
+namespace qfs::sim {
+namespace {
+
+using circuit::Circuit;
+using circuit::GateKind;
+
+TEST(Stabilizer, CliffordGateClassification) {
+  EXPECT_TRUE(is_clifford_gate(GateKind::kH));
+  EXPECT_TRUE(is_clifford_gate(GateKind::kS));
+  EXPECT_TRUE(is_clifford_gate(GateKind::kCx));
+  EXPECT_TRUE(is_clifford_gate(GateKind::kCz));
+  EXPECT_TRUE(is_clifford_gate(GateKind::kSwap));
+  EXPECT_FALSE(is_clifford_gate(GateKind::kT));
+  EXPECT_FALSE(is_clifford_gate(GateKind::kRz));
+  EXPECT_FALSE(is_clifford_gate(GateKind::kCcx));
+}
+
+TEST(Stabilizer, CliffordCircuitClassification) {
+  Circuit clifford(2);
+  clifford.h(0).cx(0, 1).s(1);
+  EXPECT_TRUE(is_clifford_circuit(clifford));
+  Circuit with_t(2);
+  with_t.h(0).t(0);
+  EXPECT_FALSE(is_clifford_circuit(with_t));
+  Circuit with_measure(1);
+  with_measure.measure(0);
+  EXPECT_FALSE(is_clifford_circuit(with_measure));
+}
+
+TEST(Stabilizer, InitialStateStabilizedByZ) {
+  StabilizerState s(3);
+  EXPECT_EQ(s.stabilizer_string(0), "+ZII");
+  EXPECT_EQ(s.stabilizer_string(1), "+IZI");
+  EXPECT_EQ(s.stabilizer_string(2), "+IIZ");
+}
+
+TEST(Stabilizer, HadamardMovesZToX) {
+  StabilizerState s(1);
+  s.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  EXPECT_EQ(s.stabilizer_string(0), "+X");
+}
+
+TEST(Stabilizer, XFlipsSign) {
+  StabilizerState s(1);
+  s.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  EXPECT_EQ(s.stabilizer_string(0), "-Z");
+}
+
+TEST(Stabilizer, BellStateStabilizers) {
+  StabilizerState s(2);
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  s.apply_circuit(bell);
+  auto canon = s.canonical_stabilizers();
+  // Bell state: stabilized by +XX and +ZZ.
+  EXPECT_NE(std::find(canon.begin(), canon.end(), "+XX"), canon.end());
+  EXPECT_NE(std::find(canon.begin(), canon.end(), "+ZZ"), canon.end());
+}
+
+TEST(Stabilizer, DeterministicMeasurementOfComputationalState) {
+  qfs::Rng rng(1);
+  StabilizerState s(2);
+  s.apply_gate(circuit::make_gate(GateKind::kX, {1}));
+  EXPECT_TRUE(s.is_deterministic(0));
+  EXPECT_TRUE(s.is_deterministic(1));
+  EXPECT_FALSE(s.measure(0, rng));
+  EXPECT_TRUE(s.measure(1, rng));
+}
+
+TEST(Stabilizer, RandomMeasurementCollapses) {
+  qfs::Rng rng(2);
+  StabilizerState s(1);
+  s.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  EXPECT_FALSE(s.is_deterministic(0));
+  bool outcome = s.measure(0, rng);
+  // After collapse the outcome repeats deterministically.
+  EXPECT_TRUE(s.is_deterministic(0));
+  EXPECT_EQ(s.measure(0, rng), outcome);
+}
+
+TEST(Stabilizer, GhzCorrelations) {
+  qfs::Rng rng(3);
+  int agree = 0;
+  const int trials = 40;
+  for (int t = 0; t < trials; ++t) {
+    StabilizerState s(3);
+    Circuit ghz(3);
+    ghz.h(0).cx(0, 1).cx(1, 2);
+    s.apply_circuit(ghz);
+    bool a = s.measure(0, rng);
+    bool b = s.measure(1, rng);
+    bool c = s.measure(2, rng);
+    if (a == b && b == c) ++agree;
+  }
+  EXPECT_EQ(agree, trials);  // GHZ outcomes are perfectly correlated
+}
+
+TEST(Stabilizer, MeasurementStatisticsUniform) {
+  qfs::Rng rng(4);
+  int ones = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    StabilizerState s(1);
+    s.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+    if (s.measure(0, rng)) ++ones;
+  }
+  EXPECT_NEAR(ones / static_cast<double>(trials), 0.5, 0.08);
+}
+
+TEST(Stabilizer, SameStateDetectsEqualAndDifferent) {
+  StabilizerState a(2), b(2), c(2);
+  Circuit bell(2);
+  bell.h(0).cx(0, 1);
+  a.apply_circuit(bell);
+  // Same Bell state built differently: h(1); cx(1,0).
+  Circuit bell2(2);
+  bell2.h(1).cx(1, 0);
+  b.apply_circuit(bell2);
+  EXPECT_TRUE(StabilizerState::same_state(a, b));
+  c.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  EXPECT_FALSE(StabilizerState::same_state(a, c));
+}
+
+TEST(Stabilizer, SignsDistinguishOrthogonalStates) {
+  StabilizerState plus(1), minus(1);
+  plus.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  minus.apply_gate(circuit::make_gate(GateKind::kX, {0}));
+  minus.apply_gate(circuit::make_gate(GateKind::kH, {0}));
+  EXPECT_FALSE(StabilizerState::same_state(plus, minus));
+}
+
+TEST(Stabilizer, NonCliffordGateIsContractViolation) {
+  StabilizerState s(1);
+  EXPECT_THROW(s.apply_gate(circuit::make_gate(GateKind::kT, {0})),
+               AssertionError);
+}
+
+// Cross-validate against the state-vector simulator on random Clifford
+// circuits: measurement determinism and deterministic outcomes must agree.
+TEST(Stabilizer, AgreesWithStateVectorOnCliffordCircuits) {
+  qfs::Rng gen(5);
+  const GateKind pool[] = {GateKind::kH,  GateKind::kS,  GateKind::kX,
+                           GateKind::kZ,  GateKind::kCx, GateKind::kCz,
+                           GateKind::kSdg, GateKind::kSwap};
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4;
+    Circuit c(n);
+    for (int i = 0; i < 25; ++i) {
+      GateKind kind = pool[gen.uniform_index(std::size(pool))];
+      if (circuit::gate_arity(kind) == 1) {
+        c.add(kind, {gen.uniform_int(0, n - 1)});
+      } else {
+        auto qs = gen.sample_without_replacement(n, 2);
+        c.add(kind, {qs[0], qs[1]});
+      }
+    }
+    StabilizerState tab(n);
+    tab.apply_circuit(c);
+    StateVector sv(n);
+    sv.apply_circuit(c);
+    for (int q = 0; q < n; ++q) {
+      double p1 = sv.marginal_one_probability(q);
+      if (tab.is_deterministic(q)) {
+        qfs::Rng rng(trial);
+        StabilizerState copy = tab;
+        bool outcome = copy.measure(q, rng);
+        EXPECT_NEAR(p1, outcome ? 1.0 : 0.0, 1e-9)
+            << "trial " << trial << " qubit " << q;
+      } else {
+        EXPECT_NEAR(p1, 0.5, 1e-9) << "trial " << trial << " qubit " << q;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Device-scale mapping verification
+// ---------------------------------------------------------------------------
+
+TEST(CliffordVerification, Ghz50OnSurface97) {
+  // A 50-qubit GHZ is far beyond the state-vector simulator, but the
+  // stabilizer check verifies the routed circuit exactly — the surface
+  // gate set's cz/ry(±pi/2) network is Clifford (quarter-turn rotations).
+  device::Device d = device::surface97_device();
+  Circuit c = workloads::ghz(50);
+  mapper::MappingOptions opts;
+  opts.placer = "subgraph";
+  qfs::Rng rng(6);
+  mapper::MappingResult r = mapper::map_circuit(c, d, opts, rng);
+  ASSERT_TRUE(is_clifford_circuit(r.mapped));
+  EXPECT_TRUE(clifford_mapping_preserves_state(c, r.mapped, r.initial_layout,
+                                               r.final_layout));
+
+  // Same circuit through an IBM-basis device (rz/sx/cx network).
+  device::Device ibm_like("grid", device::grid_topology(8, 8),
+                          device::ibm_gateset(),
+                          device::ErrorModel(0.999, 0.99, 0.99));
+  mapper::MappingResult r2 = mapper::map_circuit(c, ibm_like, rng);
+  ASSERT_TRUE(is_clifford_circuit(r2.mapped));
+  EXPECT_TRUE(clifford_mapping_preserves_state(
+      c, r2.mapped, r2.initial_layout, r2.final_layout));
+}
+
+TEST(CliffordVerification, QuarterTurnRotationsMatchStateVector) {
+  // ry(pi/2), rz(-pi/2), rx(pi) etc. must act identically in both
+  // simulators (up to global phase, which stabilizers ignore).
+  qfs::Rng gen(9);
+  Circuit c(3);
+  c.ry(M_PI / 2, 0).rz(-M_PI / 2, 1).rx(M_PI, 2).cz(0, 1);
+  c.p(3 * M_PI / 2, 2).ry(-M_PI / 2, 1).cx(1, 2);
+  ASSERT_TRUE(is_clifford_circuit(c));
+  StabilizerState tab(3);
+  tab.apply_circuit(c);
+  StateVector sv(3);
+  sv.apply_circuit(c);
+  for (int q = 0; q < 3; ++q) {
+    double p1 = sv.marginal_one_probability(q);
+    if (tab.is_deterministic(q)) {
+      qfs::Rng rng(1);
+      StabilizerState copy = tab;
+      EXPECT_NEAR(p1, copy.measure(q, rng) ? 1.0 : 0.0, 1e-9) << "qubit " << q;
+    } else {
+      EXPECT_NEAR(p1, 0.5, 1e-9) << "qubit " << q;
+    }
+  }
+}
+
+TEST(CliffordVerification, NonQuarterTurnIsNotClifford) {
+  Circuit c(1);
+  c.rz(0.3, 0);
+  EXPECT_FALSE(is_clifford_circuit(c));
+  StabilizerState s(1);
+  EXPECT_THROW(s.apply_gate(c.gates()[0]), AssertionError);
+}
+
+TEST(CliffordVerification, DetectsBrokenMapping) {
+  device::Device d("line", device::line_topology(5),
+                   device::ibm_gateset(),
+                   device::ErrorModel(0.999, 0.99, 0.99));
+  Circuit c = workloads::ghz(4);
+  qfs::Rng rng(7);
+  mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+  ASSERT_TRUE(is_clifford_circuit(r.mapped));
+  EXPECT_TRUE(clifford_mapping_preserves_state(c, r.mapped, r.initial_layout,
+                                               r.final_layout));
+  // Corrupt: claim a wrong final layout.
+  std::vector<int> wrong = r.final_layout;
+  std::swap(wrong[0], wrong[1]);
+  EXPECT_FALSE(
+      clifford_mapping_preserves_state(c, r.mapped, r.initial_layout, wrong));
+  // Corrupt: drop the last gate of the mapped circuit.
+  Circuit truncated(r.mapped.num_qubits());
+  for (std::size_t i = 0; i + 1 < r.mapped.size(); ++i) {
+    truncated.add(r.mapped.gates()[i]);
+  }
+  EXPECT_FALSE(clifford_mapping_preserves_state(c, truncated, r.initial_layout,
+                                                r.final_layout));
+}
+
+TEST(CliffordVerification, ReversibleNetworkOnHeavyHex) {
+  // CX-only reversible circuits stay Clifford through an IBM-basis mapping.
+  device::Device d = device::heavy_hex27_device();
+  Circuit c = workloads::reversible_bit_reversal(10);
+  qfs::Rng rng(8);
+  mapper::MappingResult r = mapper::map_circuit(c, d, rng);
+  ASSERT_TRUE(is_clifford_circuit(r.mapped));
+  EXPECT_TRUE(clifford_mapping_preserves_state(c, r.mapped, r.initial_layout,
+                                               r.final_layout));
+}
+
+}  // namespace
+}  // namespace qfs::sim

@@ -1,0 +1,300 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/kmeans.h"
+#include "stats/regression.h"
+#include "support/rng.h"
+
+namespace qfs::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Descriptive
+// ---------------------------------------------------------------------------
+
+TEST(Descriptive, MeanAndVariance) {
+  std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Descriptive, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  std::vector<double> xs = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7);
+}
+
+TEST(Descriptive, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+}
+
+TEST(Descriptive, QuantileInterpolates) {
+  std::vector<double> xs = {0, 10, 20, 30};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 15.0);
+}
+
+TEST(Descriptive, StandardizeZeroMeanUnitVar) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  auto z = standardize(xs);
+  EXPECT_NEAR(mean(z), 0.0, 1e-12);
+  EXPECT_NEAR(stddev(z), 1.0, 1e-12);
+}
+
+TEST(Descriptive, StandardizeConstantIsZeros) {
+  auto z = standardize({3, 3, 3});
+  for (double v : z) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Bootstrap, CoversTrueMeanOfNormalSample) {
+  qfs::Rng rng(41);
+  std::vector<double> xs;
+  for (int i = 0; i < 400; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  qfs::Rng boot(42);
+  auto ci = bootstrap_mean_ci(xs, boot);
+  EXPECT_LT(ci.lower, 10.0);
+  EXPECT_GT(ci.upper, 10.0);
+  EXPECT_NEAR(ci.point, 10.0, 0.3);
+  // Width ~ 2*1.96*sigma/sqrt(n) ~= 0.39.
+  EXPECT_NEAR(ci.upper - ci.lower, 0.39, 0.12);
+}
+
+TEST(Bootstrap, DegenerateSamples) {
+  qfs::Rng rng(43);
+  auto empty = bootstrap_mean_ci({}, rng);
+  EXPECT_DOUBLE_EQ(empty.point, 0.0);
+  auto constant = bootstrap_mean_ci({5, 5, 5, 5}, rng);
+  EXPECT_DOUBLE_EQ(constant.lower, 5.0);
+  EXPECT_DOUBLE_EQ(constant.upper, 5.0);
+}
+
+TEST(Bootstrap, NarrowerForLargerSamples) {
+  qfs::Rng gen(44);
+  std::vector<double> small_sample, large_sample;
+  for (int i = 0; i < 30; ++i) small_sample.push_back(gen.normal(0, 1));
+  for (int i = 0; i < 3000; ++i) large_sample.push_back(gen.normal(0, 1));
+  qfs::Rng b1(45), b2(45);
+  auto ci_small = bootstrap_mean_ci(small_sample, b1, 500);
+  auto ci_large = bootstrap_mean_ci(large_sample, b2, 500);
+  EXPECT_LT(ci_large.upper - ci_large.lower, ci_small.upper - ci_small.lower);
+}
+
+TEST(Bootstrap, Validation) {
+  qfs::Rng rng(46);
+  std::vector<double> xs = {1, 2};
+  EXPECT_THROW(bootstrap_mean_ci(xs, rng, 0), AssertionError);
+  EXPECT_THROW(bootstrap_mean_ci(xs, rng, 100, 1.5), AssertionError);
+}
+
+// ---------------------------------------------------------------------------
+// Correlation
+// ---------------------------------------------------------------------------
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {10, 20, 30, 40};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, SizeMismatchGivesZero) {
+  EXPECT_DOUBLE_EQ(pearson({1, 2}, {1, 2, 3}), 0.0);
+}
+
+TEST(Pearson, IndependentSeriesNearZero) {
+  qfs::Rng rng(3);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.normal(0, 1));
+    y.push_back(rng.normal(0, 1));
+  }
+  EXPECT_NEAR(pearson(x, y), 0.0, 0.05);
+}
+
+TEST(Spearman, MonotonicNonlinearIsOne) {
+  std::vector<double> x = {1, 2, 3, 4, 5};
+  std::vector<double> y = {1, 8, 27, 64, 125};  // x^3: nonlinear, monotonic
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+  EXPECT_LT(pearson(x, y), 1.0);
+}
+
+TEST(Spearman, HandlesTies) {
+  std::vector<double> x = {1, 2, 2, 3};
+  std::vector<double> y = {1, 2, 2, 3};
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(CorrelationMatrix, DiagonalOnesSymmetric) {
+  std::vector<Feature> f = {{"a", {1, 2, 3, 4}},
+                            {"b", {2, 4, 6, 8}},
+                            {"c", {4, 3, 2, 1}}};
+  auto m = correlation_matrix(f);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m[i][i], 1.0);
+  EXPECT_NEAR(m[0][1], 1.0, 1e-12);
+  EXPECT_NEAR(m[0][2], -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m[1][2], m[2][1]);
+}
+
+TEST(ReduceFeatures, DropsPerfectlyCorrelated) {
+  std::vector<Feature> f = {
+      {"a", {1, 2, 3, 4}},
+      {"a_scaled", {10, 20, 30, 40}},  // redundant with a
+      {"b", {1, -1, 1, -1}},           // independent
+  };
+  auto r = reduce_features(f, 0.85);
+  ASSERT_EQ(r.kept.size(), 2u);
+  EXPECT_EQ(r.kept[0], 0);
+  EXPECT_EQ(r.kept[1], 2);
+  ASSERT_EQ(r.dropped.size(), 1u);
+  EXPECT_EQ(r.dropped[0], 1);
+  EXPECT_EQ(r.redundant_with[0], 0);
+}
+
+TEST(ReduceFeatures, KeepsAllWhenIndependent) {
+  qfs::Rng rng(9);
+  std::vector<Feature> f(4);
+  for (int c = 0; c < 4; ++c) {
+    f[static_cast<std::size_t>(c)].name = "f" + std::to_string(c);
+    for (int i = 0; i < 500; ++i) {
+      f[static_cast<std::size_t>(c)].values.push_back(rng.normal(0, 1));
+    }
+  }
+  auto r = reduce_features(f, 0.85);
+  EXPECT_EQ(r.kept.size(), 4u);
+  EXPECT_TRUE(r.dropped.empty());
+}
+
+TEST(ReduceFeatures, PriorityOrderWins) {
+  // Both columns correlated: the earlier one must be kept.
+  std::vector<Feature> f = {{"first", {1, 2, 3}}, {"second", {2, 4, 6}}};
+  auto r = reduce_features(f, 0.5);
+  ASSERT_EQ(r.kept.size(), 1u);
+  EXPECT_EQ(r.kept[0], 0);
+}
+
+// ---------------------------------------------------------------------------
+// KMeans
+// ---------------------------------------------------------------------------
+
+TEST(KMeans, SeparatesObviousClusters) {
+  qfs::Rng rng(21);
+  std::vector<std::vector<double>> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back({rng.normal(0, 0.1), rng.normal(0, 0.1)});
+  }
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back({rng.normal(10, 0.1), rng.normal(10, 0.1)});
+  }
+  auto result = kmeans(samples, 2, rng);
+  // All of the first 30 share a label; all of the last 30 share the other.
+  for (int i = 1; i < 30; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], result.assignment[0]);
+  for (int i = 31; i < 60; ++i) EXPECT_EQ(result.assignment[static_cast<std::size_t>(i)], result.assignment[30]);
+  EXPECT_NE(result.assignment[0], result.assignment[30]);
+  EXPECT_LT(result.inertia, 5.0);
+}
+
+TEST(KMeans, KEqualsOneGroupsEverything) {
+  qfs::Rng rng(23);
+  std::vector<std::vector<double>> samples = {{0, 0}, {1, 1}, {2, 2}};
+  auto result = kmeans(samples, 1, rng);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+  EXPECT_NEAR(result.centroids[0][0], 1.0, 1e-12);
+}
+
+TEST(KMeans, KEqualsNZeroInertia) {
+  qfs::Rng rng(25);
+  std::vector<std::vector<double>> samples = {{0, 0}, {5, 0}, {0, 5}};
+  auto result = kmeans(samples, 3, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeans, InvalidKIsContractViolation) {
+  qfs::Rng rng(27);
+  std::vector<std::vector<double>> samples = {{0.0}, {1.0}};
+  EXPECT_THROW(kmeans(samples, 0, rng), AssertionError);
+  EXPECT_THROW(kmeans(samples, 3, rng), AssertionError);
+}
+
+TEST(KMeans, RaggedSamplesAreContractViolation) {
+  qfs::Rng rng(29);
+  std::vector<std::vector<double>> samples = {{0.0, 1.0}, {1.0}};
+  EXPECT_THROW(kmeans(samples, 1, rng), AssertionError);
+}
+
+TEST(KMeans, SquaredDistance) {
+  EXPECT_DOUBLE_EQ(squared_distance({0, 0}, {3, 4}), 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// Regression
+// ---------------------------------------------------------------------------
+
+TEST(Regression, ExactLine) {
+  auto fit = linear_fit({1, 2, 3, 4}, {3, 5, 7, 9});  // y = 2x + 1
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, NoisyLineReasonable) {
+  qfs::Rng rng(31);
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.uniform_real(0, 10);
+    xs.push_back(x);
+    ys.push_back(3.0 * x - 2.0 + rng.normal(0, 0.5));
+  }
+  auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 0.1);
+  EXPECT_NEAR(fit.intercept, -2.0, 0.3);
+  EXPECT_GT(fit.r2, 0.95);
+}
+
+TEST(Regression, DegenerateInputsGiveZeroFit) {
+  auto fit = linear_fit({1.0}, {2.0});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  auto fit2 = linear_fit({2, 2, 2}, {1, 2, 3});  // zero x variance
+  EXPECT_DOUBLE_EQ(fit2.slope, 0.0);
+}
+
+TEST(Regression, ExponentialFitRecoversDecay) {
+  // y = 5 * exp(-0.01 x): the Fig. 3a fidelity-decay shape.
+  std::vector<double> xs, ys;
+  for (int x = 0; x < 400; x += 10) {
+    xs.push_back(x);
+    ys.push_back(5.0 * std::exp(-0.01 * x));
+  }
+  auto fit = exponential_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, -0.01, 1e-9);
+  EXPECT_NEAR(std::exp(fit.intercept), 5.0, 1e-6);
+}
+
+TEST(Regression, ExponentialFitSkipsNonPositive) {
+  auto fit = exponential_fit({1, 2, 3, 4}, {0.0, std::exp(2.0), std::exp(3.0),
+                                            std::exp(4.0)});
+  EXPECT_NEAR(fit.slope, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace qfs::stats

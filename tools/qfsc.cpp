@@ -1,0 +1,372 @@
+// qfsc — the qfs command-line compiler driver.
+//
+// Reads an OpenQASM 2.0 circuit (file argument or stdin), compiles it for a
+// chosen device, and prints a mapping report and optionally the compiled
+// QASM, the timed ISA program, or the interaction-graph profile.
+//
+//   qfsc --device surface17 --placer annealing --router lookahead in.qasm
+//   cat in.qasm | qfsc --device line:20 --emit-qasm
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "circuit/draw.h"
+#include "compiler/schedule.h"
+#include "device/calibration.h"
+#include "mapper/recommend.h"
+#include "device/device.h"
+#include "isa/timed_program.h"
+#include "mapper/pipeline.h"
+#include "profile/circuit_profile.h"
+#include "profile/dot_export.h"
+#include "profile/interaction.h"
+#include "qasm/cqasm_writer.h"
+#include "qasm/parser.h"
+#include "qasm/writer.h"
+#include "report/table.h"
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace qfs;
+
+struct CliOptions {
+  std::string device = "surface17";
+  std::string placer = "trivial";
+  std::string router = "trivial";
+  int sabre_rounds = 0;
+  std::uint64_t seed = 2022;
+  bool emit_qasm = false;
+  bool emit_cqasm = false;
+  bool emit_timed = false;
+  bool emit_dot = false;
+  bool emit_json = false;
+  bool profile_only = false;
+  bool recommend = false;
+  bool draw_circuit = false;
+  bool avoid_crosstalk = false;
+  std::string calibration_path;
+  std::string input_path;  // empty: stdin
+};
+
+void print_usage() {
+  std::cout <<
+      "usage: qfsc [options] [input.qasm]\n"
+      "\n"
+      "options:\n"
+      "  --device <name>   surface7 | surface17 | surface97 | heavyhex27 |\n"
+      "                    line:<N> | grid:<R>x<C> | full:<N> |\n"
+      "                    file:<topology.txt>                  (default surface17)\n"
+      "  --placer <name>   trivial | random | degree-match | annealing |\n"
+      "                    subgraph | noise-aware                (default trivial)\n"
+      "  --router <name>   trivial | lookahead | noise-aware | bridge |\n"
+      "                    optimal                               (default trivial)\n"
+      "  --sabre <n>       SABRE placement-refinement rounds     (default 0)\n"
+      "  --seed <n>        RNG seed                              (default 2022)\n"
+      "  --calibration <f> load per-qubit/per-edge fidelities from a file\n"
+      "  --emit-qasm       print the compiled OpenQASM program\n"
+      "  --emit-cqasm      print the compiled cQASM 1.0 program\n"
+      "  --emit-timed      print the scheduled, timed ISA program\n"
+      "  --emit-dot        print the interaction graph in Graphviz DOT\n"
+      "  --emit-json       print the mapping report as JSON\n"
+      "  --crosstalk-safe  schedule with crosstalk exclusion (with --emit-timed)\n"
+      "  --profile         print the interaction-graph profile and exit\n"
+      "  --recommend       use (and print) the profile-based strategy\n"
+      "                    recommendation instead of --placer/--router\n"
+      "  --draw            print the input circuit as ASCII art first\n"
+      "  --help            this text\n"
+      "\n"
+      "The circuit is read from the positional file, or stdin when omitted.\n";
+}
+
+bool parse_device(const std::string& spec, device::Device& out,
+                  std::string& error) {
+  if (spec == "surface7") {
+    out = device::surface7_device();
+  } else if (spec == "surface17") {
+    out = device::surface17_device();
+  } else if (spec == "surface97") {
+    out = device::surface97_device();
+  } else if (spec == "heavyhex27") {
+    out = device::heavy_hex27_device();
+  } else if (starts_with(spec, "line:")) {
+    int n = 0;
+    if (!parse_int(spec.substr(5), n) || n < 1) {
+      error = "bad line size in '" + spec + "'";
+      return false;
+    }
+    out = device::line_device(n);
+  } else if (starts_with(spec, "full:")) {
+    int n = 0;
+    if (!parse_int(spec.substr(5), n) || n < 1) {
+      error = "bad size in '" + spec + "'";
+      return false;
+    }
+    out = device::fully_connected_device(n);
+  } else if (starts_with(spec, "file:")) {
+    std::ifstream in(std::string(spec.substr(5)));
+    if (!in) {
+      error = "cannot open topology file '" + spec.substr(5) + "'";
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    auto topo = device::parse_topology(buffer.str());
+    if (!topo.is_ok()) {
+      error = topo.status().to_string();
+      return false;
+    }
+    std::string name = topo.value().name();
+    out = device::Device(name, std::move(topo).value(),
+                         device::surface_code_gateset(), device::ErrorModel());
+  } else if (starts_with(spec, "grid:")) {
+    auto dims = split(spec.substr(5), 'x');
+    int r = 0, c = 0;
+    if (dims.size() != 2 || !parse_int(dims[0], r) || !parse_int(dims[1], c) ||
+        r < 1 || c < 1) {
+      error = "bad grid spec in '" + spec + "' (expected grid:RxC)";
+      return false;
+    }
+    out = device::grid_device(r, c);
+  } else {
+    error = "unknown device '" + spec + "'";
+    return false;
+  }
+  return true;
+}
+
+int run(const CliOptions& cli) {
+  // Read the source.
+  std::string source;
+  if (cli.input_path.empty()) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(cli.input_path);
+    if (!in) {
+      std::cerr << "qfsc: cannot open '" << cli.input_path << "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  auto parsed = qasm::parse(source);
+  if (!parsed.is_ok()) {
+    std::cerr << "qfsc: " << parsed.status().to_string() << "\n";
+    return 1;
+  }
+  circuit::Circuit circuit = std::move(parsed).value();
+
+  if (cli.draw_circuit) {
+    circuit::DrawOptions draw_opts;
+    draw_opts.show_params = false;
+    std::cerr << circuit::draw(circuit, draw_opts) << "\n";
+  }
+
+  if (cli.emit_dot) {
+    profile::DotOptions dot;
+    dot.graph_name = "interaction";
+    std::cout << profile::to_dot(profile::interaction_graph(circuit), dot);
+    if (!cli.emit_qasm && !cli.emit_cqasm && !cli.emit_timed &&
+        !cli.profile_only) {
+      return 0;
+    }
+  }
+
+  if (cli.profile_only) {
+    profile::CircuitProfile p = profile::profile_circuit(circuit);
+    report::TextTable t({"metric", "value"});
+    t.add_row({"qubits (active)", std::to_string(p.num_qubits)});
+    t.add_row({"gates", std::to_string(p.gate_count)});
+    t.add_row({"two-qubit gate %",
+               format_double(100.0 * p.two_qubit_fraction, 1)});
+    t.add_row({"depth", std::to_string(p.depth)});
+    t.add_row({"interaction edges", std::to_string(p.ig_edges)});
+    t.add_row({"avg shortest path", format_double(p.avg_shortest_path, 3)});
+    t.add_row({"max degree", std::to_string(p.max_degree)});
+    t.add_row({"min degree", std::to_string(p.min_degree)});
+    t.add_row({"adjacency std dev", format_double(p.adj_matrix_stddev, 3)});
+    std::cout << t.to_string();
+    return 0;
+  }
+
+  device::Device dev;
+  std::string error;
+  if (!parse_device(cli.device, dev, error)) {
+    std::cerr << "qfsc: " << error << "\n";
+    return 1;
+  }
+  if (!cli.calibration_path.empty()) {
+    std::ifstream cal(cli.calibration_path);
+    if (!cal) {
+      std::cerr << "qfsc: cannot open calibration '" << cli.calibration_path
+                << "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << cal.rdbuf();
+    auto model = device::parse_calibration(buffer.str());
+    if (!model.is_ok()) {
+      std::cerr << "qfsc: " << model.status().to_string() << "\n";
+      return 1;
+    }
+    dev.mutable_error_model() = model.value();
+  }
+  if (circuit.num_qubits() > dev.num_qubits()) {
+    std::cerr << "qfsc: circuit needs " << circuit.num_qubits()
+              << " qubits but " << dev.name() << " has only "
+              << dev.num_qubits() << "\n";
+    return 1;
+  }
+
+  mapper::MappingOptions options;
+  options.placer = cli.placer;
+  options.router = cli.router;
+  options.sabre_refinement_rounds = cli.sabre_rounds;
+  if (cli.recommend) {
+    auto rec = mapper::recommend_mapping(profile::profile_circuit(circuit));
+    options = rec.options;
+    std::cerr << "recommendation: placer=" << options.placer
+              << " router=" << options.router << " ("
+              << rec.rationale << ")\n";
+  }
+  options.compute_latency = true;
+  qfs::Rng rng(cli.seed);
+  mapper::MappingResult result;
+  try {
+    result = mapper::map_circuit(circuit, dev, options, rng);
+  } catch (const AssertionError& e) {
+    std::cerr << "qfsc: " << e.what() << "\n";
+    return 1;
+  }
+
+  report::TextTable t({"metric", "value"});
+  t.add_row({"device", dev.name()});
+  t.add_row({"placer / router", options.placer + " / " + options.router});
+  t.add_row({"gates before -> after", std::to_string(result.gates_before) +
+                                          " -> " +
+                                          std::to_string(result.gates_after)});
+  t.add_row({"SWAPs inserted", std::to_string(result.swaps_inserted)});
+  t.add_row({"gate overhead %", format_double(result.gate_overhead_pct, 1)});
+  t.add_row({"depth before -> after", std::to_string(result.depth_before) +
+                                          " -> " +
+                                          std::to_string(result.depth_after)});
+  t.add_row({"est. fidelity before", format_double(result.fidelity_before, 5)});
+  t.add_row({"est. fidelity after", format_double(result.fidelity_after, 5)});
+  t.add_row({"fidelity decrease %",
+             format_double(result.fidelity_decrease_pct, 2)});
+  t.add_row({"latency ns before -> after",
+             format_double(result.latency_before_ns, 0) + " -> " +
+                 format_double(result.latency_after_ns, 0)});
+  std::cerr << t.to_string();
+
+  if (cli.emit_json) {
+    JsonValue layouts = JsonValue::object();
+    JsonValue init = JsonValue::array();
+    for (int p : result.initial_layout) init.push_back(JsonValue::integer(p));
+    JsonValue fin = JsonValue::array();
+    for (int p : result.final_layout) fin.push_back(JsonValue::integer(p));
+    layouts.set("initial", std::move(init)).set("final", std::move(fin));
+
+    JsonValue doc = JsonValue::object();
+    doc.set("device", JsonValue::string(dev.name()))
+        .set("placer", JsonValue::string(options.placer))
+        .set("router", JsonValue::string(options.router))
+        .set("gates_before", JsonValue::integer(result.gates_before))
+        .set("gates_after", JsonValue::integer(result.gates_after))
+        .set("swaps_inserted", JsonValue::integer(result.swaps_inserted))
+        .set("gate_overhead_pct", JsonValue::number(result.gate_overhead_pct))
+        .set("depth_before", JsonValue::integer(result.depth_before))
+        .set("depth_after", JsonValue::integer(result.depth_after))
+        .set("fidelity_before", JsonValue::number(result.fidelity_before))
+        .set("fidelity_after", JsonValue::number(result.fidelity_after))
+        .set("fidelity_decrease_pct",
+             JsonValue::number(result.fidelity_decrease_pct))
+        .set("latency_before_ns", JsonValue::number(result.latency_before_ns))
+        .set("latency_after_ns", JsonValue::number(result.latency_after_ns))
+        .set("layouts", std::move(layouts));
+    std::cout << doc.to_pretty_string() << "\n";
+  }
+  if (cli.emit_qasm) {
+    std::cout << qasm::to_qasm(result.mapped);
+  }
+  if (cli.emit_cqasm) {
+    std::cout << qasm::to_cqasm(result.mapped);
+  }
+  if (cli.emit_timed) {
+    compiler::ScheduleOptions sched;
+    sched.avoid_crosstalk = cli.avoid_crosstalk;
+    auto schedule = compiler::asap_schedule(result.mapped, dev, sched);
+    std::cout << isa::lower_to_timed_program(result.mapped, schedule).to_text();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qfsc: missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--device") {
+      cli.device = next();
+    } else if (arg == "--placer") {
+      cli.placer = next();
+    } else if (arg == "--router") {
+      cli.router = next();
+    } else if (arg == "--sabre") {
+      if (!qfs::parse_int(next(), cli.sabre_rounds) || cli.sabre_rounds < 0) {
+        std::cerr << "qfsc: bad --sabre round count\n";
+        return 1;
+      }
+    } else if (arg == "--seed") {
+      int seed = 0;
+      if (!qfs::parse_int(next(), seed)) {
+        std::cerr << "qfsc: bad seed\n";
+        return 1;
+      }
+      cli.seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--emit-qasm") {
+      cli.emit_qasm = true;
+    } else if (arg == "--emit-cqasm") {
+      cli.emit_cqasm = true;
+    } else if (arg == "--emit-dot") {
+      cli.emit_dot = true;
+    } else if (arg == "--emit-json") {
+      cli.emit_json = true;
+    } else if (arg == "--calibration") {
+      cli.calibration_path = next();
+    } else if (arg == "--emit-timed") {
+      cli.emit_timed = true;
+    } else if (arg == "--crosstalk-safe") {
+      cli.avoid_crosstalk = true;
+    } else if (arg == "--profile") {
+      cli.profile_only = true;
+    } else if (arg == "--recommend") {
+      cli.recommend = true;
+    } else if (arg == "--draw") {
+      cli.draw_circuit = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qfsc: unknown option '" << arg << "' (try --help)\n";
+      return 1;
+    } else {
+      cli.input_path = arg;
+    }
+  }
+  return run(cli);
+}
