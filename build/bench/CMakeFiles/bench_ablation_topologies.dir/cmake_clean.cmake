@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_topologies.dir/bench_ablation_topologies.cpp.o"
+  "CMakeFiles/bench_ablation_topologies.dir/bench_ablation_topologies.cpp.o.d"
+  "bench_ablation_topologies"
+  "bench_ablation_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_application_quality.dir/bench_application_quality.cpp.o"
+  "CMakeFiles/bench_application_quality.dir/bench_application_quality.cpp.o.d"
+  "bench_application_quality"
+  "bench_application_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_application_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

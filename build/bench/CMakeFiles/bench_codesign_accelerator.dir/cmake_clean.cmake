@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codesign_accelerator.dir/bench_codesign_accelerator.cpp.o"
+  "CMakeFiles/bench_codesign_accelerator.dir/bench_codesign_accelerator.cpp.o.d"
+  "bench_codesign_accelerator"
+  "bench_codesign_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codesign_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

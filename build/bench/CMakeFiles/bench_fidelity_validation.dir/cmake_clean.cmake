@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fidelity_validation.dir/bench_fidelity_validation.cpp.o"
+  "CMakeFiles/bench_fidelity_validation.dir/bench_fidelity_validation.cpp.o.d"
+  "bench_fidelity_validation"
+  "bench_fidelity_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fidelity_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_interaction_graphs.dir/bench_fig4_interaction_graphs.cpp.o"
+  "CMakeFiles/bench_fig4_interaction_graphs.dir/bench_fig4_interaction_graphs.cpp.o.d"
+  "bench_fig4_interaction_graphs"
+  "bench_fig4_interaction_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_interaction_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

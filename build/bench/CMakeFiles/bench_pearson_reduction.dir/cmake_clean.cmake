@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pearson_reduction.dir/bench_pearson_reduction.cpp.o"
+  "CMakeFiles/bench_pearson_reduction.dir/bench_pearson_reduction.cpp.o.d"
+  "bench_pearson_reduction"
+  "bench_pearson_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pearson_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_stack_lowering.dir/full_stack_lowering.cpp.o"
+  "CMakeFiles/full_stack_lowering.dir/full_stack_lowering.cpp.o.d"
+  "full_stack_lowering"
+  "full_stack_lowering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_stack_lowering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

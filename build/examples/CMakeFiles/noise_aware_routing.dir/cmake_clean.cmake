@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_aware_routing.dir/noise_aware_routing.cpp.o"
+  "CMakeFiles/noise_aware_routing.dir/noise_aware_routing.cpp.o.d"
+  "noise_aware_routing"
+  "noise_aware_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_aware_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_cluster.dir/profile_and_cluster.cpp.o"
+  "CMakeFiles/profile_and_cluster.dir/profile_and_cluster.cpp.o.d"
+  "profile_and_cluster"
+  "profile_and_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

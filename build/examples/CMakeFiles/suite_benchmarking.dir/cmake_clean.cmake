@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suite_benchmarking.dir/suite_benchmarking.cpp.o"
+  "CMakeFiles/suite_benchmarking.dir/suite_benchmarking.cpp.o.d"
+  "suite_benchmarking"
+  "suite_benchmarking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suite_benchmarking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;10;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_qaoa_compile "/root/repo/build/examples/qaoa_compile")
+set_tests_properties(example_qaoa_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_profile_and_cluster "/root/repo/build/examples/profile_and_cluster")
+set_tests_properties(example_profile_and_cluster PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_noise_aware_routing "/root/repo/build/examples/noise_aware_routing")
+set_tests_properties(example_noise_aware_routing PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_full_stack_lowering "/root/repo/build/examples/full_stack_lowering")
+set_tests_properties(example_full_stack_lowering PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_suite_benchmarking "/root/repo/build/examples/suite_benchmarking")
+set_tests_properties(example_suite_benchmarking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_error_detection "/root/repo/build/examples/error_detection")
+set_tests_properties(example_error_detection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;qfs_add_example;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("graph")
+subdirs("stats")
+subdirs("circuit")
+subdirs("device")
+subdirs("sim")
+subdirs("compiler")
+subdirs("isa")
+subdirs("qasm")
+subdirs("profile")
+subdirs("mapper")
+subdirs("workloads")
+subdirs("report")

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/circuit.cpp" "src/circuit/CMakeFiles/qfs_circuit.dir/circuit.cpp.o" "gcc" "src/circuit/CMakeFiles/qfs_circuit.dir/circuit.cpp.o.d"
+  "/root/repo/src/circuit/dag.cpp" "src/circuit/CMakeFiles/qfs_circuit.dir/dag.cpp.o" "gcc" "src/circuit/CMakeFiles/qfs_circuit.dir/dag.cpp.o.d"
+  "/root/repo/src/circuit/draw.cpp" "src/circuit/CMakeFiles/qfs_circuit.dir/draw.cpp.o" "gcc" "src/circuit/CMakeFiles/qfs_circuit.dir/draw.cpp.o.d"
+  "/root/repo/src/circuit/gate.cpp" "src/circuit/CMakeFiles/qfs_circuit.dir/gate.cpp.o" "gcc" "src/circuit/CMakeFiles/qfs_circuit.dir/gate.cpp.o.d"
+  "/root/repo/src/circuit/matrix.cpp" "src/circuit/CMakeFiles/qfs_circuit.dir/matrix.cpp.o" "gcc" "src/circuit/CMakeFiles/qfs_circuit.dir/matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_circuit.dir/circuit.cpp.o"
+  "CMakeFiles/qfs_circuit.dir/circuit.cpp.o.d"
+  "CMakeFiles/qfs_circuit.dir/dag.cpp.o"
+  "CMakeFiles/qfs_circuit.dir/dag.cpp.o.d"
+  "CMakeFiles/qfs_circuit.dir/draw.cpp.o"
+  "CMakeFiles/qfs_circuit.dir/draw.cpp.o.d"
+  "CMakeFiles/qfs_circuit.dir/gate.cpp.o"
+  "CMakeFiles/qfs_circuit.dir/gate.cpp.o.d"
+  "CMakeFiles/qfs_circuit.dir/matrix.cpp.o"
+  "CMakeFiles/qfs_circuit.dir/matrix.cpp.o.d"
+  "libqfs_circuit.a"
+  "libqfs_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

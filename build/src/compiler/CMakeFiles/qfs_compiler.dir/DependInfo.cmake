@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/decompose.cpp" "src/compiler/CMakeFiles/qfs_compiler.dir/decompose.cpp.o" "gcc" "src/compiler/CMakeFiles/qfs_compiler.dir/decompose.cpp.o.d"
+  "/root/repo/src/compiler/euler.cpp" "src/compiler/CMakeFiles/qfs_compiler.dir/euler.cpp.o" "gcc" "src/compiler/CMakeFiles/qfs_compiler.dir/euler.cpp.o.d"
+  "/root/repo/src/compiler/optimize.cpp" "src/compiler/CMakeFiles/qfs_compiler.dir/optimize.cpp.o" "gcc" "src/compiler/CMakeFiles/qfs_compiler.dir/optimize.cpp.o.d"
+  "/root/repo/src/compiler/pass_manager.cpp" "src/compiler/CMakeFiles/qfs_compiler.dir/pass_manager.cpp.o" "gcc" "src/compiler/CMakeFiles/qfs_compiler.dir/pass_manager.cpp.o.d"
+  "/root/repo/src/compiler/schedule.cpp" "src/compiler/CMakeFiles/qfs_compiler.dir/schedule.cpp.o" "gcc" "src/compiler/CMakeFiles/qfs_compiler.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

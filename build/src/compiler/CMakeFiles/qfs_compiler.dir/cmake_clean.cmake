@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_compiler.dir/decompose.cpp.o"
+  "CMakeFiles/qfs_compiler.dir/decompose.cpp.o.d"
+  "CMakeFiles/qfs_compiler.dir/euler.cpp.o"
+  "CMakeFiles/qfs_compiler.dir/euler.cpp.o.d"
+  "CMakeFiles/qfs_compiler.dir/optimize.cpp.o"
+  "CMakeFiles/qfs_compiler.dir/optimize.cpp.o.d"
+  "CMakeFiles/qfs_compiler.dir/pass_manager.cpp.o"
+  "CMakeFiles/qfs_compiler.dir/pass_manager.cpp.o.d"
+  "CMakeFiles/qfs_compiler.dir/schedule.cpp.o"
+  "CMakeFiles/qfs_compiler.dir/schedule.cpp.o.d"
+  "libqfs_compiler.a"
+  "libqfs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cpp" "src/device/CMakeFiles/qfs_device.dir/calibration.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/calibration.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/qfs_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/error_model.cpp" "src/device/CMakeFiles/qfs_device.dir/error_model.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/error_model.cpp.o.d"
+  "/root/repo/src/device/fidelity.cpp" "src/device/CMakeFiles/qfs_device.dir/fidelity.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/fidelity.cpp.o.d"
+  "/root/repo/src/device/gateset.cpp" "src/device/CMakeFiles/qfs_device.dir/gateset.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/gateset.cpp.o.d"
+  "/root/repo/src/device/synthesis.cpp" "src/device/CMakeFiles/qfs_device.dir/synthesis.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/synthesis.cpp.o.d"
+  "/root/repo/src/device/topology.cpp" "src/device/CMakeFiles/qfs_device.dir/topology.cpp.o" "gcc" "src/device/CMakeFiles/qfs_device.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

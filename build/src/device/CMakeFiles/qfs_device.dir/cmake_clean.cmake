@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_device.dir/calibration.cpp.o"
+  "CMakeFiles/qfs_device.dir/calibration.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/device.cpp.o"
+  "CMakeFiles/qfs_device.dir/device.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/error_model.cpp.o"
+  "CMakeFiles/qfs_device.dir/error_model.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/fidelity.cpp.o"
+  "CMakeFiles/qfs_device.dir/fidelity.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/gateset.cpp.o"
+  "CMakeFiles/qfs_device.dir/gateset.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/synthesis.cpp.o"
+  "CMakeFiles/qfs_device.dir/synthesis.cpp.o.d"
+  "CMakeFiles/qfs_device.dir/topology.cpp.o"
+  "CMakeFiles/qfs_device.dir/topology.cpp.o.d"
+  "libqfs_device.a"
+  "libqfs_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/qfs_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/qfs_graph.dir/generators.cpp.o"
+  "CMakeFiles/qfs_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/qfs_graph.dir/graph.cpp.o"
+  "CMakeFiles/qfs_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/qfs_graph.dir/metrics.cpp.o"
+  "CMakeFiles/qfs_graph.dir/metrics.cpp.o.d"
+  "libqfs_graph.a"
+  "libqfs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

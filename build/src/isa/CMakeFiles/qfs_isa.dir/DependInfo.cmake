@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/binary.cpp" "src/isa/CMakeFiles/qfs_isa.dir/binary.cpp.o" "gcc" "src/isa/CMakeFiles/qfs_isa.dir/binary.cpp.o.d"
+  "/root/repo/src/isa/pulse.cpp" "src/isa/CMakeFiles/qfs_isa.dir/pulse.cpp.o" "gcc" "src/isa/CMakeFiles/qfs_isa.dir/pulse.cpp.o.d"
+  "/root/repo/src/isa/timed_program.cpp" "src/isa/CMakeFiles/qfs_isa.dir/timed_program.cpp.o" "gcc" "src/isa/CMakeFiles/qfs_isa.dir/timed_program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/qfs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

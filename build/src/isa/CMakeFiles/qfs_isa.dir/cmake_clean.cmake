@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_isa.dir/binary.cpp.o"
+  "CMakeFiles/qfs_isa.dir/binary.cpp.o.d"
+  "CMakeFiles/qfs_isa.dir/pulse.cpp.o"
+  "CMakeFiles/qfs_isa.dir/pulse.cpp.o.d"
+  "CMakeFiles/qfs_isa.dir/timed_program.cpp.o"
+  "CMakeFiles/qfs_isa.dir/timed_program.cpp.o.d"
+  "libqfs_isa.a"
+  "libqfs_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

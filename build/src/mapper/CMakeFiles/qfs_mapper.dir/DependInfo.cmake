@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapper/layout.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/layout.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/layout.cpp.o.d"
+  "/root/repo/src/mapper/optimal.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/optimal.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/optimal.cpp.o.d"
+  "/root/repo/src/mapper/pipeline.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/pipeline.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/pipeline.cpp.o.d"
+  "/root/repo/src/mapper/placement.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/placement.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/placement.cpp.o.d"
+  "/root/repo/src/mapper/recommend.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/recommend.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/recommend.cpp.o.d"
+  "/root/repo/src/mapper/routing.cpp" "src/mapper/CMakeFiles/qfs_mapper.dir/routing.cpp.o" "gcc" "src/mapper/CMakeFiles/qfs_mapper.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/qfs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/qfs_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qfs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_mapper.dir/layout.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/layout.cpp.o.d"
+  "CMakeFiles/qfs_mapper.dir/optimal.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/optimal.cpp.o.d"
+  "CMakeFiles/qfs_mapper.dir/pipeline.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/pipeline.cpp.o.d"
+  "CMakeFiles/qfs_mapper.dir/placement.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/placement.cpp.o.d"
+  "CMakeFiles/qfs_mapper.dir/recommend.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/recommend.cpp.o.d"
+  "CMakeFiles/qfs_mapper.dir/routing.cpp.o"
+  "CMakeFiles/qfs_mapper.dir/routing.cpp.o.d"
+  "libqfs_mapper.a"
+  "libqfs_mapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_mapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/profile/circuit_profile.cpp" "src/profile/CMakeFiles/qfs_profile.dir/circuit_profile.cpp.o" "gcc" "src/profile/CMakeFiles/qfs_profile.dir/circuit_profile.cpp.o.d"
+  "/root/repo/src/profile/clustering.cpp" "src/profile/CMakeFiles/qfs_profile.dir/clustering.cpp.o" "gcc" "src/profile/CMakeFiles/qfs_profile.dir/clustering.cpp.o.d"
+  "/root/repo/src/profile/dot_export.cpp" "src/profile/CMakeFiles/qfs_profile.dir/dot_export.cpp.o" "gcc" "src/profile/CMakeFiles/qfs_profile.dir/dot_export.cpp.o.d"
+  "/root/repo/src/profile/interaction.cpp" "src/profile/CMakeFiles/qfs_profile.dir/interaction.cpp.o" "gcc" "src/profile/CMakeFiles/qfs_profile.dir/interaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qfs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_profile.dir/circuit_profile.cpp.o"
+  "CMakeFiles/qfs_profile.dir/circuit_profile.cpp.o.d"
+  "CMakeFiles/qfs_profile.dir/clustering.cpp.o"
+  "CMakeFiles/qfs_profile.dir/clustering.cpp.o.d"
+  "CMakeFiles/qfs_profile.dir/dot_export.cpp.o"
+  "CMakeFiles/qfs_profile.dir/dot_export.cpp.o.d"
+  "CMakeFiles/qfs_profile.dir/interaction.cpp.o"
+  "CMakeFiles/qfs_profile.dir/interaction.cpp.o.d"
+  "libqfs_profile.a"
+  "libqfs_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qasm/cqasm_writer.cpp" "src/qasm/CMakeFiles/qfs_qasm.dir/cqasm_writer.cpp.o" "gcc" "src/qasm/CMakeFiles/qfs_qasm.dir/cqasm_writer.cpp.o.d"
+  "/root/repo/src/qasm/parser.cpp" "src/qasm/CMakeFiles/qfs_qasm.dir/parser.cpp.o" "gcc" "src/qasm/CMakeFiles/qfs_qasm.dir/parser.cpp.o.d"
+  "/root/repo/src/qasm/writer.cpp" "src/qasm/CMakeFiles/qfs_qasm.dir/writer.cpp.o" "gcc" "src/qasm/CMakeFiles/qfs_qasm.dir/writer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qfs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qfs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

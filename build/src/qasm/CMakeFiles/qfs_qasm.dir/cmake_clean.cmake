@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_qasm.dir/cqasm_writer.cpp.o"
+  "CMakeFiles/qfs_qasm.dir/cqasm_writer.cpp.o.d"
+  "CMakeFiles/qfs_qasm.dir/parser.cpp.o"
+  "CMakeFiles/qfs_qasm.dir/parser.cpp.o.d"
+  "CMakeFiles/qfs_qasm.dir/writer.cpp.o"
+  "CMakeFiles/qfs_qasm.dir/writer.cpp.o.d"
+  "libqfs_qasm.a"
+  "libqfs_qasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_qasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_report.dir/histogram.cpp.o"
+  "CMakeFiles/qfs_report.dir/histogram.cpp.o.d"
+  "CMakeFiles/qfs_report.dir/scatter.cpp.o"
+  "CMakeFiles/qfs_report.dir/scatter.cpp.o.d"
+  "CMakeFiles/qfs_report.dir/table.cpp.o"
+  "CMakeFiles/qfs_report.dir/table.cpp.o.d"
+  "libqfs_report.a"
+  "libqfs_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/density_matrix.cpp" "src/sim/CMakeFiles/qfs_sim.dir/density_matrix.cpp.o" "gcc" "src/sim/CMakeFiles/qfs_sim.dir/density_matrix.cpp.o.d"
+  "/root/repo/src/sim/equivalence.cpp" "src/sim/CMakeFiles/qfs_sim.dir/equivalence.cpp.o" "gcc" "src/sim/CMakeFiles/qfs_sim.dir/equivalence.cpp.o.d"
+  "/root/repo/src/sim/noisy.cpp" "src/sim/CMakeFiles/qfs_sim.dir/noisy.cpp.o" "gcc" "src/sim/CMakeFiles/qfs_sim.dir/noisy.cpp.o.d"
+  "/root/repo/src/sim/stabilizer.cpp" "src/sim/CMakeFiles/qfs_sim.dir/stabilizer.cpp.o" "gcc" "src/sim/CMakeFiles/qfs_sim.dir/stabilizer.cpp.o.d"
+  "/root/repo/src/sim/statevector.cpp" "src/sim/CMakeFiles/qfs_sim.dir/statevector.cpp.o" "gcc" "src/sim/CMakeFiles/qfs_sim.dir/statevector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

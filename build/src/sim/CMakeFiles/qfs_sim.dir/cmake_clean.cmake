@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_sim.dir/density_matrix.cpp.o"
+  "CMakeFiles/qfs_sim.dir/density_matrix.cpp.o.d"
+  "CMakeFiles/qfs_sim.dir/equivalence.cpp.o"
+  "CMakeFiles/qfs_sim.dir/equivalence.cpp.o.d"
+  "CMakeFiles/qfs_sim.dir/noisy.cpp.o"
+  "CMakeFiles/qfs_sim.dir/noisy.cpp.o.d"
+  "CMakeFiles/qfs_sim.dir/stabilizer.cpp.o"
+  "CMakeFiles/qfs_sim.dir/stabilizer.cpp.o.d"
+  "CMakeFiles/qfs_sim.dir/statevector.cpp.o"
+  "CMakeFiles/qfs_sim.dir/statevector.cpp.o.d"
+  "libqfs_sim.a"
+  "libqfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_stats.dir/correlation.cpp.o"
+  "CMakeFiles/qfs_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/qfs_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/qfs_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/qfs_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/qfs_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/qfs_stats.dir/regression.cpp.o"
+  "CMakeFiles/qfs_stats.dir/regression.cpp.o.d"
+  "libqfs_stats.a"
+  "libqfs_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

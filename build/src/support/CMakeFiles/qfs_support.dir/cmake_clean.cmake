@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_support.dir/assert.cpp.o"
+  "CMakeFiles/qfs_support.dir/assert.cpp.o.d"
+  "CMakeFiles/qfs_support.dir/csv.cpp.o"
+  "CMakeFiles/qfs_support.dir/csv.cpp.o.d"
+  "CMakeFiles/qfs_support.dir/json.cpp.o"
+  "CMakeFiles/qfs_support.dir/json.cpp.o.d"
+  "CMakeFiles/qfs_support.dir/rng.cpp.o"
+  "CMakeFiles/qfs_support.dir/rng.cpp.o.d"
+  "CMakeFiles/qfs_support.dir/status.cpp.o"
+  "CMakeFiles/qfs_support.dir/status.cpp.o.d"
+  "CMakeFiles/qfs_support.dir/strings.cpp.o"
+  "CMakeFiles/qfs_support.dir/strings.cpp.o.d"
+  "libqfs_support.a"
+  "libqfs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

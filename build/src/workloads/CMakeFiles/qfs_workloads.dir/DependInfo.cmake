@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/algorithms.cpp" "src/workloads/CMakeFiles/qfs_workloads.dir/algorithms.cpp.o" "gcc" "src/workloads/CMakeFiles/qfs_workloads.dir/algorithms.cpp.o.d"
+  "/root/repo/src/workloads/random_circuit.cpp" "src/workloads/CMakeFiles/qfs_workloads.dir/random_circuit.cpp.o" "gcc" "src/workloads/CMakeFiles/qfs_workloads.dir/random_circuit.cpp.o.d"
+  "/root/repo/src/workloads/reversible.cpp" "src/workloads/CMakeFiles/qfs_workloads.dir/reversible.cpp.o" "gcc" "src/workloads/CMakeFiles/qfs_workloads.dir/reversible.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/qfs_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/qfs_workloads.dir/suite.cpp.o.d"
+  "/root/repo/src/workloads/suite_io.cpp" "src/workloads/CMakeFiles/qfs_workloads.dir/suite_io.cpp.o" "gcc" "src/workloads/CMakeFiles/qfs_workloads.dir/suite_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qfs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qfs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qfs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

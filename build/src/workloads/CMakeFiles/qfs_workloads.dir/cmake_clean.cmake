@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfs_workloads.dir/algorithms.cpp.o"
+  "CMakeFiles/qfs_workloads.dir/algorithms.cpp.o.d"
+  "CMakeFiles/qfs_workloads.dir/random_circuit.cpp.o"
+  "CMakeFiles/qfs_workloads.dir/random_circuit.cpp.o.d"
+  "CMakeFiles/qfs_workloads.dir/reversible.cpp.o"
+  "CMakeFiles/qfs_workloads.dir/reversible.cpp.o.d"
+  "CMakeFiles/qfs_workloads.dir/suite.cpp.o"
+  "CMakeFiles/qfs_workloads.dir/suite.cpp.o.d"
+  "CMakeFiles/qfs_workloads.dir/suite_io.cpp.o"
+  "CMakeFiles/qfs_workloads.dir/suite_io.cpp.o.d"
+  "libqfs_workloads.a"
+  "libqfs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

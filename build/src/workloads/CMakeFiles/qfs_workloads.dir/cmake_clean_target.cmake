@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libqfs_workloads.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stabilizer_test.dir/stabilizer_test.cpp.o"
+  "CMakeFiles/stabilizer_test.dir/stabilizer_test.cpp.o.d"
+  "stabilizer_test"
+  "stabilizer_test.pdb"
+  "stabilizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stabilizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats_test.cpp" "tests/CMakeFiles/stats_test.dir/stats_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/qfs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/qfs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/qfs_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/qfs_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/qasm/CMakeFiles/qfs_qasm.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/qfs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/qfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/qfs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/qfs_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/qfs_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapper/CMakeFiles/qfs_mapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/qfs_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/qfs_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

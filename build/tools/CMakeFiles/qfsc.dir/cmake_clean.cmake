@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qfsc.dir/qfsc.cpp.o"
+  "CMakeFiles/qfsc.dir/qfsc.cpp.o.d"
+  "qfsc"
+  "qfsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qfsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(qfsc_help "/root/repo/build/tools/qfsc" "--help")
+set_tests_properties(qfsc_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_compile "/root/repo/build/tools/qfsc" "--device" "surface17" "--placer" "subgraph" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_compile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_profile "/root/repo/build/tools/qfsc" "--profile" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_emit_timed "/root/repo/build/tools/qfsc" "--device" "line:6" "--emit-timed" "--crosstalk-safe" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_emit_timed PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_rejects_bad_device "/root/repo/build/tools/qfsc" "--device" "warp9" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_rejects_bad_device PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_rejects_missing_file "/root/repo/build/tools/qfsc" "/nonexistent.qasm")
+set_tests_properties(qfsc_rejects_missing_file PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_emit_json "/root/repo/build/tools/qfsc" "--device" "surface17" "--emit-json" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_emit_json PROPERTIES  PASS_REGULAR_EXPRESSION "\"gates_after\"" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_emit_dot "/root/repo/build/tools/qfsc" "--emit-dot" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_emit_dot PROPERTIES  PASS_REGULAR_EXPRESSION "graph interaction" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;26;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_emit_cqasm "/root/repo/build/tools/qfsc" "--device" "line:6" "--emit-cqasm" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_emit_cqasm PROPERTIES  PASS_REGULAR_EXPRESSION "version 1.0" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;30;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_bridge_router "/root/repo/build/tools/qfsc" "--device" "surface17" "--router" "bridge" "--sabre" "1" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_bridge_router PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_recommend "/root/repo/build/tools/qfsc" "--recommend" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_recommend PROPERTIES  PASS_REGULAR_EXPRESSION "recommendation: placer=subgraph" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;38;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_draw "/root/repo/build/tools/qfsc" "--draw" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_draw PROPERTIES  PASS_REGULAR_EXPRESSION "q0: " _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;42;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(qfsc_optimal_router "/root/repo/build/tools/qfsc" "--device" "line:6" "--router" "optimal" "/root/repo/tools/testdata/ghz5.qasm")
+set_tests_properties(qfsc_optimal_router PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;46;add_test;/root/repo/tools/CMakeLists.txt;0;")
