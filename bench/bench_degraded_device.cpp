@@ -1,0 +1,127 @@
+// Survival study: how gracefully does compilation degrade as Surface-97
+// (the paper's extended Surface-17) loses qubits and couplers?
+//
+// For each fault mode (dead edges / dead qubits) and casualty fraction, a
+// seeded FaultInjector degrades the chip, compile_resilient() climbs its
+// fallback ladder, and we record survival, gate overhead and fidelity
+// decrease. Emits a survival-curve CSV on stdout and a summary table on
+// stderr.
+#include <iostream>
+#include <vector>
+
+#include "common.h"
+#include "device/device.h"
+#include "device/faults.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+#include "support/csv.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+using namespace qfs;
+
+namespace {
+
+struct Workload {
+  std::string name;
+  circuit::Circuit circuit;
+};
+
+std::vector<Workload> make_workloads() {
+  Rng rng(2022);
+  std::vector<Workload> out;
+  out.push_back({"ghz-20", workloads::ghz(20)});
+  workloads::RandomCircuitSpec spec;
+  spec.num_qubits = 16;
+  spec.num_gates = 200;
+  spec.two_qubit_fraction = 0.35;
+  out.push_back({"random-16q200g", workloads::random_circuit(spec, rng)});
+  spec.num_qubits = 32;
+  spec.num_gates = 400;
+  out.push_back({"random-32q400g", workloads::random_circuit(spec, rng)});
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cerr << "=== Degraded-device survival study (Surface-97) ===\n";
+
+  const device::Device pristine = device::surface97_device();
+  const auto workloads_list = make_workloads();
+  const std::vector<double> fractions = {0.0,  0.05, 0.10, 0.15,
+                                         0.20, 0.25, 0.30};
+  const int seeds_per_point = 3;
+
+  CsvWriter csv(std::cout);
+  csv.header({"mode", "fraction", "seed", "circuit", "healthy_qubits",
+              "dead_edges", "success", "attempts", "gate_overhead_pct",
+              "fidelity_decrease_pct"});
+
+  report::TextTable summary({"mode", "fraction", "survival %",
+                             "mean overhead %", "mean fidelity decrease %"});
+
+  for (const std::string mode : {"edges", "qubits"}) {
+    for (double fraction : fractions) {
+      int attempts_total = 0, successes = 0, total = 0;
+      std::vector<double> overheads, fdecreases;
+      for (int seed = 0; seed < seeds_per_point; ++seed) {
+        device::FaultSpec spec;
+        spec.seed = 1000 + static_cast<std::uint64_t>(seed);
+        spec.fidelity_drift = 0.01;
+        if (mode == "edges") {
+          spec.dead_edge_fraction = fraction;
+        } else {
+          spec.dead_qubit_fraction = fraction;
+        }
+        auto degraded = device::FaultInjector(spec).apply(pristine);
+        if (!degraded.is_ok()) {
+          // Unsalvageable chip: every workload at this point is a casualty.
+          for (const auto& w : workloads_list) {
+            csv.row({mode, bench::fmt(fraction, 2), std::to_string(seed),
+                     w.name, "0", "-", "0", "0", "", ""});
+            ++total;
+          }
+          continue;
+        }
+        const device::DegradedDevice& dd = degraded.value();
+
+        for (const auto& w : workloads_list) {
+          ++total;
+          mapper::ResilientOptions opts;
+          opts.base.placer = "degree-match";
+          opts.base.router = "lookahead";
+          opts.max_attempts = 6;
+          opts.seed = 2022 + static_cast<std::uint64_t>(seed);
+          mapper::CompileAttemptLog log;
+          auto res = mapper::compile_resilient(w.circuit, dd.device, opts, &log);
+          bool ok = res.is_ok();
+          std::string overhead, fdec;
+          if (ok) {
+            ++successes;
+            overhead = bench::fmt(res.value().mapping.gate_overhead_pct, 2);
+            fdec = bench::fmt(res.value().mapping.fidelity_decrease_pct, 3);
+            overheads.push_back(res.value().mapping.gate_overhead_pct);
+            fdecreases.push_back(res.value().mapping.fidelity_decrease_pct);
+          }
+          attempts_total += static_cast<int>(log.size());
+          csv.row({mode, bench::fmt(fraction, 2), std::to_string(seed), w.name,
+                   std::to_string(dd.device.num_qubits()),
+                   std::to_string(dd.dead_edges), ok ? "1" : "0",
+                   std::to_string(log.size()), overhead, fdec});
+        }
+      }
+      summary.add_row(
+          {mode, bench::fmt(fraction, 2),
+           bench::fmt(total ? 100.0 * successes / total : 0.0, 1),
+           overheads.empty() ? "-" : bench::fmt(stats::mean(overheads), 1),
+           fdecreases.empty() ? "-" : bench::fmt(stats::mean(fdecreases), 2)});
+      std::cerr << "." << std::flush;
+    }
+  }
+  std::cerr << "\n" << summary.to_string();
+  std::cerr << "Reading: survival stays at 100% while the largest healthy\n"
+               "component still fits the widest circuit; overhead and\n"
+               "fidelity decrease grow as routing detours around casualties.\n";
+  return 0;
+}

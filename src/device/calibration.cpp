@@ -1,5 +1,7 @@
 #include "device/calibration.h"
 
+#include <cmath>
+#include <set>
 #include <sstream>
 
 #include "graph/algorithms.h"
@@ -15,11 +17,20 @@ qfs::Status line_error(int line_no, const std::string& message) {
   return qfs::parse_error(os.str());
 }
 
-bool valid_fidelity(double f) { return 0.0 < f && f <= 1.0; }
+bool valid_fidelity(double f) {
+  return std::isfinite(f) && 0.0 < f && f <= 1.0;
+}
+
+bool valid_duration(double d) { return std::isfinite(d) && d > 0.0; }
+
+std::pair<int, int> ordered(int a, int b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
 
 }  // namespace
 
-qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
+qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text,
+                                            int num_qubits) {
   double f1 = 0.999, f2 = 0.99, fm = 0.997;
   struct QubitRow {
     int id;
@@ -31,6 +42,8 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
   };
   std::vector<QubitRow> qubits;
   std::vector<EdgeRow> edges;
+  std::set<int> seen_qubits;
+  std::set<std::pair<int, int>> seen_edges;
   double dur1 = 20.0, dur2 = 40.0, durm = 600.0;
 
   std::istringstream in(text);
@@ -61,6 +74,15 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
       if (!qfs::parse_int(fields[1], row.id) || row.id < 0) {
         return line_error(line_no, "bad qubit id");
       }
+      if (num_qubits >= 0 && row.id >= num_qubits) {
+        return line_error(line_no, "qubit id " + std::to_string(row.id) +
+                                       " out of range (device has " +
+                                       std::to_string(num_qubits) + " qubits)");
+      }
+      if (!seen_qubits.insert(row.id).second) {
+        return line_error(line_no,
+                          "duplicate qubit id " + std::to_string(row.id));
+      }
       if (!qfs::parse_double(fields[2], row.f) || !valid_fidelity(row.f)) {
         return line_error(line_no, "bad qubit fidelity");
       }
@@ -72,6 +94,14 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
           row.a < 0 || row.b < 0 || row.a == row.b) {
         return line_error(line_no, "bad edge endpoints");
       }
+      if (num_qubits >= 0 && (row.a >= num_qubits || row.b >= num_qubits)) {
+        return line_error(line_no, "edge endpoint out of range (device has " +
+                                       std::to_string(num_qubits) + " qubits)");
+      }
+      if (!seen_edges.insert(ordered(row.a, row.b)).second) {
+        return line_error(line_no, "duplicate edge " + std::to_string(row.a) +
+                                       "," + std::to_string(row.b));
+      }
       if (!qfs::parse_double(fields[3], row.f) || !valid_fidelity(row.f)) {
         return line_error(line_no, "bad edge fidelity");
       }
@@ -80,8 +110,8 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text) {
       if (fields.size() != 4) return line_error(line_no, "durations_ns needs 3 values");
       if (!qfs::parse_double(fields[1], dur1) ||
           !qfs::parse_double(fields[2], dur2) ||
-          !qfs::parse_double(fields[3], durm) || dur1 <= 0 || dur2 <= 0 ||
-          durm <= 0) {
+          !qfs::parse_double(fields[3], durm) || !valid_duration(dur1) ||
+          !valid_duration(dur2) || !valid_duration(durm)) {
         return line_error(line_no, "bad duration");
       }
     } else {
@@ -151,6 +181,13 @@ qfs::StatusOr<Topology> parse_topology(const std::string& text) {
           !qfs::parse_int(fields[2], b) || a < 0 || b < 0 || a == b) {
         return line_error(line_no, "bad edge");
       }
+      if (num_qubits >= 1 && (a >= num_qubits || b >= num_qubits)) {
+        return line_error(line_no, "edge endpoint out of range (topology has " +
+                                       std::to_string(num_qubits) + " qubits)");
+      }
+      if (num_qubits < 1) {
+        return line_error(line_no, "edge before the qubits record");
+      }
       edges.emplace_back(a, b);
     } else {
       return line_error(line_no, "unknown record type '" + kind + "'");
@@ -159,9 +196,6 @@ qfs::StatusOr<Topology> parse_topology(const std::string& text) {
   if (num_qubits < 1) return qfs::parse_error("topology has no qubits record");
   graph::Graph g(num_qubits);
   for (const auto& [a, b] : edges) {
-    if (a >= num_qubits || b >= num_qubits) {
-      return qfs::parse_error("edge endpoint out of range");
-    }
     if (!g.has_edge(a, b)) g.add_edge(a, b);
   }
   if (num_qubits > 1 && !graph::is_connected(g)) {

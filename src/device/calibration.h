@@ -17,9 +17,13 @@
 
 namespace qfs::device {
 
-/// Parse calibration text into an error model. Unknown record types are an
-/// error (calibration files must not silently lose information).
-qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text);
+/// Parse calibration text into an error model. Unknown record types,
+/// non-finite numbers, fidelities outside (0, 1], non-positive durations and
+/// duplicate qubit/edge records are errors naming the offending line
+/// (calibration files must not silently lose or corrupt information).
+/// When `num_qubits` >= 0, qubit and edge ids must be < num_qubits.
+qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text,
+                                            int num_qubits = -1);
 
 /// Render an error model (with explicit per-qubit/per-edge rows for the
 /// given counts/edges) back into calibration text. Round-trips through

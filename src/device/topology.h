@@ -40,6 +40,28 @@ class Topology {
   std::vector<std::vector<int>> dist_;
 };
 
+/// A topology carved out of a parent chip (e.g. the healthy remainder after
+/// fault injection), with the qubit-id translation in both directions.
+struct SubTopology {
+  Topology topology;
+  /// New qubit id -> parent qubit id (ascending).
+  std::vector<int> to_parent;
+  /// Parent qubit id -> new qubit id, or -1 for qubits that were dropped.
+  std::vector<int> from_parent;
+};
+
+/// Topology induced on `keep` (distinct, in-range parent qubit ids; order is
+/// ignored — new ids are assigned ascending). The result may be disconnected;
+/// use largest_connected_component for a routable target.
+SubTopology induced_subtopology(const Topology& parent,
+                                const std::vector<int>& keep,
+                                const std::string& name = "");
+
+/// Largest connected component of `parent` as a standalone topology (ties
+/// broken toward the component containing the smallest qubit id).
+SubTopology largest_connected_component(const Topology& parent,
+                                        const std::string& name = "");
+
 /// Surface-code lattice with alternating row widths (narrow, narrow+1, ...)
 /// starting and ending on a narrow row. Row count must be odd and >= 3.
 /// Qubits are numbered row-major; narrow-row qubit j couples to wide-row

@@ -154,4 +154,45 @@ std::vector<Node> bfs_order(const Graph& g, Node source) {
   return order;
 }
 
+Graph induced_subgraph(const Graph& g, const std::vector<Node>& keep) {
+  std::vector<int> to_new(static_cast<std::size_t>(g.num_nodes()), -1);
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    Node u = keep[i];
+    QFS_ASSERT_MSG(0 <= u && u < g.num_nodes(), "kept node out of range");
+    QFS_ASSERT_MSG(to_new[static_cast<std::size_t>(u)] == -1,
+                   "kept node listed twice");
+    to_new[static_cast<std::size_t>(u)] = static_cast<int>(i);
+  }
+  Graph sub(static_cast<int>(keep.size()));
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (const auto& [v, w] : g.neighbors(keep[i])) {
+      int nv = to_new[static_cast<std::size_t>(v)];
+      if (nv > static_cast<int>(i)) {
+        sub.add_edge(static_cast<Node>(i), nv, w);
+      }
+    }
+  }
+  return sub;
+}
+
+std::vector<Node> largest_component_nodes(const Graph& g) {
+  auto comp = connected_components(g);
+  std::vector<int> size;
+  for (int c : comp) {
+    if (c >= static_cast<int>(size.size())) size.resize(static_cast<std::size_t>(c) + 1, 0);
+    ++size[static_cast<std::size_t>(c)];
+  }
+  int best = -1;
+  for (int c = 0; c < static_cast<int>(size.size()); ++c) {
+    // Strict > keeps the first (smallest-first-node) component on ties.
+    if (best == -1 || size[static_cast<std::size_t>(c)] > size[static_cast<std::size_t>(best)]) best = c;
+  }
+  std::vector<Node> nodes;
+  if (best == -1) return nodes;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    if (comp[static_cast<std::size_t>(u)] == best) nodes.push_back(u);
+  }
+  return nodes;
+}
+
 }  // namespace qfs::graph

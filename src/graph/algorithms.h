@@ -38,4 +38,12 @@ int diameter(const Graph& g);
 /// Nodes in breadth-first order from `source` (its component only).
 std::vector<Node> bfs_order(const Graph& g, Node source);
 
+/// Subgraph induced on `keep` (must be distinct, in-range nodes). Node i of
+/// the result corresponds to keep[i]; edge weights are preserved.
+Graph induced_subgraph(const Graph& g, const std::vector<Node>& keep);
+
+/// Nodes of the largest connected component, ascending. Ties broken toward
+/// the component containing the smallest node id. Empty for empty graphs.
+std::vector<Node> largest_component_nodes(const Graph& g);
+
 }  // namespace qfs::graph

@@ -1,9 +1,12 @@
 #include "mapper/pipeline.h"
 
 #include <cmath>
+#include <iterator>
+#include <sstream>
 
 #include "compiler/decompose.h"
 #include "device/fidelity.h"
+#include "sim/equivalence.h"
 
 namespace qfs::mapper {
 
@@ -126,6 +129,148 @@ MappingResult map_circuit(const Circuit& circuit, const Device& device,
 MappingResult map_circuit(const Circuit& circuit, const Device& device,
                           qfs::Rng& rng) {
   return map_circuit(circuit, device, MappingOptions{}, rng);
+}
+
+// ---------------------------------------------------------------------------
+// Resilient compilation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool unitary_only(const Circuit& circuit) {
+  for (const auto& g : circuit.gates()) {
+    if (!circuit::is_unitary(g.kind)) return false;
+  }
+  return true;
+}
+
+/// Validate one mapping attempt against the contracts external callers rely
+/// on. Returns ok when the result is safe to hand out.
+qfs::Status validate_attempt(const Circuit& original,
+                             const MappingResult& result, const Device& device,
+                             const ResilientOptions& options,
+                             std::uint64_t seed) {
+  if (!respects_connectivity(result.mapped, device)) {
+    return qfs::failed_precondition(
+        "mapped circuit violates the coupling graph");
+  }
+  if (!device.gateset().supports_circuit(result.mapped)) {
+    return qfs::failed_precondition(
+        "mapped circuit uses gates outside the device's primitive set");
+  }
+  if (!std::isfinite(result.log_fidelity_after) ||
+      result.log_fidelity_after > 1e-9 ||
+      !(result.fidelity_after >= 0.0 && result.fidelity_after <= 1.0 + 1e-9)) {
+    return qfs::failed_precondition("fidelity estimate is not sane");
+  }
+  if (device.num_qubits() <= options.equivalence_max_qubits &&
+      unitary_only(original) && unitary_only(result.mapped)) {
+    qfs::Rng eq_rng(seed ^ 0x5eed5eedULL);
+    if (!sim::mapping_preserves_semantics(
+            original, result.mapped, result.initial_layout,
+            result.final_layout, eq_rng, options.equivalence_trials)) {
+      return qfs::failed_precondition(
+          "mapped circuit is not equivalent to the input circuit");
+    }
+  }
+  return qfs::Status::ok();
+}
+
+}  // namespace
+
+std::string attempt_log_to_string(const CompileAttemptLog& log) {
+  std::ostringstream os;
+  for (const auto& a : log) {
+    os << "attempt " << a.attempt << " [placer=" << a.placer
+       << " router=" << a.router << " seed=" << a.seed << "]: ";
+    if (a.status.is_ok()) {
+      os << "ok (gates=" << a.gates_after << " swaps=" << a.swaps_inserted
+         << ")";
+    } else {
+      os << a.status.to_string();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+qfs::StatusOr<ResilientResult> compile_resilient(const Circuit& circuit,
+                                                 const Device& device,
+                                                 const ResilientOptions& options,
+                                                 CompileAttemptLog* log_out) {
+  if (log_out) log_out->clear();
+  if (circuit.num_qubits() > device.num_qubits()) {
+    return qfs::resource_exhausted(
+        "circuit needs " + std::to_string(circuit.num_qubits()) +
+        " qubits but " + device.name() + " has only " +
+        std::to_string(device.num_qubits()) + " healthy");
+  }
+  if (options.max_attempts < 1) {
+    return qfs::invalid_argument("max_attempts must be >= 1");
+  }
+
+  // The fallback ladder: progressively different strategies; once the list
+  // is exhausted the ladder wraps around with fresh seeds.
+  const std::pair<const char*, const char*> kFallbacks[] = {
+      {"trivial", "trivial"},        {"degree-match", "lookahead"},
+      {"annealing", "lookahead"},    {"noise-aware", "noise-aware"},
+      {"subgraph", "lookahead"},
+  };
+  const int num_fallbacks = static_cast<int>(std::size(kFallbacks));
+
+  CompileAttemptLog log;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    MappingOptions opts = options.base;
+    std::uint64_t seed = options.seed;
+    if (attempt > 0) {
+      // A retry with the exact same options would fail identically; the
+      // explicit initial layout (if any) is also dropped, since it may be
+      // the reason routing cannot make progress.
+      const auto& fb = kFallbacks[(attempt - 1) % num_fallbacks];
+      opts.placer = fb.first;
+      opts.router = fb.second;
+      opts.initial_layout.clear();
+      seed = options.seed + 0x9e37ULL * static_cast<std::uint64_t>(attempt);
+    }
+
+    CompileAttempt entry;
+    entry.attempt = attempt;
+    entry.placer = opts.placer;
+    entry.router = opts.router;
+    entry.seed = seed;
+
+    try {
+      qfs::Rng rng(seed);
+      MappingResult result = map_circuit(circuit, device, opts, rng);
+      entry.status = validate_attempt(circuit, result, device, options, seed);
+      entry.fidelity_after = result.fidelity_after;
+      entry.gates_after = result.gates_after;
+      entry.swaps_inserted = result.swaps_inserted;
+      log.push_back(entry);
+      if (entry.status.is_ok()) {
+        ResilientResult out;
+        out.mapping = std::move(result);
+        out.options_used = std::move(opts);
+        out.seed_used = seed;
+        out.log = log;
+        if (log_out) *log_out = std::move(log);
+        return out;
+      }
+    } catch (const qfs::AssertionError& e) {
+      // A contract violation inside a strategy must not take the driver
+      // down: record it and climb to the next rung.
+      entry.status =
+          qfs::failed_precondition(std::string("mapper aborted: ") + e.what());
+      log.push_back(entry);
+    }
+  }
+
+  std::string last = log.empty() ? "no attempts made"
+                                 : log.back().status.to_string();
+  if (log_out) *log_out = std::move(log);
+  return qfs::resource_exhausted(
+      "compilation failed after " + std::to_string(options.max_attempts) +
+      " attempt(s); last error: " + last);
 }
 
 }  // namespace qfs::mapper

@@ -18,6 +18,7 @@
 #include "mapper/placement.h"
 #include "mapper/routing.h"
 #include "support/rng.h"
+#include "support/status.h"
 
 namespace qfs::mapper {
 
@@ -79,5 +80,62 @@ MappingResult map_circuit(const circuit::Circuit& circuit,
 /// Convenience overload: the paper's baseline (trivial placer + router).
 MappingResult map_circuit(const circuit::Circuit& circuit,
                           const device::Device& device, qfs::Rng& rng);
+
+// ---------------------------------------------------------------------------
+// Resilient compilation: a fallback ladder over (placer, router, seed)
+// attempts with per-attempt validation, for degraded or adversarial inputs.
+// Unlike map_circuit, nothing here asserts on bad external input: every
+// failure mode is reported as a structured Status and logged per attempt.
+// ---------------------------------------------------------------------------
+
+struct ResilientOptions {
+  /// First attempt runs exactly these options; fallback attempts override
+  /// only placer, router and seed.
+  MappingOptions base;
+  int max_attempts = 6;
+  std::uint64_t seed = 2022;
+  /// Small-circuit equivalence checking simulates the full physical
+  /// register (cost 2^n); it only runs when the device has at most this
+  /// many qubits and the input circuit is unitary-only.
+  int equivalence_max_qubits = 8;
+  int equivalence_trials = 2;
+};
+
+/// Outcome of one rung of the fallback ladder.
+struct CompileAttempt {
+  int attempt = 0;
+  std::string placer;
+  std::string router;
+  std::uint64_t seed = 0;
+  /// ok for the winning attempt; otherwise why the attempt was rejected.
+  qfs::Status status;
+  double fidelity_after = 0.0;
+  int gates_after = 0;
+  int swaps_inserted = 0;
+};
+
+/// Every attempt made, in order; the last entry is ok iff compilation
+/// succeeded.
+using CompileAttemptLog = std::vector<CompileAttempt>;
+
+/// Multi-line human-readable rendering of an attempt log (diagnostics).
+std::string attempt_log_to_string(const CompileAttemptLog& log);
+
+struct ResilientResult {
+  MappingResult mapping;
+  MappingOptions options_used;
+  std::uint64_t seed_used = 0;
+  CompileAttemptLog log;
+};
+
+/// Compile `circuit` for `device`, retrying across a fallback ladder of
+/// (placer, router, seed) combinations until an attempt passes validation:
+/// coupling-graph compliance, primitive-gate-set compliance, fidelity
+/// sanity, and (small devices) simulation-based equivalence. Returns
+/// resource_exhausted when the circuit cannot fit the device or when every
+/// attempt fails; `log_out` (optional) receives the attempt log either way.
+qfs::StatusOr<ResilientResult> compile_resilient(
+    const circuit::Circuit& circuit, const device::Device& device,
+    const ResilientOptions& options = {}, CompileAttemptLog* log_out = nullptr);
 
 }  // namespace qfs::mapper

@@ -11,6 +11,8 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kUnimplemented: return "unimplemented";
     case StatusCode::kParseError: return "parse_error";
     case StatusCode::kIoError: return "io_error";
+    case StatusCode::kFailedPrecondition: return "failed_precondition";
+    case StatusCode::kResourceExhausted: return "resource_exhausted";
   }
   return "unknown";
 }

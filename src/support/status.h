@@ -20,6 +20,8 @@ enum class StatusCode {
   kUnimplemented,
   kParseError,
   kIoError,
+  kFailedPrecondition,
+  kResourceExhausted,
 };
 
 /// Human-readable name of a status code ("ok", "parse_error", ...).
@@ -64,6 +66,12 @@ inline Status parse_error(std::string msg) {
 inline Status io_error(std::string msg) {
   return Status(StatusCode::kIoError, std::move(msg));
 }
+inline Status failed_precondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status resource_exhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
 
 /// Either a value or an error status. Accessing value() on an error is a
 /// contract violation.
@@ -93,6 +101,12 @@ class StatusOr {
 
   const T& operator*() const& { return value(); }
   T& operator*() & { return value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const& { return is_ok() ? *value_ : std::move(fallback); }
+  T value_or(T fallback) && {
+    return is_ok() ? std::move(*value_) : std::move(fallback);
+  }
 
  private:
   std::optional<T> value_;

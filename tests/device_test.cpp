@@ -326,6 +326,72 @@ TEST(Calibration, Errors) {
   EXPECT_NE(bad.status().message().find("line 2"), std::string::npos);
 }
 
+TEST(Calibration, RejectsNonFiniteFidelities) {
+  // parse_double accepts "nan"/"inf" spellings; the validator must not.
+  for (const char* v : {"nan", "inf", "-inf", "NaN"}) {
+    auto r = parse_calibration(std::string("defaults,") + v + ",0.99,0.99\n");
+    ASSERT_FALSE(r.is_ok()) << v;
+    EXPECT_NE(r.status().message().find("line 1"), std::string::npos);
+  }
+  EXPECT_FALSE(parse_calibration("qubit,0,inf\n").is_ok());
+  EXPECT_FALSE(parse_calibration("edge,0,1,nan\n").is_ok());
+}
+
+TEST(Calibration, RejectsOutOfUnitIntervalFidelities) {
+  EXPECT_FALSE(parse_calibration("qubit,0,0\n").is_ok());
+  EXPECT_FALSE(parse_calibration("qubit,0,-0.5\n").is_ok());
+  EXPECT_FALSE(parse_calibration("qubit,0,1.0001\n").is_ok());
+  EXPECT_TRUE(parse_calibration("qubit,0,1.0\n").is_ok());
+}
+
+TEST(Calibration, RejectsBadDurations) {
+  for (const char* row : {"durations_ns,0,40,600", "durations_ns,-20,40,600",
+                          "durations_ns,nan,40,600", "durations_ns,20,inf,600"}) {
+    auto r = parse_calibration(std::string(row) + "\n");
+    ASSERT_FALSE(r.is_ok()) << row;
+    EXPECT_NE(r.status().message().find("line 1"), std::string::npos) << row;
+  }
+}
+
+TEST(Calibration, RejectsDuplicateRecords) {
+  auto dup_qubit = parse_calibration("qubit,2,0.9\nqubit,2,0.8\n");
+  ASSERT_FALSE(dup_qubit.is_ok());
+  EXPECT_NE(dup_qubit.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(dup_qubit.status().message().find("duplicate"), std::string::npos);
+  // Edges are order-insensitive: 1,0 duplicates 0,1.
+  auto dup_edge = parse_calibration("edge,0,1,0.9\nedge,1,0,0.8\n");
+  ASSERT_FALSE(dup_edge.is_ok());
+  EXPECT_NE(dup_edge.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Calibration, RejectsOutOfRangeIdsWhenChipSizeKnown) {
+  auto q = parse_calibration("qubit,5,0.9\n", /*num_qubits=*/5);
+  ASSERT_FALSE(q.is_ok());
+  EXPECT_NE(q.status().message().find("line 1"), std::string::npos);
+  EXPECT_NE(q.status().message().find("out of range"), std::string::npos);
+  auto e = parse_calibration("edge,0,7,0.9\n", /*num_qubits=*/5);
+  ASSERT_FALSE(e.is_ok());
+  EXPECT_NE(e.status().message().find("out of range"), std::string::npos);
+  // Without a chip size the same rows parse (back-compat path).
+  EXPECT_TRUE(parse_calibration("qubit,5,0.9\n").is_ok());
+}
+
+TEST(TopologyFileErrors, EveryRejectionCarriesALineNumber) {
+  const char* cases[] = {
+      "name\n",                         // name needs one value
+      "qubits,0\n",                     // bad qubit count
+      "qubits,2\nedge,0,2\n",           // endpoint out of range
+      "edge,0,1\n",                     // edge before qubits record
+      "qubits,2\nedge,0,0\n",           // self-loop
+      "qubits,2\nwormhole,0,1\n",       // unknown record
+  };
+  for (const char* text : cases) {
+    auto r = parse_topology(text);
+    ASSERT_FALSE(r.is_ok()) << text;
+    EXPECT_NE(r.status().message().find("line "), std::string::npos) << text;
+  }
+}
+
 TEST(Calibration, RoundTrip) {
   ErrorModel em(0.998, 0.97, 0.96);
   em.set_durations_ns(30, 50, 400);

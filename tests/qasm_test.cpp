@@ -175,6 +175,51 @@ TEST(Parser, ErrorMultipleQregs) {
   EXPECT_FALSE(parse("qreg q[1]; qreg r[1];").is_ok());
 }
 
+TEST(Parser, TruncatedProgramNamesLastLine) {
+  auto result = parse("qreg q[3];\nh q[0];\ncx q[0],\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(result.status().message().find("unterminated"),
+            std::string::npos);
+}
+
+TEST(Parser, BadAngleExpressionCarriesLineNumber) {
+  auto result = parse("qreg q[1];\nrz(pi/0) q[0];\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  auto garbage = parse("qreg q[1];\nrz(1+*2) q[0];\n");
+  ASSERT_FALSE(garbage.is_ok());
+  EXPECT_NE(garbage.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, UnknownStatementCarriesLineNumber) {
+  auto result = parse("qreg q[2];\ncx q[0],q[1];\nteleport q[0];\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+  EXPECT_NE(result.status().message().find("teleport"), std::string::npos);
+}
+
+TEST(Parser, OutOfRangeIndexCarriesLineNumber) {
+  auto result = parse("qreg q[2];\nh q[5];\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(result.status().message().find("out of range"),
+            std::string::npos);
+}
+
+TEST(Parser, NegativeIndexCarriesLineNumber) {
+  auto result = parse("qreg q[2];\nh q[-1];\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(Parser, MalformedRegisterDeclarationCarriesLineNumber) {
+  auto result = parse("qreg q[banana];\n");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 1"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // Register broadcast
 // ---------------------------------------------------------------------------

@@ -60,10 +60,20 @@ TEST(Status, AllCodeNamesAreDistinct) {
   for (auto code : {StatusCode::kOk, StatusCode::kInvalidArgument,
                     StatusCode::kNotFound, StatusCode::kOutOfRange,
                     StatusCode::kUnimplemented, StatusCode::kParseError,
-                    StatusCode::kIoError}) {
+                    StatusCode::kIoError, StatusCode::kFailedPrecondition,
+                    StatusCode::kResourceExhausted}) {
     names.insert(status_code_name(code));
   }
-  EXPECT_EQ(names.size(), 7u);
+  EXPECT_EQ(names.size(), 9u);
+}
+
+TEST(Status, ResilienceCodes) {
+  Status pre = failed_precondition("device too small");
+  EXPECT_EQ(pre.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(pre.to_string(), "failed_precondition: device too small");
+  Status res = resource_exhausted("all attempts failed");
+  EXPECT_EQ(res.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(res.to_string(), "resource_exhausted: all attempts failed");
 }
 
 TEST(StatusOr, HoldsValue) {
@@ -77,6 +87,19 @@ TEST(StatusOr, HoldsError) {
   StatusOr<int> v = not_found("missing");
   ASSERT_FALSE(v.is_ok());
   EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ValueOrReturnsValueWhenOk) {
+  StatusOr<int> v = 7;
+  EXPECT_EQ(v.value_or(99), 7);
+  EXPECT_EQ((StatusOr<std::string>("hi")).value_or("bye"), "hi");
+}
+
+TEST(StatusOr, ValueOrReturnsFallbackOnError) {
+  StatusOr<int> v = resource_exhausted("none left");
+  EXPECT_EQ(v.value_or(99), 99);
+  StatusOr<std::string> s = not_found("gone");
+  EXPECT_EQ(std::move(s).value_or("fallback"), "fallback");
 }
 
 TEST(StatusOr, ValueOnErrorIsContractViolation) {

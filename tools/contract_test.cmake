@@ -1,0 +1,31 @@
+# Exit-code/stderr contract test for qfsc, run via `cmake -P`.
+#
+# Arguments (all -D):
+#   QFSC          path to the qfsc binary
+#   ARGS          semicolon-separated argument list
+#   EXPECT_EXIT   required exit code
+#   EXPECT_STDERR regex that must match stderr
+#
+# ctest's WILL_FAIL/PASS_REGULAR_EXPRESSION cannot express "this exact
+# nonzero exit code AND this stderr text", which is precisely the CLI
+# contract on invalid input — hence this script.
+if(NOT DEFINED QFSC OR NOT DEFINED EXPECT_EXIT)
+  message(FATAL_ERROR "contract_test.cmake needs -DQFSC and -DEXPECT_EXIT")
+endif()
+
+execute_process(
+  COMMAND ${QFSC} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL ${EXPECT_EXIT})
+  message(FATAL_ERROR
+      "qfsc exited with '${rc}', expected '${EXPECT_EXIT}'.\n"
+      "stderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_STDERR AND NOT err MATCHES "${EXPECT_STDERR}")
+  message(FATAL_ERROR
+      "qfsc stderr does not match '${EXPECT_STDERR}'.\nstderr:\n${err}")
+endif()

@@ -14,6 +14,7 @@
 #include "circuit/draw.h"
 #include "compiler/schedule.h"
 #include "device/calibration.h"
+#include "device/faults.h"
 #include "mapper/recommend.h"
 #include "device/device.h"
 #include "isa/timed_program.h"
@@ -48,6 +49,8 @@ struct CliOptions {
   bool draw_circuit = false;
   bool avoid_crosstalk = false;
   std::string calibration_path;
+  std::string fault_spec;
+  int max_attempts = 4;
   std::string input_path;  // empty: stdin
 };
 
@@ -66,6 +69,14 @@ void print_usage() {
       "  --sabre <n>       SABRE placement-refinement rounds     (default 0)\n"
       "  --seed <n>        RNG seed                              (default 2022)\n"
       "  --calibration <f> load per-qubit/per-edge fidelities from a file\n"
+      "  --inject-faults <spec>\n"
+      "                    degrade the device before compiling; spec is\n"
+      "                    semicolon-separated key=value pairs, e.g.\n"
+      "                    'dead_qubits=3|17;dead_edge_fraction=0.1;\n"
+      "                    drift=0.02;seed=7' (compilation then targets the\n"
+      "                    largest connected healthy subgraph)\n"
+      "  --max-attempts <n> fallback ladder length for resilient\n"
+      "                    compilation                         (default 4)\n"
       "  --emit-qasm       print the compiled OpenQASM program\n"
       "  --emit-cqasm      print the compiled cQASM 1.0 program\n"
       "  --emit-timed      print the scheduled, timed ISA program\n"
@@ -210,20 +221,29 @@ int run(const CliOptions& cli) {
     }
     std::stringstream buffer;
     buffer << cal.rdbuf();
-    auto model = device::parse_calibration(buffer.str());
+    auto model = device::parse_calibration(buffer.str(), dev.num_qubits());
     if (!model.is_ok()) {
       std::cerr << "qfsc: " << model.status().to_string() << "\n";
       return 1;
     }
     dev.mutable_error_model() = model.value();
   }
-  if (circuit.num_qubits() > dev.num_qubits()) {
-    std::cerr << "qfsc: circuit needs " << circuit.num_qubits()
-              << " qubits but " << dev.name() << " has only "
-              << dev.num_qubits() << "\n";
-    return 1;
+  if (!cli.fault_spec.empty()) {
+    auto spec = device::parse_fault_spec(cli.fault_spec);
+    if (!spec.is_ok()) {
+      std::cerr << "qfsc: " << spec.status().to_string() << "\n";
+      return 1;
+    }
+    device::FaultInjector injector(std::move(spec).value());
+    auto degraded = injector.apply(dev);
+    if (!degraded.is_ok()) {
+      std::cerr << "qfsc: fault injection: " << degraded.status().to_string()
+                << "\n";
+      return 1;
+    }
+    std::cerr << "fault injection: " << degraded.value().summary() << "\n";
+    dev = std::move(degraded).value().device;
   }
-
   mapper::MappingOptions options;
   options.placer = cli.placer;
   options.router = cli.router;
@@ -236,18 +256,31 @@ int run(const CliOptions& cli) {
               << rec.rationale << ")\n";
   }
   options.compute_latency = true;
-  qfs::Rng rng(cli.seed);
-  mapper::MappingResult result;
-  try {
-    result = mapper::map_circuit(circuit, dev, options, rng);
-  } catch (const AssertionError& e) {
-    std::cerr << "qfsc: " << e.what() << "\n";
-    return 1;
+
+  mapper::ResilientOptions resilient;
+  resilient.base = options;
+  resilient.max_attempts = cli.max_attempts;
+  resilient.seed = cli.seed;
+  mapper::CompileAttemptLog attempt_log;
+  auto compiled =
+      mapper::compile_resilient(circuit, dev, resilient, &attempt_log);
+  if (!compiled.is_ok()) {
+    std::cerr << mapper::attempt_log_to_string(attempt_log);
+    std::cerr << "qfsc: " << compiled.status().to_string() << "\n";
+    return 2;
   }
+  if (attempt_log.size() > 1) {
+    // Fallbacks were needed; show the full ladder so the outcome is
+    // explainable.
+    std::cerr << mapper::attempt_log_to_string(attempt_log);
+  }
+  mapper::ResilientResult resilient_result = std::move(compiled).value();
+  const mapper::MappingOptions& used = resilient_result.options_used;
+  mapper::MappingResult result = std::move(resilient_result.mapping);
 
   report::TextTable t({"metric", "value"});
   t.add_row({"device", dev.name()});
-  t.add_row({"placer / router", options.placer + " / " + options.router});
+  t.add_row({"placer / router", used.placer + " / " + used.router});
   t.add_row({"gates before -> after", std::to_string(result.gates_before) +
                                           " -> " +
                                           std::to_string(result.gates_after)});
@@ -275,8 +308,8 @@ int run(const CliOptions& cli) {
 
     JsonValue doc = JsonValue::object();
     doc.set("device", JsonValue::string(dev.name()))
-        .set("placer", JsonValue::string(options.placer))
-        .set("router", JsonValue::string(options.router))
+        .set("placer", JsonValue::string(used.placer))
+        .set("router", JsonValue::string(used.router))
         .set("gates_before", JsonValue::integer(result.gates_before))
         .set("gates_after", JsonValue::integer(result.gates_after))
         .set("swaps_inserted", JsonValue::integer(result.swaps_inserted))
@@ -351,6 +384,13 @@ int main(int argc, char** argv) {
       cli.emit_json = true;
     } else if (arg == "--calibration") {
       cli.calibration_path = next();
+    } else if (arg == "--inject-faults") {
+      cli.fault_spec = next();
+    } else if (arg == "--max-attempts") {
+      if (!qfs::parse_int(next(), cli.max_attempts) || cli.max_attempts < 1) {
+        std::cerr << "qfsc: bad --max-attempts count\n";
+        return 1;
+      }
     } else if (arg == "--emit-timed") {
       cli.emit_timed = true;
     } else if (arg == "--crosstalk-safe") {
