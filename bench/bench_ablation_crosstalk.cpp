@@ -15,11 +15,13 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Ablation: crosstalk-aware scheduling (surface-17) ===\n\n";
 
   device::Device dev = device::surface17_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.random_count = 20;
   config.suite.real_count = 20;
   config.suite.reversible_count = 10;

@@ -12,7 +12,8 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Ablation: placement (surface-97, trivial router) ===\n\n";
 
   device::Device dev = device::surface97_device();
@@ -23,6 +24,7 @@ int main() {
   for (const std::string placer : {"trivial", "random", "degree-match",
                                    "annealing", "subgraph", "noise-aware"}) {
     bench::SuiteRunConfig config;
+    config.jobs = jobs;
     config.suite.random_count = 25;
     config.suite.real_count = 25;
     config.suite.reversible_count = 10;

@@ -11,7 +11,8 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Ablation: routers (surface-97, trivial placement) ===\n\n";
 
   device::Device dev = device::surface97_device();
@@ -31,6 +32,7 @@ int main() {
   for (const std::string router :
        {"trivial", "lookahead", "noise-aware", "bridge"}) {
     bench::SuiteRunConfig config;
+    config.jobs = jobs;
     config.suite.random_count = 30;
     config.suite.real_count = 30;
     config.suite.reversible_count = 15;

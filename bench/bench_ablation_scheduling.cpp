@@ -31,12 +31,14 @@ circuit::Circuit serialise(const circuit::Circuit& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Ablation: scheduling strategy vs decoherence "
                "(surface-17) ===\n\n";
 
   device::Device dev = device::surface17_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.random_count = 15;
   config.suite.real_count = 15;
   config.suite.reversible_count = 10;

@@ -9,7 +9,8 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Ablation: topologies (trivial mapper, same suite) ===\n\n";
 
   struct Target {
@@ -28,6 +29,7 @@ int main() {
   std::vector<std::pair<std::string, double>> means;
   for (auto& target : targets) {
     bench::SuiteRunConfig config;
+    config.jobs = jobs;
     config.suite.random_count = 25;
     config.suite.real_count = 25;
     config.suite.reversible_count = 10;

@@ -18,11 +18,13 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Sec. IV: clustering algorithms by graph metrics ===\n\n";
 
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.max_gates = 3000;
   std::cerr << "mapping 200 circuits ";
   auto rows = bench::run_suite(dev, config);

@@ -4,7 +4,10 @@
 // For each fault mode (dead edges / dead qubits) and casualty fraction, a
 // seeded FaultInjector degrades the chip, compile_resilient() climbs its
 // fallback ladder, and we record survival, gate overhead and fidelity
-// decrease. Emits a survival-curve CSV on stdout and a summary table on
+// decrease. The (mode, fraction, seed) grid points are independent, so the
+// sweep fans out over --jobs worker threads; every grid point derives its
+// randomness from its own seeds, so the CSV is byte-identical for any jobs
+// value. Emits a survival-curve CSV on stdout and a summary table on
 // stderr.
 #include <iostream>
 #include <vector>
@@ -15,6 +18,7 @@
 #include "report/table.h"
 #include "stats/descriptive.h"
 #include "support/csv.h"
+#include "support/parallel.h"
 #include "workloads/algorithms.h"
 #include "workloads/random_circuit.h"
 
@@ -42,9 +46,87 @@ std::vector<Workload> make_workloads() {
   return out;
 }
 
+/// One (mode, fraction, seed) grid point of the sweep.
+struct GridPoint {
+  std::string mode;
+  double fraction = 0.0;
+  int seed = 0;
+};
+
+/// Per-workload outcome at a grid point, ready for CSV emission.
+struct WorkloadOutcome {
+  std::vector<std::string> csv_fields;
+  bool ok = false;
+  int attempts = 0;
+  double gate_overhead_pct = 0.0;
+  double fidelity_decrease_pct = 0.0;
+};
+
+std::vector<WorkloadOutcome> run_grid_point(
+    const device::Device& pristine, const std::vector<Workload>& workloads_list,
+    const GridPoint& point) {
+  std::vector<WorkloadOutcome> out;
+  device::FaultSpec spec;
+  spec.seed = 1000 + static_cast<std::uint64_t>(point.seed);
+  spec.fidelity_drift = 0.01;
+  if (point.mode == "edges") {
+    spec.dead_edge_fraction = point.fraction;
+  } else {
+    spec.dead_qubit_fraction = point.fraction;
+  }
+  auto degraded = device::FaultInjector(spec).apply(pristine);
+  if (!degraded.is_ok()) {
+    // Unsalvageable chip: every workload at this point is a casualty.
+    for (const auto& w : workloads_list) {
+      WorkloadOutcome o;
+      o.csv_fields = {point.mode,        bench::fmt(point.fraction, 2),
+                      std::to_string(point.seed), w.name,
+                      "0",               "-",
+                      "0",               "0",
+                      "",                ""};
+      out.push_back(std::move(o));
+    }
+    return out;
+  }
+  const device::DegradedDevice& dd = degraded.value();
+
+  for (const auto& w : workloads_list) {
+    mapper::ResilientOptions opts;
+    opts.base.placer = "degree-match";
+    opts.base.router = "lookahead";
+    opts.max_attempts = 6;
+    opts.seed = 2022 + static_cast<std::uint64_t>(point.seed);
+    mapper::CompileAttemptLog log;
+    auto res = mapper::compile_resilient(w.circuit, dd.device, opts, &log);
+    WorkloadOutcome o;
+    o.ok = res.is_ok();
+    o.attempts = static_cast<int>(log.size());
+    std::string overhead, fdec;
+    if (o.ok) {
+      o.gate_overhead_pct = res.value().mapping.gate_overhead_pct;
+      o.fidelity_decrease_pct = res.value().mapping.fidelity_decrease_pct;
+      overhead = bench::fmt(o.gate_overhead_pct, 2);
+      fdec = bench::fmt(o.fidelity_decrease_pct, 3);
+    }
+    o.csv_fields = {point.mode,
+                    bench::fmt(point.fraction, 2),
+                    std::to_string(point.seed),
+                    w.name,
+                    std::to_string(dd.device.num_qubits()),
+                    std::to_string(dd.dead_edges),
+                    o.ok ? "1" : "0",
+                    std::to_string(log.size()),
+                    overhead,
+                    fdec};
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cerr << "=== Degraded-device survival study (Surface-97) ===\n";
 
   const device::Device pristine = device::surface97_device();
@@ -53,73 +135,54 @@ int main() {
                                          0.20, 0.25, 0.30};
   const int seeds_per_point = 3;
 
+  std::vector<GridPoint> grid;
+  for (const std::string mode : {"edges", "qubits"}) {
+    for (double fraction : fractions) {
+      for (int seed = 0; seed < seeds_per_point; ++seed) {
+        grid.push_back({mode, fraction, seed});
+      }
+    }
+  }
+
+  ProgressReporter progress(seeds_per_point);
+  auto results = parallel_map(jobs, grid.size(), [&](std::size_t i) {
+    auto outcomes = run_grid_point(pristine, workloads_list, grid[i]);
+    progress.tick();
+    return outcomes;
+  });
+  progress.finish();
+
   CsvWriter csv(std::cout);
   csv.header({"mode", "fraction", "seed", "circuit", "healthy_qubits",
               "dead_edges", "success", "attempts", "gate_overhead_pct",
               "fidelity_decrease_pct"});
+  for (const auto& outcomes : results) {
+    for (const auto& o : outcomes) csv.row(o.csv_fields);
+  }
 
+  // Aggregate per (mode, fraction) over the seed axis, in grid order.
   report::TextTable summary({"mode", "fraction", "survival %",
                              "mean overhead %", "mean fidelity decrease %"});
-
-  for (const std::string mode : {"edges", "qubits"}) {
-    for (double fraction : fractions) {
-      int attempts_total = 0, successes = 0, total = 0;
-      std::vector<double> overheads, fdecreases;
-      for (int seed = 0; seed < seeds_per_point; ++seed) {
-        device::FaultSpec spec;
-        spec.seed = 1000 + static_cast<std::uint64_t>(seed);
-        spec.fidelity_drift = 0.01;
-        if (mode == "edges") {
-          spec.dead_edge_fraction = fraction;
-        } else {
-          spec.dead_qubit_fraction = fraction;
-        }
-        auto degraded = device::FaultInjector(spec).apply(pristine);
-        if (!degraded.is_ok()) {
-          // Unsalvageable chip: every workload at this point is a casualty.
-          for (const auto& w : workloads_list) {
-            csv.row({mode, bench::fmt(fraction, 2), std::to_string(seed),
-                     w.name, "0", "-", "0", "0", "", ""});
-            ++total;
-          }
-          continue;
-        }
-        const device::DegradedDevice& dd = degraded.value();
-
-        for (const auto& w : workloads_list) {
-          ++total;
-          mapper::ResilientOptions opts;
-          opts.base.placer = "degree-match";
-          opts.base.router = "lookahead";
-          opts.max_attempts = 6;
-          opts.seed = 2022 + static_cast<std::uint64_t>(seed);
-          mapper::CompileAttemptLog log;
-          auto res = mapper::compile_resilient(w.circuit, dd.device, opts, &log);
-          bool ok = res.is_ok();
-          std::string overhead, fdec;
-          if (ok) {
-            ++successes;
-            overhead = bench::fmt(res.value().mapping.gate_overhead_pct, 2);
-            fdec = bench::fmt(res.value().mapping.fidelity_decrease_pct, 3);
-            overheads.push_back(res.value().mapping.gate_overhead_pct);
-            fdecreases.push_back(res.value().mapping.fidelity_decrease_pct);
-          }
-          attempts_total += static_cast<int>(log.size());
-          csv.row({mode, bench::fmt(fraction, 2), std::to_string(seed), w.name,
-                   std::to_string(dd.device.num_qubits()),
-                   std::to_string(dd.dead_edges), ok ? "1" : "0",
-                   std::to_string(log.size()), overhead, fdec});
+  for (std::size_t i = 0; i < grid.size(); i += seeds_per_point) {
+    int successes = 0, total = 0;
+    std::vector<double> overheads, fdecreases;
+    for (int s = 0; s < seeds_per_point; ++s) {
+      for (const auto& o : results[i + static_cast<std::size_t>(s)]) {
+        ++total;
+        if (o.ok) {
+          ++successes;
+          overheads.push_back(o.gate_overhead_pct);
+          fdecreases.push_back(o.fidelity_decrease_pct);
         }
       }
-      summary.add_row(
-          {mode, bench::fmt(fraction, 2),
-           bench::fmt(total ? 100.0 * successes / total : 0.0, 1),
-           overheads.empty() ? "-" : bench::fmt(stats::mean(overheads), 1),
-           fdecreases.empty() ? "-" : bench::fmt(stats::mean(fdecreases), 2)});
-      std::cerr << "." << std::flush;
     }
+    summary.add_row(
+        {grid[i].mode, bench::fmt(grid[i].fraction, 2),
+         bench::fmt(total ? 100.0 * successes / total : 0.0, 1),
+         overheads.empty() ? "-" : bench::fmt(stats::mean(overheads), 1),
+         fdecreases.empty() ? "-" : bench::fmt(stats::mean(fdecreases), 2)});
   }
-  std::cerr << "\n" << summary.to_string();
+  std::cerr << summary.to_string();
   std::cerr << "Reading: survival stays at 100% while the largest healthy\n"
                "component still fits the widest circuit; overhead and\n"
                "fidelity decrease grow as routing detours around casualties.\n";

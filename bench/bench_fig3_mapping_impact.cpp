@@ -63,13 +63,15 @@ double mean_of(const std::vector<double>& v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Fig. 3: impact of the circuit mapping process ===\n";
   std::cout << "device: surface-97 (extended 100-qubit Surface-17), "
                "trivial placer + trivial router\n\n";
 
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   // The paper uses the full qbench range but plots (a)/(c) only below 400
   // gates; keep the sweep broad but bounded for bench runtime.
   config.suite.max_gates = 5000;

@@ -51,13 +51,15 @@ void print_panel(const PanelData& p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Fig. 5: gate overhead vs interaction-graph parameters "
                "===\n";
   std::cout << "200 benchmarks, surface-97, trivial mapper\n\n";
 
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.max_gates = 3000;
   std::cerr << "mapping 200 circuits ";
   auto rows = bench::run_suite(dev, config);

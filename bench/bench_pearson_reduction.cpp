@@ -14,11 +14,13 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Sec. IV: Pearson reduction of the metric set ===\n\n";
 
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.max_gates = 3000;
   std::cerr << "profiling 200 circuits ";
   auto rows = bench::run_suite(dev, config);

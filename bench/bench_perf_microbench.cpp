@@ -62,7 +62,10 @@ void BM_LookaheadRouteSurface97(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_LookaheadRouteSurface97)->Arg(1000);
+// The 100k-gate case guards the lookahead window's persistent cursor: with
+// a from-zero rescan per call the router is quadratic and this arg takes
+// minutes instead of seconds.
+BENCHMARK(BM_LookaheadRouteSurface97)->Arg(1000)->Arg(10000)->Arg(100000);
 
 void BM_FullMappingPipeline(benchmark::State& state) {
   device::Device d = device::surface97_device();

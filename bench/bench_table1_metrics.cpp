@@ -17,7 +17,8 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const int jobs = bench::parse_jobs(argc, argv);
   std::cout << "=== Table I: metrics for characterising interaction graphs "
                "===\n\n";
 
@@ -45,6 +46,7 @@ int main() {
   // Part 2: relation to mapping (sign of correlation with gate overhead).
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
+  config.jobs = jobs;
   config.suite.max_gates = 3000;
   std::cerr << "mapping 200 circuits ";
   auto rows = bench::run_suite(dev, config);

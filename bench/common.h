@@ -1,12 +1,15 @@
 // Shared helpers for the figure/table reproduction benches.
 #pragma once
 
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "mapper/pipeline.h"
 #include "profile/circuit_profile.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
 #include "workloads/suite.h"
@@ -24,29 +27,43 @@ struct SuiteRow {
 
 struct SuiteRunConfig {
   std::uint64_t seed = 2022;  // the paper's venue year: fixed default seed
+  /// Worker threads for the compile fan-out (0 = one per hardware thread).
+  /// Output is byte-identical for every value, including 1.
+  int jobs = 1;
   workloads::SuiteOptions suite;
   mapper::MappingOptions mapping;
 };
 
-/// Generate the suite, profile every circuit and map it onto `device`.
-/// Prints a progress dot every 20 circuits (benches run interactively).
+/// Generate the suite, profile every circuit and map it onto `device`,
+/// fanning the per-circuit work over `config.jobs` threads. Rows come back
+/// in suite order. Prints a progress dot every 20 circuits (benches run
+/// interactively).
+///
+/// Determinism contract: suite generation uses a single Rng(config.seed)
+/// stream (suite contents depend only on the seed), and the mapping of
+/// circuit i draws from an independent Rng(derive_seed(config.seed, i))
+/// stream — never from a stream shared with generation or with other
+/// circuits. Row i therefore depends only on (seed, i): results are
+/// byte-identical for any jobs value, and adding or removing a benchmark
+/// never perturbs the other rows.
 inline std::vector<SuiteRow> run_suite(const device::Device& device,
                                        const SuiteRunConfig& config) {
-  qfs::Rng rng(config.seed);
-  auto suite = workloads::make_suite(config.suite, rng);
-  std::vector<SuiteRow> rows;
-  rows.reserve(suite.size());
-  int done = 0;
-  for (const auto& b : suite) {
-    SuiteRow row;
-    row.name = b.name;
-    row.family = b.family;
-    row.profile = profile::profile_circuit(b.circuit);
-    row.mapping = mapper::map_circuit(b.circuit, device, config.mapping, rng);
-    rows.push_back(std::move(row));
-    if (++done % 20 == 0) std::cerr << "." << std::flush;
-  }
-  std::cerr << "\n";
+  qfs::Rng suite_rng(config.seed);
+  auto suite = workloads::make_suite(config.suite, suite_rng);
+  qfs::ProgressReporter progress(20);
+  auto rows =
+      qfs::parallel_map(config.jobs, suite.size(), [&](std::size_t i) {
+        const auto& b = suite[i];
+        SuiteRow row;
+        row.name = b.name;
+        row.family = b.family;
+        row.profile = profile::profile_circuit(b.circuit);
+        qfs::Rng rng(qfs::derive_seed(config.seed, i));
+        row.mapping = mapper::map_circuit(b.circuit, device, config.mapping, rng);
+        progress.tick();
+        return row;
+      });
+  progress.finish();
   return rows;
 }
 
@@ -63,6 +80,39 @@ inline char family_marker(workloads::Family family) {
     case workloads::Family::kReversible: return 'r';
   }
   return '?';
+}
+
+/// Canonical CSV rendering of suite rows; what the determinism ctest pins
+/// byte-identical across --jobs values.
+inline std::string suite_rows_to_csv(const std::vector<SuiteRow>& rows) {
+  std::ostringstream os;
+  os << "name,family,gates_before,gates_after,swaps,gate_overhead_pct,"
+        "depth_after,fidelity_decrease_pct\n";
+  for (const auto& r : rows) {
+    os << r.name << ',' << workloads::family_name(r.family) << ','
+       << r.mapping.gates_before << ',' << r.mapping.gates_after << ','
+       << r.mapping.swaps_inserted << ','
+       << fmt(r.mapping.gate_overhead_pct, 4) << ',' << r.mapping.depth_after
+       << ',' << fmt(r.mapping.fidelity_decrease_pct, 4) << '\n';
+  }
+  return os.str();
+}
+
+/// Parse the one flag all suite benches share: --jobs N (0 = auto, one
+/// worker per hardware thread). Unknown arguments are ignored so benches
+/// can add their own. Exits with code 1 on a malformed value.
+inline int parse_jobs(int argc, char** argv, int default_jobs = 1) {
+  int jobs = default_jobs;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      if (!qfs::parse_int(argv[++i], jobs) || jobs < 0) {
+        std::cerr << argv[0] << ": bad --jobs value '" << argv[i] << "'\n";
+        std::exit(1);
+      }
+    }
+  }
+  return jobs;
 }
 
 }  // namespace qfs::bench

@@ -6,6 +6,17 @@ namespace qfs::device {
 
 using circuit::GateKind;
 
+namespace {
+
+/// log of one gate fidelity, clamped to the documented floor. The negated
+/// comparison also routes NaN reports to the floor.
+double log_clamped(double fidelity) {
+  if (!(fidelity >= kMinGateFidelity)) fidelity = kMinGateFidelity;
+  return std::log(fidelity);
+}
+
+}  // namespace
+
 double estimate_log_gate_fidelity(const circuit::Circuit& circuit,
                                   const Device& device) {
   const ErrorModel& em = device.error_model();
@@ -14,7 +25,7 @@ double estimate_log_gate_fidelity(const circuit::Circuit& circuit,
     if (!circuit::is_unitary(g.kind)) continue;
     QFS_ASSERT_MSG(g.qubits.size() <= 2,
                    "fidelity of undecomposed 3-qubit gate");
-    log_f += std::log(em.gate_fidelity(g));
+    log_f += log_clamped(em.gate_fidelity(g));
   }
   return log_f;
 }
@@ -30,7 +41,7 @@ double estimate_total_fidelity(const circuit::Circuit& circuit,
   double log_f = estimate_log_gate_fidelity(circuit, device);
   for (const auto& g : circuit.gates()) {
     if (g.kind == GateKind::kMeasure || g.kind == GateKind::kReset) {
-      log_f += std::log(em.gate_fidelity(g));
+      log_f += log_clamped(em.gate_fidelity(g));
     }
   }
   return std::exp(log_f);

@@ -12,6 +12,13 @@
 
 namespace qfs::device {
 
+/// Floor applied to every per-gate fidelity before taking its log. A
+/// faulted or degraded device can report a gate fidelity of (or rounding
+/// to) zero, and log(0) = -inf poisons every downstream ratio with NaN;
+/// clamping here keeps log-fidelities finite. 1e-12 is far below any
+/// physical gate fidelity, so the floor never distorts healthy estimates.
+inline constexpr double kMinGateFidelity = 1e-12;
+
 /// Product of gate fidelities over all one- and two-qubit unitaries.
 double estimate_gate_fidelity(const circuit::Circuit& circuit,
                               const Device& device);

@@ -186,10 +186,17 @@ RoutingResult LookaheadRouter::route(const Circuit& circuit,
   };
 
   // Collect the next `window_` two-qubit gates after the front (by program
-  // order among not-yet-emitted gates) for the lookahead term.
+  // order among not-yet-emitted gates) for the lookahead term. `scan_start`
+  // is a persistent cursor at the first not-yet-emitted gate: indices below
+  // it stay emitted forever, so each call resumes there instead of
+  // rescanning from 0 — without it routing is O(gates x window) quadratic
+  // on the paper's 100k-gate circuits.
+  std::size_t scan_start = 0;
   auto lookahead_set = [&]() {
+    while (scan_start < gates.size() && emitted[scan_start]) ++scan_start;
     std::vector<int> ahead;
-    for (std::size_t i = 0; i < gates.size() && static_cast<int>(ahead.size()) < window_; ++i) {
+    for (std::size_t i = scan_start;
+         i < gates.size() && static_cast<int>(ahead.size()) < window_; ++i) {
       if (emitted[i]) continue;
       const Gate& g = gates[i];
       if (circuit::is_unitary(g.kind) && g.qubits.size() == 2) {

@@ -1,0 +1,111 @@
+#include "support/parallel.h"
+
+#include <algorithm>
+#include <iostream>
+
+namespace qfs {
+
+int recommended_jobs() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int resolve_jobs(int jobs) {
+  if (jobs == 0) return recommended_jobs();
+  return std::max(1, jobs);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  QFS_ASSERT_MSG(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  QFS_ASSERT_MSG(task != nullptr, "null task submitted");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    QFS_ASSERT_MSG(!stopping_, "submit after shutdown began");
+    queue_.push_back(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace detail {
+
+void FirstError::record(std::size_t index, std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_ || index < index_) {
+    index_ = index;
+    error_ = error;
+  }
+}
+
+bool FirstError::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return error_ != nullptr;
+}
+
+void FirstError::rethrow_if_set() {
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    error = error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace detail
+
+ProgressReporter::ProgressReporter(int stride, std::ostream* out)
+    : out_(out != nullptr ? out : &std::cerr), stride_(std::max(1, stride)) {}
+
+void ProgressReporter::tick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (++done_ % stride_ == 0) (*out_) << '.' << std::flush;
+}
+
+void ProgressReporter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  (*out_) << '\n';
+}
+
+}  // namespace qfs

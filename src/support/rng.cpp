@@ -4,6 +4,26 @@
 
 namespace qfs {
 
+namespace {
+
+/// SplitMix64 finaliser (Steele et al., "Fast splittable pseudorandom
+/// number generators"): a bijective avalanche mix of the running state.
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream) {
+  std::uint64_t state = seed;
+  std::uint64_t mixed = splitmix64(state);
+  state = mixed ^ stream;
+  return splitmix64(state);
+}
+
 int Rng::uniform_int(int lo, int hi) {
   QFS_ASSERT_MSG(lo <= hi, "uniform_int: lo > hi");
   return std::uniform_int_distribution<int>(lo, hi)(engine_);

@@ -13,6 +13,14 @@
 
 namespace qfs {
 
+/// Statistically independent seed for substream `stream` of a master
+/// `seed`: two rounds of SplitMix64 over the pair. Batch runners seed one
+/// Rng per unit of work with derive_seed(seed, index) so that no unit's
+/// randomness depends on how many draws any other unit consumed — the
+/// determinism contract behind parallel_map (results are identical for any
+/// job count, and adding a unit never perturbs the others).
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t stream);
+
 /// Seeded pseudo-random generator with the sampling helpers qfs needs.
 /// Wraps std::mt19937_64; copyable so a generator state can be forked.
 class Rng {

@@ -5,6 +5,7 @@
 
 #include "device/device.h"
 #include "device/faults.h"
+#include "device/fidelity.h"
 #include "graph/algorithms.h"
 #include "mapper/pipeline.h"
 #include "mapper/routing.h"
@@ -386,6 +387,43 @@ TEST(CompileResilient, Surface97WithTenPctDeadEdges) {
   EXPECT_TRUE(
       dd.device.gateset().supports_circuit(result.value().mapping.mapped));
   EXPECT_GT(result.value().mapping.fidelity_after, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity floor on degraded devices
+// ---------------------------------------------------------------------------
+
+// Regression: a heavily degraded device drives per-gate fidelities toward
+// zero; before the kMinGateFidelity floor, log(0) = -inf made every
+// downstream ratio NaN. All fidelity estimates must stay finite and
+// bounded below by gate_count * log(floor).
+TEST(FidelityFloor, DegradedDeviceEstimatesStayFinite) {
+  Device chip = device::surface17_device();
+  FaultSpec spec;
+  spec.dead_edge_fraction = 0.10;
+  spec.fidelity_drift = 0.999;  // near-total loss on surviving couplers
+  spec.seed = 11;
+  auto degraded = FaultInjector(spec).apply(chip);
+  ASSERT_TRUE(degraded.is_ok()) << degraded.status().to_string();
+  const Device& dev = degraded.value().device;
+
+  circuit::Circuit ghz = workloads::ghz(8);
+  Rng rng(2022);
+  mapper::MappingOptions opts;
+  opts.placer = "degree-match";
+  opts.router = "lookahead";
+  mapper::MappingResult result = mapper::map_circuit(ghz, dev, opts, rng);
+
+  double log_f = device::estimate_log_gate_fidelity(result.mapped, dev);
+  EXPECT_TRUE(std::isfinite(log_f));
+  EXPECT_GE(log_f,
+            result.mapped.gate_count() * std::log(device::kMinGateFidelity));
+  EXPECT_TRUE(std::isfinite(result.log_fidelity_after));
+  EXPECT_TRUE(std::isfinite(result.fidelity_decrease_pct));
+  double total = device::estimate_total_fidelity(result.mapped, dev);
+  EXPECT_TRUE(std::isfinite(total));
+  EXPECT_GE(total, 0.0);
+  EXPECT_LE(device::estimate_gate_fidelity(result.mapped, dev), 1.0);
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 // qfsc — the qfs command-line compiler driver.
 //
-// Reads an OpenQASM 2.0 circuit (file argument or stdin), compiles it for a
-// chosen device, and prints a mapping report and optionally the compiled
-// QASM, the timed ISA program, or the interaction-graph profile.
+// Reads OpenQASM 2.0 circuits (file arguments or stdin), compiles them for
+// a chosen device, and prints a mapping report and optionally the compiled
+// QASM, the timed ISA program, or the interaction-graph profile. Several
+// input files are batch-compiled over --jobs worker threads with output
+// bytes independent of the job count.
 //
 //   qfsc --device surface17 --placer annealing --router lookahead in.qasm
+//   qfsc --device surface97 --jobs 8 --emit-qasm batch/*.qasm
 //   cat in.qasm | qfsc --device line:20 --emit-qasm
 #include <fstream>
 #include <iostream>
@@ -27,6 +30,7 @@
 #include "qasm/writer.h"
 #include "report/table.h"
 #include "support/json.h"
+#include "support/parallel.h"
 #include "support/strings.h"
 
 namespace {
@@ -51,12 +55,13 @@ struct CliOptions {
   std::string calibration_path;
   std::string fault_spec;
   int max_attempts = 4;
-  std::string input_path;  // empty: stdin
+  int jobs = 1;  // worker threads for batch compiles; 0 = auto
+  std::vector<std::string> input_paths;  // empty: stdin
 };
 
 void print_usage() {
   std::cout <<
-      "usage: qfsc [options] [input.qasm]\n"
+      "usage: qfsc [options] [input.qasm ...]\n"
       "\n"
       "options:\n"
       "  --device <name>   surface7 | surface17 | surface97 | heavyhex27 |\n"
@@ -77,6 +82,9 @@ void print_usage() {
       "                    largest connected healthy subgraph)\n"
       "  --max-attempts <n> fallback ladder length for resilient\n"
       "                    compilation                         (default 4)\n"
+      "  --jobs <n>        compile multiple input files over n worker\n"
+      "                    threads (0 = one per hardware thread); output\n"
+      "                    order and bytes are independent of n (default 1)\n"
       "  --emit-qasm       print the compiled OpenQASM program\n"
       "  --emit-cqasm      print the compiled cQASM 1.0 program\n"
       "  --emit-timed      print the scheduled, timed ISA program\n"
@@ -89,7 +97,10 @@ void print_usage() {
       "  --draw            print the input circuit as ASCII art first\n"
       "  --help            this text\n"
       "\n"
-      "The circuit is read from the positional file, or stdin when omitted.\n";
+      "Circuits are read from the positional files, or stdin when omitted.\n"
+      "With several input files, each is compiled independently (see\n"
+      "--jobs); reports are prefixed per file and the exit code is that of\n"
+      "the first failing input.\n";
 }
 
 bool parse_device(const std::string& spec, device::Device& out,
@@ -148,27 +159,14 @@ bool parse_device(const std::string& spec, device::Device& out,
   return true;
 }
 
-int run(const CliOptions& cli) {
-  // Read the source.
-  std::string source;
-  if (cli.input_path.empty()) {
-    std::stringstream buffer;
-    buffer << std::cin.rdbuf();
-    source = buffer.str();
-  } else {
-    std::ifstream in(cli.input_path);
-    if (!in) {
-      std::cerr << "qfsc: cannot open '" << cli.input_path << "'\n";
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    source = buffer.str();
-  }
-
+/// Compile one QASM source end to end, writing artifacts to `out` (stdout
+/// in single-file mode) and diagnostics/reports to `err`. Returns the PR-2
+/// exit-code contract: 0 = ok, 1 = bad input, 2 = compilation failed.
+int compile_source(const CliOptions& cli, const std::string& source,
+                   std::ostream& out, std::ostream& err) {
   auto parsed = qasm::parse(source);
   if (!parsed.is_ok()) {
-    std::cerr << "qfsc: " << parsed.status().to_string() << "\n";
+    err << "qfsc: " << parsed.status().to_string() << "\n";
     return 1;
   }
   circuit::Circuit circuit = std::move(parsed).value();
@@ -176,13 +174,13 @@ int run(const CliOptions& cli) {
   if (cli.draw_circuit) {
     circuit::DrawOptions draw_opts;
     draw_opts.show_params = false;
-    std::cerr << circuit::draw(circuit, draw_opts) << "\n";
+    err << circuit::draw(circuit, draw_opts) << "\n";
   }
 
   if (cli.emit_dot) {
     profile::DotOptions dot;
     dot.graph_name = "interaction";
-    std::cout << profile::to_dot(profile::interaction_graph(circuit), dot);
+    out << profile::to_dot(profile::interaction_graph(circuit), dot);
     if (!cli.emit_qasm && !cli.emit_cqasm && !cli.emit_timed &&
         !cli.profile_only) {
       return 0;
@@ -202,20 +200,20 @@ int run(const CliOptions& cli) {
     t.add_row({"max degree", std::to_string(p.max_degree)});
     t.add_row({"min degree", std::to_string(p.min_degree)});
     t.add_row({"adjacency std dev", format_double(p.adj_matrix_stddev, 3)});
-    std::cout << t.to_string();
+    out << t.to_string();
     return 0;
   }
 
   device::Device dev;
   std::string error;
   if (!parse_device(cli.device, dev, error)) {
-    std::cerr << "qfsc: " << error << "\n";
+    err << "qfsc: " << error << "\n";
     return 1;
   }
   if (!cli.calibration_path.empty()) {
     std::ifstream cal(cli.calibration_path);
     if (!cal) {
-      std::cerr << "qfsc: cannot open calibration '" << cli.calibration_path
+      err << "qfsc: cannot open calibration '" << cli.calibration_path
                 << "'\n";
       return 1;
     }
@@ -223,7 +221,7 @@ int run(const CliOptions& cli) {
     buffer << cal.rdbuf();
     auto model = device::parse_calibration(buffer.str(), dev.num_qubits());
     if (!model.is_ok()) {
-      std::cerr << "qfsc: " << model.status().to_string() << "\n";
+      err << "qfsc: " << model.status().to_string() << "\n";
       return 1;
     }
     dev.mutable_error_model() = model.value();
@@ -231,17 +229,17 @@ int run(const CliOptions& cli) {
   if (!cli.fault_spec.empty()) {
     auto spec = device::parse_fault_spec(cli.fault_spec);
     if (!spec.is_ok()) {
-      std::cerr << "qfsc: " << spec.status().to_string() << "\n";
+      err << "qfsc: " << spec.status().to_string() << "\n";
       return 1;
     }
     device::FaultInjector injector(std::move(spec).value());
     auto degraded = injector.apply(dev);
     if (!degraded.is_ok()) {
-      std::cerr << "qfsc: fault injection: " << degraded.status().to_string()
+      err << "qfsc: fault injection: " << degraded.status().to_string()
                 << "\n";
       return 1;
     }
-    std::cerr << "fault injection: " << degraded.value().summary() << "\n";
+    err << "fault injection: " << degraded.value().summary() << "\n";
     dev = std::move(degraded).value().device;
   }
   mapper::MappingOptions options;
@@ -251,7 +249,7 @@ int run(const CliOptions& cli) {
   if (cli.recommend) {
     auto rec = mapper::recommend_mapping(profile::profile_circuit(circuit));
     options = rec.options;
-    std::cerr << "recommendation: placer=" << options.placer
+    err << "recommendation: placer=" << options.placer
               << " router=" << options.router << " ("
               << rec.rationale << ")\n";
   }
@@ -265,14 +263,14 @@ int run(const CliOptions& cli) {
   auto compiled =
       mapper::compile_resilient(circuit, dev, resilient, &attempt_log);
   if (!compiled.is_ok()) {
-    std::cerr << mapper::attempt_log_to_string(attempt_log);
-    std::cerr << "qfsc: " << compiled.status().to_string() << "\n";
+    err << mapper::attempt_log_to_string(attempt_log);
+    err << "qfsc: " << compiled.status().to_string() << "\n";
     return 2;
   }
   if (attempt_log.size() > 1) {
     // Fallbacks were needed; show the full ladder so the outcome is
     // explainable.
-    std::cerr << mapper::attempt_log_to_string(attempt_log);
+    err << mapper::attempt_log_to_string(attempt_log);
   }
   mapper::ResilientResult resilient_result = std::move(compiled).value();
   const mapper::MappingOptions& used = resilient_result.options_used;
@@ -296,7 +294,7 @@ int run(const CliOptions& cli) {
   t.add_row({"latency ns before -> after",
              format_double(result.latency_before_ns, 0) + " -> " +
                  format_double(result.latency_after_ns, 0)});
-  std::cerr << t.to_string();
+  err << t.to_string();
 
   if (cli.emit_json) {
     JsonValue layouts = JsonValue::object();
@@ -323,21 +321,72 @@ int run(const CliOptions& cli) {
         .set("latency_before_ns", JsonValue::number(result.latency_before_ns))
         .set("latency_after_ns", JsonValue::number(result.latency_after_ns))
         .set("layouts", std::move(layouts));
-    std::cout << doc.to_pretty_string() << "\n";
+    out << doc.to_pretty_string() << "\n";
   }
   if (cli.emit_qasm) {
-    std::cout << qasm::to_qasm(result.mapped);
+    out << qasm::to_qasm(result.mapped);
   }
   if (cli.emit_cqasm) {
-    std::cout << qasm::to_cqasm(result.mapped);
+    out << qasm::to_cqasm(result.mapped);
   }
   if (cli.emit_timed) {
     compiler::ScheduleOptions sched;
     sched.avoid_crosstalk = cli.avoid_crosstalk;
     auto schedule = compiler::asap_schedule(result.mapped, dev, sched);
-    std::cout << isa::lower_to_timed_program(result.mapped, schedule).to_text();
+    out << isa::lower_to_timed_program(result.mapped, schedule).to_text();
   }
   return 0;
+}
+
+/// Read one input (file path, or stdin when empty) and compile it.
+int compile_path(const CliOptions& cli, const std::string& path,
+                 std::ostream& out, std::ostream& err) {
+  std::string source;
+  if (path.empty()) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      err << "qfsc: cannot open '" << path << "'\n";
+      return 1;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+  return compile_source(cli, source, out, err);
+}
+
+/// Batch mode: compile every input over --jobs worker threads. Per-file
+/// streams are buffered and flushed in input order, so stdout/stderr are
+/// byte-identical for any --jobs value. The exit code is that of the first
+/// failing input (in input order), preserving the single-file contract
+/// (1 = bad input, 2 = compilation failed).
+int run_batch(const CliOptions& cli) {
+  struct FileResult {
+    int rc = 0;
+    std::string out;
+    std::string err;
+  };
+  auto results = qfs::parallel_map(
+      cli.jobs, cli.input_paths.size(), [&cli](std::size_t i) {
+        std::ostringstream out, err;
+        FileResult r;
+        r.rc = compile_path(cli, cli.input_paths[i], out, err);
+        r.out = out.str();
+        r.err = err.str();
+        return r;
+      });
+  int exit_code = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::cerr << "qfsc: === " << cli.input_paths[i] << " ===\n"
+              << results[i].err;
+    std::cout << results[i].out;
+    if (exit_code == 0 && results[i].rc != 0) exit_code = results[i].rc;
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -391,6 +440,11 @@ int main(int argc, char** argv) {
         std::cerr << "qfsc: bad --max-attempts count\n";
         return 1;
       }
+    } else if (arg == "--jobs") {
+      if (!qfs::parse_int(next(), cli.jobs) || cli.jobs < 0) {
+        std::cerr << "qfsc: bad --jobs count\n";
+        return 1;
+      }
     } else if (arg == "--emit-timed") {
       cli.emit_timed = true;
     } else if (arg == "--crosstalk-safe") {
@@ -405,8 +459,10 @@ int main(int argc, char** argv) {
       std::cerr << "qfsc: unknown option '" << arg << "' (try --help)\n";
       return 1;
     } else {
-      cli.input_path = arg;
+      cli.input_paths.push_back(arg);
     }
   }
-  return run(cli);
+  if (cli.input_paths.size() > 1) return run_batch(cli);
+  return compile_path(cli, cli.input_paths.empty() ? "" : cli.input_paths[0],
+                      std::cout, std::cerr);
 }
