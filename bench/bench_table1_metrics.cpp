@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
   config.suite.max_gates = 3000;
   std::cerr << "mapping 200 circuits ";
   auto rows = bench::run_suite(dev, config);
+  // Every mapped circuit must verify clean before any statistic is drawn
+  // from it (exit 2 with the offending diagnostics otherwise).
+  bench::verify_suite_rows(rows, dev);
 
   std::vector<double> overhead;
   std::vector<double> asp, maxdeg, mindeg, adjstd, closeness;

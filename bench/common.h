@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "analysis/checkers.h"
+#include "analysis/diagnostic.h"
 #include "mapper/pipeline.h"
 #include "profile/circuit_profile.h"
 #include "support/parallel.h"
@@ -69,6 +71,24 @@ inline std::vector<SuiteRow> run_suite(const device::Device& device,
 
 inline std::string fmt(double v, int precision = 3) {
   return qfs::format_double(v, precision);
+}
+
+/// Run the static verifier (analysis::analyze_circuit, physical stage) over
+/// every mapped circuit of the suite and abort on the first diagnostic.
+/// A mapper bug that emits a non-native or non-adjacent gate would silently
+/// skew every figure downstream — better to die loudly here.
+inline void verify_suite_rows(const std::vector<SuiteRow>& rows,
+                              const device::Device& device) {
+  analysis::CheckOptions opts;
+  opts.device = &device;
+  opts.physical = true;
+  for (const auto& r : rows) {
+    auto diags = analysis::analyze_circuit(r.mapping.mapped, opts);
+    if (diags.empty()) continue;
+    std::cerr << "suite verification failed:\n"
+              << analysis::render_diagnostics(diags, r.name);
+    std::exit(2);
+  }
 }
 
 /// Marker per family, following the paper's figures (squares = synthetic,

@@ -1,0 +1,84 @@
+#include "analysis/diagnostic.h"
+
+#include <sstream>
+
+namespace qfs::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string diagnostic_to_string(const Diagnostic& d,
+                                 const std::string& source) {
+  std::ostringstream os;
+  if (!source.empty()) os << source << ": ";
+  if (d.location.line >= 0) {
+    os << "line " << d.location.line << ": ";
+  } else if (d.location.gate_index >= 0) {
+    os << "gate " << d.location.gate_index << ": ";
+  }
+  os << severity_name(d.severity) << '[' << d.code << "]: " << d.message;
+  return os.str();
+}
+
+std::string render_diagnostics(const std::vector<Diagnostic>& diags,
+                               const std::string& source) {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags) {
+    os << diagnostic_to_string(d, source) << '\n';
+  }
+  return os.str();
+}
+
+JsonValue diagnostics_to_json(const std::vector<Diagnostic>& diags) {
+  JsonValue arr = JsonValue::array();
+  for (const Diagnostic& d : diags) {
+    JsonValue obj = JsonValue::object();
+    obj.set("code", JsonValue::string(d.code))
+        .set("severity", JsonValue::string(severity_name(d.severity)))
+        .set("message", JsonValue::string(d.message));
+    if (d.location.line >= 0) {
+      obj.set("line", JsonValue::integer(d.location.line));
+    }
+    if (d.location.gate_index >= 0) {
+      obj.set("gate", JsonValue::integer(d.location.gate_index));
+    }
+    if (d.location.qubit >= 0) {
+      obj.set("qubit", JsonValue::integer(d.location.qubit));
+    }
+    arr.push_back(std::move(obj));
+  }
+  return arr;
+}
+
+int count_errors(const std::vector<Diagnostic>& diags) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) ++n;
+  }
+  return n;
+}
+
+int count_warnings(const std::vector<Diagnostic>& diags) {
+  int n = 0;
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kWarning) ++n;
+  }
+  return n;
+}
+
+std::string diagnostic_summary(const std::vector<Diagnostic>& diags) {
+  int errors = count_errors(diags);
+  int warnings = count_warnings(diags);
+  std::ostringstream os;
+  os << errors << (errors == 1 ? " error, " : " errors, ") << warnings
+     << (warnings == 1 ? " warning" : " warnings");
+  return os.str();
+}
+
+}  // namespace qfs::analysis

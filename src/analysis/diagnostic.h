@@ -1,0 +1,72 @@
+// Diagnostics: the currency of the static-analysis layer.
+//
+// Every finding a checker produces is a Diagnostic with a stable code
+// ("QFS001", ...), a severity, a message, and whatever source location is
+// known (QASM line, gate index, qubit). Codes are part of the public
+// contract: tests and downstream tooling key on them, so a code is never
+// reused or renumbered (see the table in checkers.h / DESIGN.md §9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace qfs::analysis {
+
+enum class Severity {
+  kNote,
+  kWarning,
+  kError,
+};
+
+/// "note", "warning" or "error".
+const char* severity_name(Severity severity);
+
+/// Where a finding points. Fields default to -1 (unknown); renderers print
+/// only what is known. `line` is a 1-based QASM source line, `gate_index`
+/// an index into Circuit::gates() (or a running instruction index for
+/// timed programs), `qubit` the offending operand.
+struct SourceLocation {
+  int line = -1;
+  int gate_index = -1;
+  int qubit = -1;
+
+  bool operator==(const SourceLocation&) const = default;
+};
+
+/// One static-analysis finding.
+struct Diagnostic {
+  std::string code;  ///< stable "QFSnnn" identifier
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceLocation location;
+
+  bool operator==(const Diagnostic&) const = default;
+};
+
+/// "<source>:<line>: error[QFS001]: <message>" — the line segment falls
+/// back to "gate <i>" when only a gate index is known, and is omitted
+/// entirely for whole-circuit findings. `source` ("" = omit) is typically
+/// the input file name.
+std::string diagnostic_to_string(const Diagnostic& d,
+                                 const std::string& source = "");
+
+/// One rendered diagnostic per line, in the given order.
+std::string render_diagnostics(const std::vector<Diagnostic>& diags,
+                               const std::string& source = "");
+
+/// JSON array of {code, severity, message, line?, gate?, qubit?} objects
+/// (unknown location fields are omitted), for machine consumers.
+JsonValue diagnostics_to_json(const std::vector<Diagnostic>& diags);
+
+int count_errors(const std::vector<Diagnostic>& diags);
+int count_warnings(const std::vector<Diagnostic>& diags);
+inline bool has_errors(const std::vector<Diagnostic>& diags) {
+  return count_errors(diags) > 0;
+}
+
+/// "3 errors, 1 warning" summary (count-correct singular/plural).
+std::string diagnostic_summary(const std::vector<Diagnostic>& diags);
+
+}  // namespace qfs::analysis

@@ -21,10 +21,34 @@ PassManager& PassManager::add(
   return add(Pass{std::move(name), std::move(run)});
 }
 
+PassManager& PassManager::enable_verification(PassCheckFn check) {
+  QFS_ASSERT_MSG(static_cast<bool>(check), "verification needs a check fn");
+  check_ = std::move(check);
+  return *this;
+}
+
 circuit::Circuit PassManager::run(const circuit::Circuit& input) {
   stats_.clear();
+  verifier_report_ = PassVerifierReport{};
+  verifier_report_.ran = static_cast<bool>(check_);
+
+  auto verify = [this](const circuit::Circuit& c, int pass_index,
+                       const std::string& pass_name) {
+    if (!check_) return true;
+    std::vector<PassCheckFinding> findings = check_(c);
+    if (findings.empty()) return true;
+    verifier_report_.ok = false;
+    verifier_report_.offending_pass_index = pass_index;
+    verifier_report_.offending_pass = pass_name;
+    verifier_report_.findings = std::move(findings);
+    return false;
+  };
+
   circuit::Circuit current = input;
-  for (const Pass& pass : passes_) {
+  // A pre-broken input is attributed to "<input>", never to pass 0.
+  if (!verify(current, -1, "<input>")) return current;
+  for (std::size_t i = 0; i < passes_.size(); ++i) {
+    const Pass& pass = passes_[i];
     PassStats s;
     s.name = pass.name;
     s.gates_before = current.gate_count();
@@ -33,8 +57,21 @@ circuit::Circuit PassManager::run(const circuit::Circuit& input) {
     s.gates_after = current.gate_count();
     s.depth_after = current.depth();
     stats_.push_back(std::move(s));
+    if (!verify(current, static_cast<int>(i), pass.name)) return current;
   }
   return current;
+}
+
+std::string PassVerifierReport::to_string() const {
+  if (!ran) return "pass verification not enabled\n";
+  if (ok) return "all passes verified\n";
+  std::ostringstream os;
+  for (const PassCheckFinding& f : findings) {
+    os << "pass '" << offending_pass << "'";
+    if (offending_pass_index >= 0) os << " (#" << offending_pass_index << ")";
+    os << " violated " << f.code << ": " << f.message << '\n';
+  }
+  return os.str();
 }
 
 std::string PassManager::report() const {

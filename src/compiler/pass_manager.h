@@ -26,6 +26,39 @@ struct PassStats {
   int depth_after = 0;
 };
 
+/// One invariant violation found in a pass's output. The pass framework is
+/// deliberately decoupled from the analysis layer: a check function maps a
+/// circuit to findings (empty = clean), and analysis::make_pass_check
+/// builds one from the standard checker registry.
+struct PassCheckFinding {
+  std::string code;     ///< stable diagnostic code ("QFS005", ...)
+  std::string message;
+
+  bool operator==(const PassCheckFinding&) const = default;
+};
+
+using PassCheckFn =
+    std::function<std::vector<PassCheckFinding>(const circuit::Circuit&)>;
+
+/// Outcome of verify-between-passes mode: which pass first broke an
+/// invariant, and what it broke. Analogous to mapper::CompileAttemptLog —
+/// the explainability record for a failed pipeline.
+struct PassVerifierReport {
+  /// False until a verified run() completes (or aborts).
+  bool ran = false;
+  /// True when every pass output (and the input) checked clean.
+  bool ok = true;
+  /// Index into the pipeline of the offending pass, or -1 when the *input*
+  /// was already invalid (offending_pass is then "<input>").
+  int offending_pass_index = -1;
+  std::string offending_pass;
+  std::vector<PassCheckFinding> findings;
+
+  /// "pass 'merge-rotations' (#2) violated QFS005: ..." (one line per
+  /// finding), or "all passes verified".
+  std::string to_string() const;
+};
+
 class PassManager {
  public:
   /// Append a pass; returns *this for chaining.
@@ -33,10 +66,23 @@ class PassManager {
   PassManager& add(std::string name,
                    std::function<circuit::Circuit(const circuit::Circuit&)> run);
 
-  /// Run every pass in order, recording stats.
+  /// Verify-between-passes mode: run `check` on the input and after every
+  /// pass; the first pass whose output has findings is recorded in
+  /// verifier_report() and the pipeline stops there (later passes could
+  /// crash on the broken invariant). Returns *this for chaining.
+  PassManager& enable_verification(PassCheckFn check);
+
+  /// Run every pass in order, recording stats. In verification mode the
+  /// returned circuit is the last one produced (the offending pass's
+  /// output when verification fails — callers must consult
+  /// verifier_report().ok before trusting it).
   circuit::Circuit run(const circuit::Circuit& input);
 
   const std::vector<PassStats>& stats() const { return stats_; }
+
+  /// Report of the last verified run (ran == false when verification is
+  /// not enabled or run() has not executed yet).
+  const PassVerifierReport& verifier_report() const { return verifier_report_; }
 
   /// Multi-line "pass: gates a -> b, depth c -> d" report of the last run.
   std::string report() const;
@@ -46,6 +92,8 @@ class PassManager {
  private:
   std::vector<Pass> passes_;
   std::vector<PassStats> stats_;
+  PassCheckFn check_;
+  PassVerifierReport verifier_report_;
 };
 
 /// The standard qfs lowering pipeline up to (not including) mapping:

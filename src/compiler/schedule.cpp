@@ -284,7 +284,6 @@ bool schedule_is_valid(const Circuit& circuit, const device::Device& device,
       }
     }
     for (const auto& [group, list] : spans) {
-      (void)group;
       for (std::size_t i = 0; i < list.size(); ++i) {
         for (std::size_t j = i + 1; j < list.size(); ++j) {
           if (list[i].kind != list[j].kind && list[i].start < list[j].end &&

@@ -15,7 +15,6 @@ std::vector<int> bfs_distances(const Graph& g, Node source) {
     Node u = q.front();
     q.pop();
     for (const auto& [v, w] : g.neighbors(u)) {
-      (void)w;
       if (dist[static_cast<std::size_t>(v)] == kUnreachable) {
         dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
         q.push(v);
@@ -46,7 +45,6 @@ std::vector<Node> shortest_path(const Graph& g, Node source, Node target) {
     q.pop();
     // std::map iteration gives ascending neighbour ids => deterministic ties.
     for (const auto& [v, w] : g.neighbors(u)) {
-      (void)w;
       if (!seen[static_cast<std::size_t>(v)]) {
         seen[static_cast<std::size_t>(v)] = true;
         parent[static_cast<std::size_t>(v)] = u;
@@ -102,7 +100,6 @@ std::vector<int> connected_components(const Graph& g) {
       Node u = q.front();
       q.pop();
       for (const auto& [v, w] : g.neighbors(u)) {
-        (void)w;
         if (comp[static_cast<std::size_t>(v)] == -1) {
           comp[static_cast<std::size_t>(v)] = id;
           q.push(v);
@@ -144,7 +141,6 @@ std::vector<Node> bfs_order(const Graph& g, Node source) {
     q.pop();
     order.push_back(u);
     for (const auto& [v, w] : g.neighbors(u)) {
-      (void)w;
       if (!seen[static_cast<std::size_t>(v)]) {
         seen[static_cast<std::size_t>(v)] = true;
         q.push(v);

@@ -53,7 +53,6 @@ double Graph::weighted_degree(Node u) const {
   check_node(u);
   double sum = 0.0;
   for (const auto& [v, w] : adjacency_[static_cast<std::size_t>(u)]) {
-    (void)v;
     sum += w;
   }
   return sum;

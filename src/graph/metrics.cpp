@@ -160,7 +160,6 @@ std::vector<double> betweenness_centrality(const Graph& g) {
       Node v = queue[head];
       order.push_back(v);
       for (const auto& [w, weight] : g.neighbors(v)) {
-        (void)weight;
         if (dist[static_cast<std::size_t>(w)] < 0) {
           dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
           queue.push_back(w);
@@ -264,7 +263,6 @@ double algebraic_connectivity(const Graph& g, int iterations) {
       double acc = (c - degree[static_cast<std::size_t>(u)]) *
                    v[static_cast<std::size_t>(u)];
       for (const auto& [nbr, w] : g.neighbors(u)) {
-        (void)w;
         acc += v[static_cast<std::size_t>(nbr)];
       }
       next[static_cast<std::size_t>(u)] = acc;

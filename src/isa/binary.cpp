@@ -137,7 +137,6 @@ qfs::StatusOr<TimedProgram> decode_program(
   std::vector<Bundle> bundles;
   bundles.reserve(by_cycle.size());
   for (auto& [cycle, bundle] : by_cycle) {
-    (void)cycle;
     bundles.push_back(std::move(bundle));
   }
   return TimedProgram("decoded", cycle_time_ns, num_qubits,

@@ -33,7 +33,6 @@ void PulseSchedule::add(const ChannelId& channel, Pulse pulse) {
 int PulseSchedule::total_pulses() const {
   int n = 0;
   for (const auto& [id, pulses] : channels_) {
-    (void)id;
     n += static_cast<int>(pulses.size());
   }
   return n;
@@ -53,7 +52,6 @@ std::map<ChannelId, double> PulseSchedule::channel_utilization(
 
 bool PulseSchedule::channels_exclusive() const {
   for (const auto& [id, pulses] : channels_) {
-    (void)id;
     std::vector<std::pair<int, int>> spans;
     for (const Pulse& p : pulses) {
       spans.emplace_back(p.start_cycle, p.start_cycle + p.duration_cycles);

@@ -107,7 +107,6 @@ TimedProgram lower_to_timed_program(const circuit::Circuit& circuit,
   std::vector<Bundle> bundles;
   bundles.reserve(by_cycle.size());
   for (auto& [cycle, bundle] : by_cycle) {
-    (void)cycle;
     bundles.push_back(std::move(bundle));
   }
   return TimedProgram(circuit.name(), schedule.cycle_time_ns,
@@ -158,7 +157,6 @@ bool program_is_valid(const TimedProgram& program,
       }
     }
     for (const auto& [group, list] : spans) {
-      (void)group;
       for (std::size_t i = 0; i < list.size(); ++i) {
         for (std::size_t j = i + 1; j < list.size(); ++j) {
           if (list[i].kind != list[j].kind && list[i].start < list[j].end &&

@@ -21,8 +21,7 @@ void check_fits(const Circuit& circuit, const Device& device) {
 }  // namespace
 
 Layout TrivialPlacer::place(const Circuit& circuit, const Device& device,
-                            qfs::Rng& rng) const {
-  (void)rng;
+                            [[maybe_unused]] qfs::Rng& rng) const {
   check_fits(circuit, device);
   return Layout::identity(device.num_qubits());
 }
@@ -38,8 +37,7 @@ Layout RandomPlacer::place(const Circuit& circuit, const Device& device,
 }
 
 Layout DegreeMatchPlacer::place(const Circuit& circuit, const Device& device,
-                                qfs::Rng& rng) const {
-  (void)rng;
+                                [[maybe_unused]] qfs::Rng& rng) const {
   check_fits(circuit, device);
   graph::Graph ig = profile::interaction_graph(circuit);
 
@@ -189,7 +187,6 @@ class EmbeddingSearch {
     std::vector<int> candidates;
     int anchor = -1;
     for (const auto& [u, w] : pattern_.neighbors(v)) {
-      (void)w;
       if (assignment_[static_cast<std::size_t>(u)] >= 0) {
         anchor = assignment_[static_cast<std::size_t>(u)];
         break;
@@ -197,7 +194,6 @@ class EmbeddingSearch {
     }
     if (anchor >= 0) {
       for (const auto& [p, w] : host_.neighbors(anchor)) {
-        (void)w;
         candidates.push_back(p);
       }
     } else {
@@ -209,7 +205,6 @@ class EmbeddingSearch {
       if (host_.degree(p) < pattern_.degree(v)) continue;
       bool compatible = true;
       for (const auto& [u, w] : pattern_.neighbors(v)) {
-        (void)w;
         int pu = assignment_[static_cast<std::size_t>(u)];
         if (pu >= 0 && !host_.has_edge(p, pu)) {
           compatible = false;
@@ -236,13 +231,11 @@ class EmbeddingSearch {
       if (pu < 0) continue;
       int unplaced = 0;
       for (const auto& [nbr, w] : pattern_.neighbors(u)) {
-        (void)w;
         if (assignment_[static_cast<std::size_t>(nbr)] < 0) ++unplaced;
       }
       if (unplaced == 0) continue;
       int free_neighbors = 0;
       for (const auto& [hn, w] : host_.neighbors(pu)) {
-        (void)w;
         if (!used_[static_cast<std::size_t>(hn)]) ++free_neighbors;
       }
       if (free_neighbors < unplaced) return false;
@@ -294,8 +287,7 @@ Layout SubgraphPlacer::place(const Circuit& circuit, const Device& device,
 }
 
 Layout NoiseAwarePlacer::place(const Circuit& circuit, const Device& device,
-                               qfs::Rng& rng) const {
-  (void)rng;
+                               [[maybe_unused]] qfs::Rng& rng) const {
   check_fits(circuit, device);
   graph::Graph ig = profile::interaction_graph(circuit);
   const auto& topo = device.topology();
@@ -315,7 +307,6 @@ Layout NoiseAwarePlacer::place(const Circuit& circuit, const Device& device,
   auto site_quality = [&topo, &em](int p) {
     double q = 0.0;
     for (const auto& [nbr, w] : topo.coupling().neighbors(p)) {
-      (void)w;
       q += std::log(em.edge_fidelity(p, nbr));
     }
     return q;

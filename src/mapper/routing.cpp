@@ -66,8 +66,8 @@ bool respects_connectivity(const Circuit& mapped, const Device& device) {
 // ---------------------------------------------------------------------------
 
 RoutingResult TrivialRouter::route(const Circuit& circuit, const Device& device,
-                                   const Layout& initial, qfs::Rng& rng) const {
-  (void)rng;
+                                   const Layout& initial,
+                                   [[maybe_unused]] qfs::Rng& rng) const {
   check_routable(circuit, device);
   RoutingResult result;
   result.mapped = Circuit(device.num_qubits(), circuit.name());
@@ -94,8 +94,8 @@ RoutingResult TrivialRouter::route(const Circuit& circuit, const Device& device,
 // ---------------------------------------------------------------------------
 
 RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
-                                  const Layout& initial, qfs::Rng& rng) const {
-  (void)rng;
+                                  const Layout& initial,
+                                  [[maybe_unused]] qfs::Rng& rng) const {
   check_routable(circuit, device);
   RoutingResult result;
   result.mapped = Circuit(device.num_qubits(), circuit.name());
@@ -149,8 +149,7 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
 RoutingResult LookaheadRouter::route(const Circuit& circuit,
                                      const Device& device,
                                      const Layout& initial,
-                                     qfs::Rng& rng) const {
-  (void)rng;
+                                     [[maybe_unused]] qfs::Rng& rng) const {
   check_routable(circuit, device);
   RoutingResult result;
   result.mapped = Circuit(device.num_qubits(), circuit.name());
@@ -324,7 +323,6 @@ std::vector<int> best_fidelity_path(const Device& device, int from, int to) {
     if (d > dist[static_cast<std::size_t>(u)]) continue;
     if (u == to) break;
     for (const auto& [v, w] : coupling.neighbors(u)) {
-      (void)w;
       double cost = -std::log(em.edge_fidelity(u, v));
       if (d + cost < dist[static_cast<std::size_t>(v)]) {
         dist[static_cast<std::size_t>(v)] = d + cost;
@@ -349,8 +347,7 @@ std::vector<int> best_fidelity_path(const Device& device, int from, int to) {
 RoutingResult NoiseAwareRouter::route(const Circuit& circuit,
                                       const Device& device,
                                       const Layout& initial,
-                                      qfs::Rng& rng) const {
-  (void)rng;
+                                      [[maybe_unused]] qfs::Rng& rng) const {
   check_routable(circuit, device);
   RoutingResult result;
   result.mapped = Circuit(device.num_qubits(), circuit.name());

@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "analysis/checkers.h"
 #include "compiler/decompose.h"
 #include "compiler/euler.h"
 #include "compiler/optimize.h"
 #include "compiler/pass_manager.h"
+#include "device/device.h"
 #include "sim/equivalence.h"
 #include "support/rng.h"
 #include "workloads/random_circuit.h"
@@ -424,6 +426,126 @@ TEST(PassManager, RerunClearsStats) {
   pm.run(Circuit(1));
   pm.run(Circuit(1));
   EXPECT_EQ(pm.stats().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Verify-between-passes mode (analysis::make_pass_check as the checker)
+// ---------------------------------------------------------------------------
+
+analysis::CheckOptions physical_opts(const device::Device& dev) {
+  analysis::CheckOptions opts;
+  opts.device = &dev;
+  opts.physical = true;
+  return opts;
+}
+
+TEST(PassVerifier, CleanPipelineVerifiesOk) {
+  device::Device dev = device::line_device(4);
+  PassManager pm;
+  pm.add("append-native", [](const Circuit& c) {
+      Circuit out = c;
+      out.rz(0.1, 0);
+      return out;
+    })
+      .enable_verification(analysis::make_pass_check(physical_opts(dev)));
+  Circuit in(4);
+  in.cz(0, 1);
+  pm.run(in);
+  const PassVerifierReport& report = pm.verifier_report();
+  EXPECT_TRUE(report.ran);
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_NE(report.to_string().find("all passes verified"), std::string::npos);
+}
+
+TEST(PassVerifier, BrokenPassIsAttributedByNameAndIndex) {
+  device::Device dev = device::line_device(4);
+  PassManager pm;
+  pm.add("identity", [](const Circuit& c) { return c; })
+      .add("inject-non-native", [](const Circuit& c) {
+        Circuit out = c;
+        out.t(0);  // not in the surface-code gate set
+        return out;
+      })
+      .add("never-reached", [](const Circuit& c) {
+        ADD_FAILURE() << "pipeline must stop at the offending pass";
+        return c;
+      })
+      .enable_verification(analysis::make_pass_check(physical_opts(dev)));
+  Circuit in(4);
+  in.cz(0, 1);
+  pm.run(in);
+  const PassVerifierReport& report = pm.verifier_report();
+  EXPECT_TRUE(report.ran);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.offending_pass, "inject-non-native");
+  EXPECT_EQ(report.offending_pass_index, 1);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].code, "QFS005");
+  EXPECT_NE(report.to_string().find("'inject-non-native' (#1)"),
+            std::string::npos);
+  EXPECT_NE(report.to_string().find("QFS005"), std::string::npos);
+  // The offending pass still gets its stats entry; the aborted tail does not.
+  EXPECT_EQ(pm.stats().size(), 2u);
+}
+
+TEST(PassVerifier, NonAdjacentGateIsCaughtToo) {
+  device::Device dev = device::line_device(4);
+  PassManager pm;
+  pm.add("inject-non-adjacent", [](const Circuit& c) {
+      Circuit out = c;
+      out.cz(0, 3);  // qubits 0 and 3 are not coupled on a line
+      return out;
+    })
+      .enable_verification(analysis::make_pass_check(physical_opts(dev)));
+  pm.run(Circuit(4));
+  const PassVerifierReport& report = pm.verifier_report();
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].code, "QFS006");
+}
+
+TEST(PassVerifier, PreBrokenInputIsAttributedToInput) {
+  device::Device dev = device::line_device(4);
+  PassManager pm;
+  pm.add("never-reached", [](const Circuit& c) {
+      ADD_FAILURE() << "input verification must abort before any pass";
+      return c;
+    })
+      .enable_verification(analysis::make_pass_check(physical_opts(dev)));
+  Circuit in(4);
+  in.h(0);  // non-native before the pipeline even starts
+  Circuit out = pm.run(in);
+  const PassVerifierReport& report = pm.verifier_report();
+  EXPECT_TRUE(report.ran);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.offending_pass, "<input>");
+  EXPECT_EQ(report.offending_pass_index, -1);
+  EXPECT_TRUE(pm.stats().empty());
+  EXPECT_EQ(out, in);  // the input comes back unchanged
+}
+
+TEST(PassVerifier, ReportNotRanWithoutVerification) {
+  PassManager pm;
+  pm.add("identity", [](const Circuit& c) { return c; });
+  pm.run(Circuit(2));
+  EXPECT_FALSE(pm.verifier_report().ran);
+}
+
+TEST(PassVerifier, VerifiedStandardPipelineStaysClean) {
+  // The standard lowering pipeline must never trip the native-gate checker
+  // when targeting the same gate set it lowers to (logical stage: no
+  // adjacency constraint, hence no device in the options).
+  qfs::Rng rng(17);
+  workloads::RandomCircuitSpec spec;
+  spec.num_qubits = 4;
+  spec.num_gates = 24;
+  spec.two_qubit_fraction = 0.3;
+  Circuit c = workloads::random_circuit(spec, rng);
+  auto pm = standard_lowering_pipeline(device::surface_code_gateset());
+  pm.enable_verification(analysis::make_pass_check({}));
+  pm.run(c);
+  EXPECT_TRUE(pm.verifier_report().ok) << pm.verifier_report().to_string();
 }
 
 }  // namespace

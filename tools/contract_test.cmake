@@ -5,6 +5,7 @@
 #   ARGS          semicolon-separated argument list
 #   EXPECT_EXIT   required exit code
 #   EXPECT_STDERR regex that must match stderr
+#   EXPECT_STDOUT optional regex that must match stdout (lint diagnostics)
 #
 # ctest's WILL_FAIL/PASS_REGULAR_EXPRESSION cannot express "this exact
 # nonzero exit code AND this stderr text", which is precisely the CLI
@@ -28,4 +29,9 @@ endif()
 if(DEFINED EXPECT_STDERR AND NOT err MATCHES "${EXPECT_STDERR}")
   message(FATAL_ERROR
       "qfsc stderr does not match '${EXPECT_STDERR}'.\nstderr:\n${err}")
+endif()
+
+if(DEFINED EXPECT_STDOUT AND NOT out MATCHES "${EXPECT_STDOUT}")
+  message(FATAL_ERROR
+      "qfsc stdout does not match '${EXPECT_STDOUT}'.\nstdout:\n${out}")
 endif()

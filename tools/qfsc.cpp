@@ -9,11 +9,16 @@
 //   qfsc --device surface17 --placer annealing --router lookahead in.qasm
 //   qfsc --device surface97 --jobs 8 --emit-qasm batch/*.qasm
 //   cat in.qasm | qfsc --device line:20 --emit-qasm
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <vector>
 
+#include "analysis/checkers.h"
+#include "analysis/diagnostic.h"
 #include "circuit/draw.h"
 #include "compiler/schedule.h"
 #include "device/calibration.h"
@@ -49,6 +54,8 @@ struct CliOptions {
   bool emit_dot = false;
   bool emit_json = false;
   bool profile_only = false;
+  bool lint = false;
+  bool verify = false;
   bool recommend = false;
   bool draw_circuit = false;
   bool avoid_crosstalk = false;
@@ -91,6 +98,16 @@ void print_usage() {
       "  --emit-dot        print the interaction graph in Graphviz DOT\n"
       "  --emit-json       print the mapping report as JSON\n"
       "  --crosstalk-safe  schedule with crosstalk exclusion (with --emit-timed)\n"
+      "  --lint            run the static circuit linter (device-independent\n"
+      "                    checks: operand ranges, duplicate operands, gates\n"
+      "                    after measurement, idle qubits, unreachable ops)\n"
+      "                    and exit; diagnostics go to stdout, exit code 3\n"
+      "                    when any error-severity finding exists\n"
+      "  --verify          like --lint, but treat the input as a *mapped\n"
+      "                    physical* circuit for --device and additionally\n"
+      "                    check gate-set membership, coupling-graph\n"
+      "                    adjacency, register width and the scheduled\n"
+      "                    program's control-group timing\n"
       "  --profile         print the interaction-graph profile and exit\n"
       "  --recommend       use (and print) the profile-based strategy\n"
       "                    recommendation instead of --placer/--router\n"
@@ -159,11 +176,65 @@ bool parse_device(const std::string& spec, device::Device& out,
   return true;
 }
 
+/// Lint / verify one QASM source without compiling it. Diagnostics render
+/// to `out` (JSON with --emit-json), a one-line summary to `err`. Exit
+/// code 3 = error-severity findings, 1 = unusable configuration, 0 = clean
+/// (warnings allowed) — extending the PR-2 contract without disturbing it.
+int lint_source_mode(const CliOptions& cli, const std::string& source,
+                     const std::string& source_name, std::ostream& out,
+                     std::ostream& err) {
+  analysis::CheckOptions opts;
+  device::Device dev;
+  if (cli.verify) {
+    std::string error;
+    if (!parse_device(cli.device, dev, error)) {
+      err << "qfsc: " << error << "\n";
+      return 1;
+    }
+    opts.device = &dev;
+    opts.physical = true;
+  }
+
+  std::vector<analysis::Diagnostic> diags;
+  auto parsed = qasm::parse(source);
+  if (!parsed.is_ok()) {
+    diags = analysis::lint_source(source, opts);
+  } else {
+    const circuit::Circuit& circuit = parsed.value();
+    diags = analysis::analyze_circuit(circuit, opts);
+    // With a structurally-valid physical circuit in hand, also verify the
+    // scheduled timed program (double-booked qubits, control-group mixing).
+    if (cli.verify && !analysis::has_errors(diags) &&
+        circuit.num_qubits() <= dev.num_qubits()) {
+      compiler::ScheduleOptions sched;
+      sched.avoid_crosstalk = cli.avoid_crosstalk;
+      auto schedule = compiler::asap_schedule(circuit, dev, sched);
+      auto program = isa::lower_to_timed_program(circuit, schedule);
+      auto timed = analysis::analyze_timed_program(program, dev);
+      diags.insert(diags.end(), timed.begin(), timed.end());
+    }
+  }
+
+  if (cli.emit_json) {
+    out << analysis::diagnostics_to_json(diags).to_pretty_string() << "\n";
+  } else {
+    out << analysis::render_diagnostics(diags, source_name);
+  }
+  err << "qfsc: " << (cli.verify ? "verify" : "lint") << ": "
+      << analysis::diagnostic_summary(diags) << "\n";
+  return analysis::has_errors(diags) ? 3 : 0;
+}
+
 /// Compile one QASM source end to end, writing artifacts to `out` (stdout
 /// in single-file mode) and diagnostics/reports to `err`. Returns the PR-2
-/// exit-code contract: 0 = ok, 1 = bad input, 2 = compilation failed.
+/// exit-code contract: 0 = ok, 1 = bad input, 2 = compilation failed,
+/// 3 = lint/verify errors (with --lint/--verify).
 int compile_source(const CliOptions& cli, const std::string& source,
-                   std::ostream& out, std::ostream& err) {
+                   const std::string& source_name, std::ostream& out,
+                   std::ostream& err) {
+  if (cli.lint || cli.verify) {
+    return lint_source_mode(cli, source, source_name, out, err);
+  }
   auto parsed = qasm::parse(source);
   if (!parsed.is_ok()) {
     err << "qfsc: " << parsed.status().to_string() << "\n";
@@ -356,7 +427,8 @@ int compile_path(const CliOptions& cli, const std::string& path,
     buffer << in.rdbuf();
     source = buffer.str();
   }
-  return compile_source(cli, source, out, err);
+  return compile_source(cli, source, path.empty() ? "<stdin>" : path, out,
+                        err);
 }
 
 /// Batch mode: compile every input over --jobs worker threads. Per-file
@@ -387,6 +459,47 @@ int run_batch(const CliOptions& cli) {
     if (exit_code == 0 && results[i].rc != 0) exit_code = results[i].rc;
   }
   return exit_code;
+}
+
+/// Every option qfsc understands (for did-you-mean suggestions).
+const char* const kKnownFlags[] = {
+    "--help",         "--device",        "--placer",       "--router",
+    "--sabre",        "--seed",          "--calibration",  "--inject-faults",
+    "--max-attempts", "--jobs",          "--emit-qasm",    "--emit-cqasm",
+    "--emit-timed",   "--emit-dot",      "--emit-json",    "--crosstalk-safe",
+    "--profile",      "--lint",          "--verify",       "--recommend",
+    "--draw",
+};
+
+/// Classic dynamic-programming edit distance (small inputs only).
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
+                                   diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = row[j];
+      row[j] = next;
+    }
+  }
+  return row[b.size()];
+}
+
+/// Closest known flag within edit distance 3, or "" when nothing is close.
+std::string suggest_flag(std::string_view arg) {
+  std::size_t best = 4;  // only suggest reasonably close matches
+  std::string suggestion;
+  for (const char* flag : kKnownFlags) {
+    std::size_t d = edit_distance(arg, flag);
+    if (d < best) {
+      best = d;
+      suggestion = flag;
+    }
+  }
+  return suggestion;
 }
 
 }  // namespace
@@ -451,12 +564,20 @@ int main(int argc, char** argv) {
       cli.avoid_crosstalk = true;
     } else if (arg == "--profile") {
       cli.profile_only = true;
+    } else if (arg == "--lint") {
+      cli.lint = true;
+    } else if (arg == "--verify") {
+      cli.verify = true;
     } else if (arg == "--recommend") {
       cli.recommend = true;
     } else if (arg == "--draw") {
       cli.draw_circuit = true;
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "qfsc: unknown option '" << arg << "' (try --help)\n";
+      std::cerr << "qfsc: unknown option '" << arg << "'";
+      std::string suggestion = suggest_flag(arg);
+      if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion
+                                         << "?)";
+      std::cerr << " (try --help)\n";
       return 1;
     } else {
       cli.input_paths.push_back(arg);

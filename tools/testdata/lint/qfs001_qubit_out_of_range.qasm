@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS001 (qubit operand out of range).
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[5];

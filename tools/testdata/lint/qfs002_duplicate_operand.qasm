@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS002 (duplicate qubit operands on one gate).
+qreg q[2];
+creg c[2];
+cx q[0],q[0];

@@ -1,0 +1,10 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS003 (gate acts on an already-measured qubit).
+// Qubit 1 stays unmeasured so measure-all (QFS008) does not also fire.
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+h q[0];

@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS004 (qubit 2 is declared but never used).
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];

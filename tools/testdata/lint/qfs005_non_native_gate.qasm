@@ -1,0 +1,9 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS005 under --verify --device line:6 (t is not in the
+// surface-code primitive set; rz and cz are).
+qreg q[2];
+creg c[2];
+rz(0.5) q[0];
+cz q[0],q[1];
+t q[0];

@@ -1,0 +1,8 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS006 under --verify --device line:6 (qubits 0 and 3
+// are not coupled on a line; the gate itself is native).
+qreg q[4];
+creg c[4];
+cz q[0],q[1];
+cz q[0],q[3];

@@ -1,0 +1,11 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS008 (the final h is unreachable: every used qubit
+// has already been measured). QFS003 also fires on the same gate.
+qreg q[2];
+creg c[2];
+h q[0];
+cx q[0],q[1];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+h q[0];

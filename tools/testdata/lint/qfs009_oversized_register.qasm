@@ -1,0 +1,7 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS009 under --verify --device line:4 (eight qubits on
+// a four-qubit chip).
+qreg q[8];
+creg c[8];
+rz(0.25) q[7];

@@ -1,0 +1,6 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// Seeded violation: QFS100 (statement that does not parse).
+qreg q[2];
+creg c[2];
+bananas q[0];
