@@ -8,6 +8,7 @@
 //     measured on the mapped benchmark suite — the "relation to quantum
 //     mapping" column of the table.
 #include <iostream>
+#include <memory>
 
 #include "common.h"
 #include "graph/generators.h"
@@ -48,8 +49,16 @@ int main(int argc, char** argv) {
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   config.suite.max_gates = 3000;
+  // Optional persistent compile cache: re-runs reuse every mapping.
+  std::unique_ptr<cache::CompileCache> compile_cache;
+  if (std::string dir = bench::parse_cache_dir(argc, argv); !dir.empty()) {
+    compile_cache =
+        std::make_unique<cache::CompileCache>(cache::CacheConfig{dir});
+    config.cache = compile_cache.get();
+  }
   std::cerr << "mapping 200 circuits ";
   auto rows = bench::run_suite(dev, config);
+  bench::print_cache_summary(config);
   // Every mapped circuit must verify clean before any statistic is drawn
   // from it (exit 2 with the offending diagnostics otherwise).
   bench::verify_suite_rows(rows, dev);

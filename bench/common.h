@@ -9,8 +9,12 @@
 
 #include "analysis/checkers.h"
 #include "analysis/diagnostic.h"
+#include "cache/artifact.h"
+#include "cache/fingerprint.h"
 #include "mapper/pipeline.h"
 #include "profile/circuit_profile.h"
+#include "qasm/writer.h"
+#include "report/cache_summary.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -34,6 +38,12 @@ struct SuiteRunConfig {
   int jobs = 1;
   workloads::SuiteOptions suite;
   mapper::MappingOptions mapping;
+  /// Optional compilation cache (not owned). When set, each circuit's
+  /// mapping is keyed by (canonical QASM, device, mapping options, derived
+  /// seed) and reused on a hit; artifacts round-trip exactly, so warm runs
+  /// are byte-identical to cold ones (pinned by cache_test and
+  /// bench_cache_speedup).
+  cache::CompileCache* cache = nullptr;
 };
 
 /// Generate the suite, profile every circuit and map it onto `device`,
@@ -60,8 +70,25 @@ inline std::vector<SuiteRow> run_suite(const device::Device& device,
         row.name = b.name;
         row.family = b.family;
         row.profile = profile::profile_circuit(b.circuit);
-        qfs::Rng rng(qfs::derive_seed(config.seed, i));
-        row.mapping = mapper::map_circuit(b.circuit, device, config.mapping, rng);
+        std::uint64_t circuit_seed = qfs::derive_seed(config.seed, i);
+        bool cached = false;
+        cache::Fingerprint key;
+        if (config.cache != nullptr) {
+          key = cache::compile_fingerprint(qasm::to_qasm(b.circuit), device,
+                                           config.mapping, circuit_seed);
+          if (auto hit = cache::load_mapping(*config.cache, key)) {
+            row.mapping = std::move(*hit);
+            cached = true;
+          }
+        }
+        if (!cached) {
+          qfs::Rng rng(circuit_seed);
+          row.mapping =
+              mapper::map_circuit(b.circuit, device, config.mapping, rng);
+          if (config.cache != nullptr) {
+            cache::store_mapping(*config.cache, key, row.mapping);
+          }
+        }
         progress.tick();
         return row;
       });
@@ -133,6 +160,21 @@ inline int parse_jobs(int argc, char** argv, int default_jobs = 1) {
     }
   }
   return jobs;
+}
+
+/// Parse the optional shared --cache-dir flag; "" means "no cache".
+inline std::string parse_cache_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--cache-dir") return argv[i + 1];
+  }
+  return "";
+}
+
+/// Print the standard suite-bench cache summary line (stderr, alongside the
+/// progress dots) when a cache was in use.
+inline void print_cache_summary(const SuiteRunConfig& config) {
+  if (config.cache == nullptr) return;
+  std::cerr << report::cache_summary_line(config.cache->stats()) << "\n";
 }
 
 }  // namespace qfs::bench

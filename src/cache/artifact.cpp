@@ -1,0 +1,266 @@
+#include "cache/artifact.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace qfs::cache {
+
+namespace {
+
+constexpr const char kMagic[] = "qfs-artifact 1";
+
+std::string g17(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+const std::map<std::string, circuit::GateKind>& kind_by_name() {
+  static const std::map<std::string, circuit::GateKind> table = [] {
+    std::map<std::string, circuit::GateKind> t;
+    for (int i = 0; i < circuit::kNumGateKinds; ++i) {
+      auto kind = static_cast<circuit::GateKind>(i);
+      t[circuit::gate_name(kind)] = kind;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void emit_layout(std::ostringstream& os, const char* tag,
+                 const std::vector<int>& layout) {
+  os << tag;
+  for (int p : layout) os << ' ' << p;
+  os << '\n';
+}
+
+qfs::Status bad(const std::string& what) {
+  return qfs::parse_error("artifact: " + what);
+}
+
+qfs::Status parse_int_list(std::string_view text, std::vector<int>& out) {
+  for (const std::string& tok : qfs::split_whitespace(text)) {
+    int v = 0;
+    if (!qfs::parse_int(tok, v)) return bad("bad integer '" + tok + "'");
+    out.push_back(v);
+  }
+  return qfs::Status::ok();
+}
+
+qfs::Status parse_double_field(std::string_view text, double& out) {
+  if (!qfs::parse_double(text, out)) {
+    return bad("bad number '" + std::string(text) + "'");
+  }
+  return qfs::Status::ok();
+}
+
+/// Validate one gate line's shape before touching circuit::make_gate (which
+/// asserts on contract violations — a cache read must never abort).
+qfs::Status checked_add(circuit::Circuit& c, circuit::GateKind kind,
+                        std::vector<int> qubits, std::vector<double> params) {
+  int arity = circuit::gate_arity(kind);
+  if (arity != 0 && static_cast<int>(qubits.size()) != arity) {
+    return bad("wrong operand count");
+  }
+  if (kind == circuit::GateKind::kBarrier && qubits.empty()) {
+    return bad("empty barrier");
+  }
+  if (static_cast<int>(params.size()) != circuit::gate_param_count(kind)) {
+    return bad("wrong parameter count");
+  }
+  for (std::size_t i = 0; i < qubits.size(); ++i) {
+    if (qubits[i] < 0 || qubits[i] >= c.num_qubits()) {
+      return bad("qubit operand out of range");
+    }
+    for (std::size_t j = i + 1; j < qubits.size(); ++j) {
+      if (qubits[i] == qubits[j]) return bad("repeated qubit operand");
+    }
+  }
+  c.add(circuit::make_gate(kind, std::move(qubits), std::move(params)));
+  return qfs::Status::ok();
+}
+
+}  // namespace
+
+std::string serialize_mapping_result(const mapper::MappingResult& result) {
+  std::ostringstream os;
+  os << kMagic << '\n';
+  os << "qubits " << result.mapped.num_qubits() << '\n';
+  os << "name " << result.mapped.name() << '\n';
+  os << "gates " << result.mapped.gates().size() << '\n';
+  for (const auto& g : result.mapped.gates()) {
+    os << "g " << circuit::gate_name(g.kind);
+    for (int q : g.qubits) os << ' ' << q;
+    if (!g.params.empty()) {
+      os << " ;";
+      for (double p : g.params) os << ' ' << g17(p);
+    }
+    os << '\n';
+  }
+  emit_layout(os, "initial-layout", result.initial_layout);
+  emit_layout(os, "final-layout", result.final_layout);
+  os << "swaps " << result.swaps_inserted << '\n';
+  os << "gates-before " << result.gates_before << '\n';
+  os << "gates-after " << result.gates_after << '\n';
+  os << "gate-overhead-pct " << g17(result.gate_overhead_pct) << '\n';
+  os << "depth-before " << result.depth_before << '\n';
+  os << "depth-after " << result.depth_after << '\n';
+  os << "depth-overhead-pct " << g17(result.depth_overhead_pct) << '\n';
+  os << "fidelity-before " << g17(result.fidelity_before) << '\n';
+  os << "fidelity-after " << g17(result.fidelity_after) << '\n';
+  os << "log-fidelity-before " << g17(result.log_fidelity_before) << '\n';
+  os << "log-fidelity-after " << g17(result.log_fidelity_after) << '\n';
+  os << "fidelity-decrease-pct " << g17(result.fidelity_decrease_pct) << '\n';
+  os << "latency-before-ns " << g17(result.latency_before_ns) << '\n';
+  os << "latency-after-ns " << g17(result.latency_after_ns) << '\n';
+  os << "latency-overhead-pct " << g17(result.latency_overhead_pct) << '\n';
+  return os.str();
+}
+
+qfs::StatusOr<mapper::MappingResult> deserialize_mapping_result(
+    const std::string& payload) {
+  std::istringstream in(payload);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) return bad("bad magic");
+
+  auto next_field = [&in, &line](std::string_view tag,
+                                 std::string_view& value) -> qfs::Status {
+    if (!std::getline(in, line)) return bad("truncated payload");
+    std::string prefix = std::string(tag) + " ";
+    if (line == std::string(tag)) {  // empty value (e.g. unnamed circuit)
+      value = std::string_view();
+      return qfs::Status::ok();
+    }
+    if (!qfs::starts_with(line, prefix)) {
+      return bad("expected '" + std::string(tag) + "', got '" + line + "'");
+    }
+    value = std::string_view(line).substr(prefix.size());
+    return qfs::Status::ok();
+  };
+
+  std::string_view value;
+  if (auto s = next_field("qubits", value); !s.is_ok()) return s;
+  int num_qubits = 0;
+  if (!qfs::parse_int(value, num_qubits) || num_qubits < 0 ||
+      num_qubits > 1 << 20) {
+    return bad("bad qubit count");
+  }
+  if (auto s = next_field("name", value); !s.is_ok()) return s;
+  std::string name(value);
+  if (auto s = next_field("gates", value); !s.is_ok()) return s;
+  int num_gates = 0;
+  if (!qfs::parse_int(value, num_gates) || num_gates < 0) {
+    return bad("bad gate count");
+  }
+
+  mapper::MappingResult result;
+  result.mapped = circuit::Circuit(num_qubits, std::move(name));
+  for (int i = 0; i < num_gates; ++i) {
+    if (!std::getline(in, line)) return bad("truncated gate list");
+    if (!qfs::starts_with(line, "g ")) return bad("bad gate line");
+    std::string_view rest = std::string_view(line).substr(2);
+    auto semi = rest.find(';');
+    std::string_view qubit_part = rest.substr(0, semi);
+    std::vector<std::string> toks = qfs::split_whitespace(qubit_part);
+    if (toks.empty()) return bad("gate line without a kind");
+    auto kind_it = kind_by_name().find(toks[0]);
+    if (kind_it == kind_by_name().end()) {
+      return bad("unknown gate kind '" + toks[0] + "'");
+    }
+    std::vector<int> qubits;
+    for (std::size_t t = 1; t < toks.size(); ++t) {
+      int q = 0;
+      if (!qfs::parse_int(toks[t], q)) return bad("bad qubit operand");
+      qubits.push_back(q);
+    }
+    std::vector<double> params;
+    if (semi != std::string_view::npos) {
+      for (const std::string& tok :
+           qfs::split_whitespace(rest.substr(semi + 1))) {
+        double p = 0.0;
+        if (!qfs::parse_double(tok, p)) return bad("bad gate parameter");
+        params.push_back(p);
+      }
+    }
+    if (auto s = checked_add(result.mapped, kind_it->second, std::move(qubits),
+                             std::move(params));
+        !s.is_ok()) {
+      return s;
+    }
+  }
+
+  if (auto s = next_field("initial-layout", value); !s.is_ok()) return s;
+  if (auto s = parse_int_list(value, result.initial_layout); !s.is_ok()) {
+    return s;
+  }
+  if (auto s = next_field("final-layout", value); !s.is_ok()) return s;
+  if (auto s = parse_int_list(value, result.final_layout); !s.is_ok()) return s;
+
+  struct IntField {
+    const char* tag;
+    int* slot;
+  };
+  struct DoubleField {
+    const char* tag;
+    double* slot;
+  };
+  const IntField int_fields[] = {
+      {"swaps", &result.swaps_inserted},
+      {"gates-before", &result.gates_before},
+      {"gates-after", &result.gates_after},
+  };
+  for (const auto& f : int_fields) {
+    if (auto s = next_field(f.tag, value); !s.is_ok()) return s;
+    if (!qfs::parse_int(value, *f.slot)) return bad("bad integer field");
+  }
+  if (auto s = next_field("gate-overhead-pct", value); !s.is_ok()) return s;
+  if (auto s = parse_double_field(value, result.gate_overhead_pct); !s.is_ok()) {
+    return s;
+  }
+  const IntField depth_fields[] = {
+      {"depth-before", &result.depth_before},
+      {"depth-after", &result.depth_after},
+  };
+  for (const auto& f : depth_fields) {
+    if (auto s = next_field(f.tag, value); !s.is_ok()) return s;
+    if (!qfs::parse_int(value, *f.slot)) return bad("bad integer field");
+  }
+  const DoubleField double_fields[] = {
+      {"depth-overhead-pct", &result.depth_overhead_pct},
+      {"fidelity-before", &result.fidelity_before},
+      {"fidelity-after", &result.fidelity_after},
+      {"log-fidelity-before", &result.log_fidelity_before},
+      {"log-fidelity-after", &result.log_fidelity_after},
+      {"fidelity-decrease-pct", &result.fidelity_decrease_pct},
+      {"latency-before-ns", &result.latency_before_ns},
+      {"latency-after-ns", &result.latency_after_ns},
+      {"latency-overhead-pct", &result.latency_overhead_pct},
+  };
+  for (const auto& f : double_fields) {
+    if (auto s = next_field(f.tag, value); !s.is_ok()) return s;
+    if (auto s = parse_double_field(value, *f.slot); !s.is_ok()) return s;
+  }
+  return result;
+}
+
+std::optional<mapper::MappingResult> load_mapping(CompileCache& cache,
+                                                  const Fingerprint& key) {
+  auto payload = cache.lookup(key);
+  if (!payload) return std::nullopt;
+  auto decoded = deserialize_mapping_result(*payload);
+  if (!decoded.is_ok()) {
+    cache.count_corrupt_payload();
+    return std::nullopt;
+  }
+  return std::move(decoded).value();
+}
+
+void store_mapping(CompileCache& cache, const Fingerprint& key,
+                   const mapper::MappingResult& result) {
+  cache.store(key, serialize_mapping_result(result));
+}
+
+}  // namespace qfs::cache

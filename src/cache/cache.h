@@ -1,0 +1,88 @@
+// Two-tier content-addressed compilation cache.
+//
+// Tier 1 is a sharded in-memory LRU (byte-budgeted, per-shard mutex); tier 2
+// is an on-disk store addressed by the entry's 128-bit fingerprint. Disk
+// entries are written to a unique temporary file and atomically renamed into
+// place, so any number of processes/threads may share one --cache-dir (an
+// interrupted write can never leave a half-entry under its final name), and
+// every read re-verifies a magic header, the embedded key, the payload size
+// and a payload digest — a damaged or truncated entry is a recorded miss,
+// never a crash.
+//
+// The cache stores opaque byte payloads; what goes inside (serialized
+// MappingResults) is the business of cache/artifact.h.
+#pragma once
+
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/stats.h"
+#include "support/hash.h"
+
+namespace qfs::cache {
+
+/// Cache keys are stable 128-bit fingerprints (see cache/fingerprint.h).
+using Fingerprint = qfs::Hash128;
+
+struct CacheConfig {
+  /// Root directory of the on-disk tier; empty disables it (memory only).
+  std::string disk_dir;
+  /// Total in-memory payload budget across all shards; 0 disables tier 1.
+  std::size_t memory_budget_bytes = std::size_t{64} << 20;
+  /// Number of LRU shards (clamped to >= 1). More shards, less contention.
+  int shards = 8;
+};
+
+class CompileCache {
+ public:
+  explicit CompileCache(CacheConfig config);
+
+  CompileCache(const CompileCache&) = delete;
+  CompileCache& operator=(const CompileCache&) = delete;
+
+  /// The payload stored under `key`, or nullopt. Checks memory first, then
+  /// disk; a disk hit is promoted into the memory tier.
+  std::optional<std::string> lookup(const Fingerprint& key);
+
+  /// Insert into both tiers. Re-storing an existing key overwrites it.
+  void store(const Fingerprint& key, const std::string& payload);
+
+  /// Record that a structurally valid payload failed *semantic* decoding
+  /// (cache/artifact.h calls this); keeps the corrupt counter honest when
+  /// corruption is only detectable above the store layer.
+  void count_corrupt_payload() { stats_.count_corrupt(); }
+
+  CacheStatsSnapshot stats() const { return stats_.snapshot(); }
+  const CacheConfig& config() const { return config_; }
+
+  /// Final path of `key`'s disk entry ("" when the disk tier is disabled).
+  std::string entry_path(const Fingerprint& key) const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most-recently-used front. Entries own their payload bytes.
+    std::list<std::pair<std::string, std::string>> lru;  // (hex key, payload)
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, std::string>>::iterator>
+        index;
+    std::size_t bytes = 0;
+  };
+
+  Shard& shard_for(const Fingerprint& key);
+  std::optional<std::string> memory_lookup(const Fingerprint& key);
+  void memory_store(const Fingerprint& key, const std::string& payload);
+  std::optional<std::string> disk_lookup(const Fingerprint& key);
+  void disk_store(const Fingerprint& key, const std::string& payload);
+
+  CacheConfig config_;
+  std::size_t shard_budget_ = 0;
+  std::vector<Shard> shards_;
+  CacheStats stats_;
+};
+
+}  // namespace qfs::cache

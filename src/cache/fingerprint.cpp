@@ -1,0 +1,105 @@
+#include "cache/fingerprint.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace qfs::cache {
+
+namespace {
+
+/// Shortest exact rendering of a double (%.17g round-trips every finite
+/// value); used for calibration data where 1-ulp drift must change the key.
+std::string g17(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+FingerprintBuilder& FingerprintBuilder::field(std::string_view tag,
+                                              std::string_view value) {
+  // Length-prefix tag and value so field boundaries cannot be forged by
+  // concatenation ("ab"+"c" never hashes like "a"+"bc").
+  std::uint64_t sizes[2] = {tag.size(), value.size()};
+  for (std::uint64_t size : sizes) {
+    unsigned char le[8];
+    for (int i = 0; i < 8; ++i) {
+      le[i] = static_cast<unsigned char>((size >> (8 * i)) & 0xff);
+    }
+    hasher_.update(le, sizeof(le));
+  }
+  hasher_.update(tag);
+  hasher_.update(value);
+  return *this;
+}
+
+std::string canonical_device_text(const device::Device& device) {
+  std::ostringstream os;
+  const auto& topo = device.topology();
+  const auto& em = device.error_model();
+  os << "device " << device.name() << '\n';
+  os << "qubits " << device.num_qubits() << '\n';
+  os << "edges";
+  for (const auto& [a, b] : topo.edge_list()) os << ' ' << a << '-' << b;
+  os << '\n';
+  os << "gateset " << device.gateset().name();
+  for (circuit::GateKind kind : device.gateset().kinds()) {
+    os << ' ' << circuit::gate_name(kind);
+  }
+  os << '\n';
+  os << "base-fidelity " << g17(em.single_qubit_fidelity()) << ' '
+     << g17(em.two_qubit_fidelity()) << ' ' << g17(em.measurement_fidelity())
+     << '\n';
+  os << "durations-ns " << g17(em.single_qubit_duration_ns()) << ' '
+     << g17(em.two_qubit_duration_ns()) << ' '
+     << g17(em.measurement_duration_ns()) << '\n';
+  os << "coherence-ns " << g17(em.t1_ns()) << ' ' << g17(em.t2_ns()) << '\n';
+  // Effective per-qubit / per-edge fidelities: calibration overrides are
+  // private to the model, but evaluating every site captures them exactly.
+  os << "qubit-fidelity";
+  for (int q = 0; q < device.num_qubits(); ++q) {
+    os << ' ' << g17(em.qubit_fidelity(q));
+  }
+  os << '\n';
+  os << "edge-fidelity";
+  for (const auto& [a, b] : topo.edge_list()) {
+    os << ' ' << g17(em.edge_fidelity(a, b));
+  }
+  os << '\n';
+  os << "control-groups";
+  if (device.has_control_groups()) {
+    for (int q = 0; q < device.num_qubits(); ++q) {
+      os << ' ' << device.control_group(q);
+    }
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string canonical_options_text(const mapper::MappingOptions& options) {
+  std::ostringstream os;
+  os << "placer " << options.placer << '\n';
+  os << "router " << options.router << '\n';
+  os << "sabre-rounds " << options.sabre_refinement_rounds << '\n';
+  os << "initial-layout";
+  for (int p : options.initial_layout) os << ' ' << p;
+  os << '\n';
+  os << "compute-latency " << (options.compute_latency ? 1 : 0) << '\n';
+  return os.str();
+}
+
+Fingerprint compile_fingerprint(std::string_view canonical_qasm,
+                                const device::Device& device,
+                                const mapper::MappingOptions& options,
+                                std::uint64_t seed, std::string_view salt) {
+  FingerprintBuilder builder;
+  builder.field("salt", salt)
+      .field("qasm", canonical_qasm)
+      .field("device", canonical_device_text(device))
+      .field("options", canonical_options_text(options))
+      .field("seed", std::to_string(seed));
+  return builder.finish();
+}
+
+}  // namespace qfs::cache

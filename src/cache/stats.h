@@ -1,0 +1,72 @@
+// Cache telemetry: thread-safe counters plus a plain snapshot struct.
+//
+// The snapshot is deliberately dependency-free (POD + <string> only) so the
+// report layer can render a cache summary line without linking the cache's
+// storage machinery.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace qfs::cache {
+
+/// A point-in-time copy of every counter. Plain values; safe to pass around.
+struct CacheStatsSnapshot {
+  std::uint64_t memory_hits = 0;
+  std::uint64_t disk_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  /// Disk entries that failed a magic/size/digest check (treated as misses)
+  /// plus payloads the decoder rejected.
+  std::uint64_t corrupt_entries = 0;
+
+  std::uint64_t hits() const { return memory_hits + disk_hits; }
+  std::uint64_t lookups() const { return hits() + misses; }
+};
+
+/// Lock-free counters updated from any thread.
+class CacheStats {
+ public:
+  void count_memory_hit() { memory_hits_.fetch_add(1, kOrder); }
+  void count_disk_hit(std::uint64_t bytes) {
+    disk_hits_.fetch_add(1, kOrder);
+    bytes_read_.fetch_add(bytes, kOrder);
+  }
+  void count_miss() { misses_.fetch_add(1, kOrder); }
+  void count_store(std::uint64_t bytes) {
+    stores_.fetch_add(1, kOrder);
+    bytes_written_.fetch_add(bytes, kOrder);
+  }
+  void count_eviction() { evictions_.fetch_add(1, kOrder); }
+  void count_corrupt() { corrupt_entries_.fetch_add(1, kOrder); }
+
+  CacheStatsSnapshot snapshot() const {
+    CacheStatsSnapshot s;
+    s.memory_hits = memory_hits_.load(kOrder);
+    s.disk_hits = disk_hits_.load(kOrder);
+    s.misses = misses_.load(kOrder);
+    s.stores = stores_.load(kOrder);
+    s.evictions = evictions_.load(kOrder);
+    s.bytes_read = bytes_read_.load(kOrder);
+    s.bytes_written = bytes_written_.load(kOrder);
+    s.corrupt_entries = corrupt_entries_.load(kOrder);
+    return s;
+  }
+
+ private:
+  static constexpr std::memory_order kOrder = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> memory_hits_{0};
+  std::atomic<std::uint64_t> disk_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> stores_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> corrupt_entries_{0};
+};
+
+}  // namespace qfs::cache

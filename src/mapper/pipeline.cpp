@@ -239,10 +239,29 @@ qfs::StatusOr<ResilientResult> compile_resilient(const Circuit& circuit,
     entry.router = opts.router;
     entry.seed = seed;
 
+    // Attempt-level memo key; the cache folds it into the full
+    // circuit/device/pipeline fingerprint (see cache/memo.h).
+    std::string attempt_key =
+        opts.placer + "|" + opts.router + "|" + std::to_string(seed);
+
     try {
-      qfs::Rng rng(seed);
-      MappingResult result = map_circuit(circuit, device, opts, rng);
-      entry.status = validate_attempt(circuit, result, device, options, seed);
+      MappingResult result;
+      bool memoized = options.memo != nullptr && options.memo->lookup &&
+                      options.memo->lookup(attempt_key, &result);
+      if (memoized) {
+        entry.status = validate_attempt(circuit, result, device, options, seed);
+      }
+      if (!memoized || !entry.status.is_ok()) {
+        // Fresh compile: also the fallback when a memoized artifact fails
+        // validation (a corrupt or stale entry must degrade, not escape).
+        qfs::Rng rng(seed);
+        result = map_circuit(circuit, device, opts, rng);
+        entry.status = validate_attempt(circuit, result, device, options, seed);
+        if (entry.status.is_ok() && options.memo != nullptr &&
+            options.memo->store) {
+          options.memo->store(attempt_key, result);
+        }
+      }
       entry.fidelity_after = result.fidelity_after;
       entry.gates_after = result.gates_after;
       entry.swaps_inserted = result.swaps_inserted;

@@ -8,6 +8,7 @@
 // depth/latency overhead, and estimated fidelity before/after mapping.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -88,6 +89,21 @@ MappingResult map_circuit(const circuit::Circuit& circuit,
 // failure mode is reported as a structured Status and logged per attempt.
 // ---------------------------------------------------------------------------
 
+/// Per-attempt memoization hooks for compile_resilient, wired up by the
+/// compilation cache (src/cache) without a mapper->cache dependency. The
+/// attempt key is the rung's "placer|router|seed" triple; the installer is
+/// expected to fold it into its own circuit/device/pipeline fingerprint.
+/// `lookup` returns true and fills `out` on a hit; a hit still passes the
+/// normal per-attempt validation, so a stale or damaged artifact degrades
+/// to a fresh compile instead of escaping. `store` receives only results
+/// that passed validation.
+struct AttemptMemo {
+  std::function<bool(const std::string& attempt_key, MappingResult* out)>
+      lookup;
+  std::function<void(const std::string& attempt_key, const MappingResult&)>
+      store;
+};
+
 struct ResilientOptions {
   /// First attempt runs exactly these options; fallback attempts override
   /// only placer, router and seed.
@@ -99,6 +115,8 @@ struct ResilientOptions {
   /// many qubits and the input circuit is unitary-only.
   int equivalence_max_qubits = 8;
   int equivalence_trials = 2;
+  /// Optional per-attempt result memoization (not owned; may be null).
+  const AttemptMemo* memo = nullptr;
 };
 
 /// Outcome of one rung of the fallback ladder.

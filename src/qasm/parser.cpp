@@ -577,10 +577,19 @@ qfs::StatusOr<Circuit> parse(const std::string& source) {
     }
   };
 
+  std::string circuit_name;
   while (std::getline(in, line)) {
     ++line_no;
     auto comment = line.find("//");
-    if (comment != std::string::npos) line = line.substr(0, comment);
+    if (comment != std::string::npos) {
+      // The writer records the circuit name as "// circuit: <name>";
+      // recover it so print->parse->print is a fixed point (first wins).
+      std::string_view text = trim(std::string_view(line).substr(comment + 2));
+      if (starts_with(text, "circuit:") && circuit_name.empty()) {
+        circuit_name = std::string(trim(text.substr(8)));
+      }
+      line = line.substr(0, comment);
+    }
     pending += line;
     pending += '\n';
     auto status = flush();
@@ -592,7 +601,7 @@ qfs::StatusOr<Circuit> parse(const std::string& source) {
   if (state.qreg_size == -1) {
     return qfs::parse_error("no qreg declaration found");
   }
-  Circuit circuit(state.qreg_size);
+  Circuit circuit(state.qreg_size, std::move(circuit_name));
   for (auto& g : state.gates) circuit.add(std::move(g));
   return circuit;
 }

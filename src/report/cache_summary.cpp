@@ -1,0 +1,50 @@
+#include "report/cache_summary.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace qfs::report {
+
+std::string format_bytes(std::uint64_t bytes) {
+  if (bytes < 1024) return std::to_string(bytes) + " B";
+  double value = static_cast<double>(bytes);
+  const char* units[] = {"KiB", "MiB", "GiB", "TiB"};
+  int unit = -1;
+  while (value >= 1024.0 && unit < 3) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return qfs::format_double(value, 1) + " " + units[unit];
+}
+
+std::string cache_summary_line(const cache::CacheStatsSnapshot& stats) {
+  std::ostringstream os;
+  os << "cache: " << stats.lookups() << " lookups, " << stats.hits()
+     << " hits (" << stats.memory_hits << " mem / " << stats.disk_hits
+     << " disk), " << stats.misses << " misses, " << stats.evictions
+     << " evictions, " << format_bytes(stats.bytes_read) << " read, "
+     << format_bytes(stats.bytes_written) << " written, "
+     << stats.corrupt_entries << " corrupt";
+  return os.str();
+}
+
+JsonValue cache_stats_to_json(const cache::CacheStatsSnapshot& stats) {
+  auto integer = [](std::uint64_t v) {
+    return JsonValue::integer(static_cast<long long>(v));
+  };
+  JsonValue doc = JsonValue::object();
+  doc.set("lookups", integer(stats.lookups()))
+      .set("hits", integer(stats.hits()))
+      .set("memory_hits", integer(stats.memory_hits))
+      .set("disk_hits", integer(stats.disk_hits))
+      .set("misses", integer(stats.misses))
+      .set("stores", integer(stats.stores))
+      .set("evictions", integer(stats.evictions))
+      .set("bytes_read", integer(stats.bytes_read))
+      .set("bytes_written", integer(stats.bytes_written))
+      .set("corrupt_entries", integer(stats.corrupt_entries));
+  return doc;
+}
+
+}  // namespace qfs::report

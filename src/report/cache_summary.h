@@ -1,0 +1,25 @@
+// Rendering of compilation-cache telemetry: the one-line summary the suite
+// benches print and the JSON object `qfsc --cache-stats` emits.
+//
+// Depends only on the dependency-free cache/stats.h snapshot, keeping the
+// report layer free of the cache's storage machinery.
+#pragma once
+
+#include <string>
+
+#include "cache/stats.h"
+#include "support/json.h"
+
+namespace qfs::report {
+
+/// e.g. "cache: 200 lookups, 180 hits (160 mem / 20 disk), 20 misses,
+///       3 evictions, 1.2 MiB read, 240.0 KiB written, 0 corrupt"
+std::string cache_summary_line(const cache::CacheStatsSnapshot& stats);
+
+/// The same counters as a JSON object (all integers, raw bytes).
+JsonValue cache_stats_to_json(const cache::CacheStatsSnapshot& stats);
+
+/// Human-readable byte count ("512 B", "1.5 KiB", "3.2 MiB").
+std::string format_bytes(std::uint64_t bytes);
+
+}  // namespace qfs::report

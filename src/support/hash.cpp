@@ -1,0 +1,148 @@
+#include "support/hash.h"
+
+#include <cstring>
+
+namespace qfs {
+
+namespace {
+
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937fULL;
+
+inline std::uint64_t rotl64(std::uint64_t x, int r) {
+  return (x << r) | (x >> (64 - r));
+}
+
+/// Little-endian 64-bit load, byte by byte: identical on every host.
+inline std::uint64_t load_le64(const unsigned char* p) {
+  return static_cast<std::uint64_t>(p[0]) |
+         (static_cast<std::uint64_t>(p[1]) << 8) |
+         (static_cast<std::uint64_t>(p[2]) << 16) |
+         (static_cast<std::uint64_t>(p[3]) << 24) |
+         (static_cast<std::uint64_t>(p[4]) << 32) |
+         (static_cast<std::uint64_t>(p[5]) << 40) |
+         (static_cast<std::uint64_t>(p[6]) << 48) |
+         (static_cast<std::uint64_t>(p[7]) << 56);
+}
+
+inline std::uint64_t fmix64(std::uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+}  // namespace
+
+std::string Hash128::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    std::uint64_t word = i < 8 ? hi : lo;
+    int shift = 56 - 8 * (i % 8);
+    unsigned byte = static_cast<unsigned>((word >> shift) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = digits[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = digits[byte & 0xf];
+  }
+  return out;
+}
+
+Hasher::Hasher(std::uint64_t seed) : h1_(seed), h2_(seed) {
+  std::memset(tail_, 0, sizeof(tail_));
+}
+
+void Hasher::mix_block(const unsigned char* block) {
+  std::uint64_t k1 = load_le64(block);
+  std::uint64_t k2 = load_le64(block + 8);
+
+  k1 *= kC1;
+  k1 = rotl64(k1, 31);
+  k1 *= kC2;
+  h1_ ^= k1;
+  h1_ = rotl64(h1_, 27);
+  h1_ += h2_;
+  h1_ = h1_ * 5 + 0x52dce729;
+
+  k2 *= kC2;
+  k2 = rotl64(k2, 33);
+  k2 *= kC1;
+  h2_ ^= k2;
+  h2_ = rotl64(h2_, 31);
+  h2_ += h1_;
+  h2_ = h2_ * 5 + 0x38495ab5;
+}
+
+void Hasher::update(const void* data, std::size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  total_len_ += len;
+
+  // Top up a partial tail first.
+  if (tail_len_ > 0) {
+    std::size_t take = std::min(len, sizeof(tail_) - tail_len_);
+    std::memcpy(tail_ + tail_len_, p, take);
+    tail_len_ += take;
+    p += take;
+    len -= take;
+    if (tail_len_ == sizeof(tail_)) {
+      mix_block(tail_);
+      tail_len_ = 0;
+    }
+  }
+
+  while (len >= sizeof(tail_)) {
+    mix_block(p);
+    p += sizeof(tail_);
+    len -= sizeof(tail_);
+  }
+
+  if (len > 0) {
+    std::memcpy(tail_, p, len);
+    tail_len_ = len;
+  }
+}
+
+Hash128 Hasher::finish() const {
+  std::uint64_t h1 = h1_;
+  std::uint64_t h2 = h2_;
+
+  std::uint64_t k1 = 0;
+  std::uint64_t k2 = 0;
+  for (std::size_t i = tail_len_; i > 8; --i) {
+    k2 |= static_cast<std::uint64_t>(tail_[i - 1]) << (8 * (i - 9));
+  }
+  for (std::size_t i = std::min<std::size_t>(tail_len_, 8); i > 0; --i) {
+    k1 |= static_cast<std::uint64_t>(tail_[i - 1]) << (8 * (i - 1));
+  }
+  if (tail_len_ > 8) {
+    k2 *= kC2;
+    k2 = rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+  }
+  if (tail_len_ > 0) {
+    k1 *= kC1;
+    k1 = rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+  }
+
+  h1 ^= total_len_;
+  h2 ^= total_len_;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Hash128 hash128(std::string_view data, std::uint64_t seed) {
+  Hasher h(seed);
+  h.update(data);
+  return h.finish();
+}
+
+}  // namespace qfs

@@ -1,0 +1,56 @@
+// Stable 128-bit non-cryptographic hashing (MurmurHash3 x64/128 variant).
+//
+// The compilation cache keys every artifact by a digest of canonical text,
+// so the hash must be *stable*: the same bytes produce the same digest on
+// every platform, compiler and architecture, forever. All block loads are
+// explicit little-endian byte assemblies (no type punning, no dependence on
+// host endianness or size_t width) and the golden digests are pinned by
+// tests/hash_test.cpp. Changing this algorithm invalidates every on-disk
+// cache entry — bump cache::kCacheVersionSalt if you ever must.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace qfs {
+
+/// A 128-bit digest. Comparable and renderable as 32 lowercase hex chars.
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Hash128&) const = default;
+
+  /// 32 lowercase hex characters, hi word first.
+  std::string hex() const;
+};
+
+/// Streaming hasher: feed bytes in any chunking; the digest depends only on
+/// the concatenated byte sequence (pinned by HashTest.StreamingMatchesOneShot).
+class Hasher {
+ public:
+  explicit Hasher(std::uint64_t seed = 0);
+
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Digest of everything fed so far. Non-destructive: more update() calls
+  /// may follow and finish() may be called again.
+  Hash128 finish() const;
+
+ private:
+  void mix_block(const unsigned char* block);
+
+  std::uint64_t h1_;
+  std::uint64_t h2_;
+  unsigned char tail_[16];
+  std::size_t tail_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+/// One-shot convenience over Hasher.
+Hash128 hash128(std::string_view data, std::uint64_t seed = 0);
+
+}  // namespace qfs

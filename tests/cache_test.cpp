@@ -1,0 +1,393 @@
+// The two-tier compilation cache, end to end: fingerprint sensitivity,
+// artifact round-trips, cold/warm suite runs with byte-identical output,
+// exact counters under a parallel fan-out, LRU eviction, and the
+// corruption contract (a damaged entry is a recorded miss, never a crash).
+#include "cache/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cache/artifact.h"
+#include "cache/fingerprint.h"
+#include "cache/memo.h"
+#include "common.h"
+#include "device/device.h"
+#include "gtest/gtest.h"
+#include "mapper/pipeline.h"
+#include "qasm/writer.h"
+#include "support/rng.h"
+
+namespace qfs::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A fresh, empty directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  fs::path dir = fs::path(testing::TempDir()) / ("qfs_cache_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+Fingerprint test_key(std::string_view tag) {
+  return qfs::hash128(tag);
+}
+
+// The small suite the cold/warm tests compile: 40 distinct circuits (so
+// every fingerprint is unique and hit/miss counts are exact even when the
+// compiles race).
+bench::SuiteRunConfig small_suite_config(CompileCache* cache, int jobs = 1) {
+  bench::SuiteRunConfig config;
+  config.jobs = jobs;
+  config.cache = cache;
+  config.suite.random_count = 20;
+  config.suite.real_count = 15;
+  config.suite.reversible_count = 5;
+  config.suite.max_qubits = 17;
+  config.suite.max_gates = 300;
+  return config;
+}
+
+TEST(FingerprintTest, StableAndSensitive) {
+  device::Device dev = device::surface17_device();
+  mapper::MappingOptions options;
+  const std::string qasm_text = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+
+  Fingerprint base = compile_fingerprint(qasm_text, dev, options, 2022);
+  EXPECT_EQ(base, compile_fingerprint(qasm_text, dev, options, 2022));
+
+  // Every key ingredient perturbs the digest.
+  EXPECT_NE(base, compile_fingerprint(qasm_text + " ", dev, options, 2022));
+  EXPECT_NE(base, compile_fingerprint(qasm_text, device::surface7_device(),
+                                      options, 2022));
+  mapper::MappingOptions other = options;
+  other.placer = "annealing";
+  EXPECT_NE(base, compile_fingerprint(qasm_text, dev, other, 2022));
+  EXPECT_NE(base, compile_fingerprint(qasm_text, dev, options, 2023));
+  EXPECT_NE(base,
+            compile_fingerprint(qasm_text, dev, options, 2022, "other-salt"));
+
+  // Calibration overrides change the effective error model, hence the key.
+  device::Device recalibrated = dev;
+  recalibrated.mutable_error_model().set_qubit_fidelity(0, 0.9);
+  EXPECT_NE(base, compile_fingerprint(qasm_text, recalibrated, options, 2022));
+  // Overriding an edge absent from the coupling graph is a no-op for
+  // compilation, so it must be a no-op for the key too.
+  device::Device unchanged = dev;
+  unchanged.mutable_error_model().set_edge_fidelity(0, 1, 0.5);
+  EXPECT_EQ(base, compile_fingerprint(qasm_text, unchanged, options, 2022));
+}
+
+TEST(FingerprintTest, FieldsAreLengthPrefixed) {
+  // ("ab","c") must not collide with ("a","bc") by concatenation.
+  FingerprintBuilder a, b;
+  a.field("t", "ab").field("t", "c");
+  b.field("t", "a").field("t", "bc");
+  EXPECT_NE(a.finish(), b.finish());
+}
+
+TEST(AttemptFingerprintTest, DistinctPerAttemptAndBase) {
+  Fingerprint base1 = test_key("base1");
+  Fingerprint base2 = test_key("base2");
+  EXPECT_EQ(attempt_fingerprint(base1, "trivial|trivial|2022"),
+            attempt_fingerprint(base1, "trivial|trivial|2022"));
+  EXPECT_NE(attempt_fingerprint(base1, "trivial|trivial|2022"),
+            attempt_fingerprint(base1, "trivial|lookahead|2022"));
+  EXPECT_NE(attempt_fingerprint(base1, "trivial|trivial|2022"),
+            attempt_fingerprint(base2, "trivial|trivial|2022"));
+}
+
+TEST(ArtifactTest, MappingResultRoundTripsExactly) {
+  device::Device dev = device::surface17_device();
+  Rng rng(2022);
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 2;
+  suite_opts.real_count = 2;
+  suite_opts.reversible_count = 1;
+  suite_opts.max_qubits = 17;
+  suite_opts.max_gates = 120;
+  auto suite = workloads::make_suite(suite_opts, rng);
+  mapper::MappingOptions options;
+  options.compute_latency = true;
+  for (const auto& b : suite) {
+    Rng map_rng(7);
+    mapper::MappingResult result =
+        mapper::map_circuit(b.circuit, dev, options, map_rng);
+    std::string payload = serialize_mapping_result(result);
+    auto decoded = deserialize_mapping_result(payload);
+    ASSERT_TRUE(decoded.is_ok()) << b.name << ": "
+                                 << decoded.status().to_string();
+    // Exact fixed point: re-serializing reproduces the payload byte for
+    // byte, which is what makes warm suite runs byte-identical.
+    EXPECT_EQ(serialize_mapping_result(decoded.value()), payload) << b.name;
+    EXPECT_EQ(qasm::to_qasm(decoded.value().mapped),
+              qasm::to_qasm(result.mapped))
+        << b.name;
+  }
+}
+
+TEST(ArtifactTest, MalformedPayloadsAreErrorsNotCrashes) {
+  const char* bad[] = {
+      "",
+      "not-an-artifact",
+      "qfs-artifact 999\n",
+      "qfs-artifact 1\nqubits notanumber\n",
+      "qfs-artifact 1\nqubits 3\nname x\ngates 1\ng cx 0 99 ;\n",
+      "qfs-artifact 1\nqubits 2\nname x\ngates 1\ng nosuchgate 0 1 ;\n",
+  };
+  for (const char* payload : bad) {
+    auto decoded = deserialize_mapping_result(payload);
+    EXPECT_FALSE(decoded.is_ok()) << "payload: " << payload;
+  }
+}
+
+TEST(CompileCacheTest, MemoryOnlyStoreAndLookup) {
+  CompileCache cache(CacheConfig{});  // no disk tier
+  Fingerprint key = test_key("k");
+  EXPECT_EQ(cache.entry_path(key), "");
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  cache.store(key, "payload-bytes");
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-bytes");
+  auto snap = cache.stats();
+  EXPECT_EQ(snap.misses, 1u);
+  EXPECT_EQ(snap.memory_hits, 1u);
+  EXPECT_EQ(snap.stores, 1u);
+}
+
+TEST(CompileCacheTest, DiskTierSurvivesProcessRestart) {
+  std::string dir = fresh_dir("restart");
+  Fingerprint key = test_key("persisted");
+  {
+    CompileCache cache(CacheConfig{dir});
+    cache.store(key, "persisted-payload");
+    EXPECT_TRUE(fs::exists(cache.entry_path(key)));
+  }
+  // A new instance on the same directory models a new process: the memory
+  // tier is cold, the disk tier hits.
+  CompileCache cache(CacheConfig{dir});
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "persisted-payload");
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+  // The disk hit was promoted: the next lookup is a memory hit.
+  EXPECT_TRUE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().memory_hits, 1u);
+}
+
+TEST(CompileCacheTest, LruEvictsUnderByteBudget) {
+  CacheConfig config;
+  config.memory_budget_bytes = 4096;
+  config.shards = 1;  // one shard makes the LRU order fully observable
+  CompileCache cache(config);
+  const std::string payload(1024, 'p');
+  for (int i = 0; i < 8; ++i) {
+    cache.store(test_key("evict" + std::to_string(i)), payload);
+  }
+  auto snap = cache.stats();
+  EXPECT_GE(snap.evictions, 4u);
+  // The oldest entries are gone (memory-only cache: eviction means miss)...
+  EXPECT_FALSE(cache.lookup(test_key("evict0")).has_value());
+  // ...while the most recent survive.
+  EXPECT_TRUE(cache.lookup(test_key("evict7")).has_value());
+}
+
+TEST(CompileCacheTest, EvictedEntriesStillHitDisk) {
+  std::string dir = fresh_dir("evict_disk");
+  CacheConfig config;
+  config.disk_dir = dir;
+  config.memory_budget_bytes = 2048;
+  config.shards = 1;
+  CompileCache cache(config);
+  const std::string payload(1024, 'q');
+  for (int i = 0; i < 6; ++i) {
+    cache.store(test_key("spill" + std::to_string(i)), payload);
+  }
+  EXPECT_GT(cache.stats().evictions, 0u);
+  auto hit = cache.lookup(test_key("spill0"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);
+  EXPECT_EQ(cache.stats().disk_hits, 1u);
+}
+
+TEST(CompileCacheTest, TruncatedEntryIsARecordedMissAndRecoverable) {
+  std::string dir = fresh_dir("truncated");
+  CacheConfig config;
+  config.disk_dir = dir;
+  config.memory_budget_bytes = 0;  // disk-only: no memory tier to mask it
+  CompileCache cache(config);
+  Fingerprint key = test_key("truncme");
+  cache.store(key, "some payload worth caching");
+  std::string path = cache.entry_path(key);
+  ASSERT_TRUE(fs::exists(path));
+
+  fs::resize_file(path, 10);  // chop mid-header
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  auto snap = cache.stats();
+  EXPECT_EQ(snap.corrupt_entries, 1u);
+  EXPECT_EQ(snap.misses, 1u);
+
+  // The contract is self-healing: re-storing overwrites the damaged entry.
+  cache.store(key, "some payload worth caching");
+  auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "some payload worth caching");
+}
+
+TEST(CompileCacheTest, GarbageAndMismatchedEntriesAreMisses) {
+  std::string dir = fresh_dir("garbage");
+  CacheConfig config;
+  config.disk_dir = dir;
+  config.memory_budget_bytes = 0;
+  CompileCache cache(config);
+
+  // Flipped payload byte: digest check fails.
+  Fingerprint key = test_key("flipped");
+  cache.store(key, "payload-abcdefgh");
+  {
+    std::fstream f(cache.entry_path(key),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-3, std::ios::end);
+    f.put('X');
+  }
+  EXPECT_FALSE(cache.lookup(key).has_value());
+
+  // An entry file copied under the wrong key: embedded-key check fails.
+  Fingerprint other = test_key("other");
+  cache.store(other, "other-payload");
+  fs::create_directories(fs::path(cache.entry_path(key)).parent_path());
+  fs::copy_file(cache.entry_path(other), cache.entry_path(key),
+                fs::copy_options::overwrite_existing);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_GE(cache.stats().corrupt_entries, 2u);
+}
+
+TEST(CacheSuiteTest, ColdThenWarmIsByteIdenticalWithExactCounters) {
+  std::string dir = fresh_dir("suite");
+  device::Device dev = device::surface17_device();
+  const std::uint64_t kCircuits = 40;
+
+  // Cold: every compile misses, then stores.
+  CompileCache cold(CacheConfig{dir});
+  auto cold_config = small_suite_config(&cold);
+  std::string cold_csv = bench::suite_rows_to_csv(bench::run_suite(dev, cold_config));
+  auto cold_snap = cold.stats();
+  EXPECT_EQ(cold_snap.misses, kCircuits);
+  EXPECT_EQ(cold_snap.stores, kCircuits);
+  EXPECT_EQ(cold_snap.hits(), 0u);
+
+  // Warm, new instance on the same directory: every compile disk-hits.
+  CompileCache warm(CacheConfig{dir});
+  auto warm_config = small_suite_config(&warm);
+  std::string warm_csv = bench::suite_rows_to_csv(bench::run_suite(dev, warm_config));
+  auto warm_snap = warm.stats();
+  EXPECT_EQ(warm_snap.disk_hits, kCircuits);
+  EXPECT_EQ(warm_snap.misses, 0u);
+  EXPECT_EQ(cold_csv, warm_csv);
+
+  // Warm again on the *same* instance: the memory tier answers.
+  std::string memory_csv =
+      bench::suite_rows_to_csv(bench::run_suite(dev, warm_config));
+  EXPECT_EQ(warm.stats().memory_hits, kCircuits);
+  EXPECT_EQ(cold_csv, memory_csv);
+}
+
+TEST(CacheSuiteTest, CountersExactUnderParallelJobs) {
+  // The acceptance contract: counters are exact under --jobs 8 because all
+  // 40 suite circuits have distinct fingerprints (no same-key races).
+  std::string dir = fresh_dir("parallel");
+  device::Device dev = device::surface17_device();
+  const std::uint64_t kCircuits = 40;
+
+  CompileCache cold(CacheConfig{dir});
+  auto cold_config = small_suite_config(&cold, /*jobs=*/8);
+  std::string cold_csv = bench::suite_rows_to_csv(bench::run_suite(dev, cold_config));
+  EXPECT_EQ(cold.stats().misses, kCircuits);
+  EXPECT_EQ(cold.stats().stores, kCircuits);
+
+  CompileCache warm(CacheConfig{dir});
+  auto warm_config = small_suite_config(&warm, /*jobs=*/8);
+  std::string warm_csv = bench::suite_rows_to_csv(bench::run_suite(dev, warm_config));
+  EXPECT_EQ(warm.stats().disk_hits, kCircuits);
+  EXPECT_EQ(warm.stats().misses, 0u);
+  EXPECT_EQ(warm.stats().corrupt_entries, 0u);
+  EXPECT_EQ(cold_csv, warm_csv);
+}
+
+TEST(AttemptMemoTest, ResilientCompileReusesMemoizedAttempts) {
+  device::Device dev = device::surface17_device();
+  Rng rng(3);
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 1;
+  suite_opts.real_count = 1;
+  suite_opts.reversible_count = 0;
+  suite_opts.max_qubits = 10;
+  suite_opts.max_gates = 80;
+  auto suite = workloads::make_suite(suite_opts, rng);
+
+  CompileCache cache(CacheConfig{});
+  for (const auto& b : suite) {
+    mapper::ResilientOptions resilient;
+    resilient.base.compute_latency = true;
+    Fingerprint base = compile_fingerprint(qasm::to_qasm(b.circuit), dev,
+                                           resilient.base, resilient.seed);
+    mapper::AttemptMemo memo = make_attempt_memo(cache, base);
+    resilient.memo = &memo;
+
+    auto first = mapper::compile_resilient(b.circuit, dev, resilient);
+    ASSERT_TRUE(first.is_ok()) << b.name;
+    auto again = mapper::compile_resilient(b.circuit, dev, resilient);
+    ASSERT_TRUE(again.is_ok()) << b.name;
+    // The memoized attempt reproduces the fresh compile exactly.
+    EXPECT_EQ(qasm::to_qasm(again.value().mapping.mapped),
+              qasm::to_qasm(first.value().mapping.mapped))
+        << b.name;
+  }
+  auto snap = cache.stats();
+  EXPECT_EQ(snap.stores, 2u);       // one successful attempt per circuit
+  EXPECT_EQ(snap.memory_hits, 2u);  // each re-compile hits its memo
+}
+
+TEST(AttemptMemoTest, CorruptMemoEntryFallsBackToFreshCompile) {
+  device::Device dev = device::surface17_device();
+  Rng rng(5);
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 1;
+  suite_opts.real_count = 0;
+  suite_opts.reversible_count = 0;
+  suite_opts.max_qubits = 8;
+  suite_opts.max_gates = 60;
+  auto suite = workloads::make_suite(suite_opts, rng);
+  ASSERT_EQ(suite.size(), 1u);
+  const auto& b = suite[0];
+
+  CompileCache cache(CacheConfig{});
+  mapper::ResilientOptions resilient;
+  resilient.base.compute_latency = true;
+  Fingerprint base = compile_fingerprint(qasm::to_qasm(b.circuit), dev,
+                                         resilient.base, resilient.seed);
+  mapper::AttemptMemo memo = make_attempt_memo(cache, base);
+  resilient.memo = &memo;
+
+  auto first = mapper::compile_resilient(b.circuit, dev, resilient);
+  ASSERT_TRUE(first.is_ok());
+
+  // Overwrite the memoized attempt with undecodable bytes: the next compile
+  // must silently fall back to a fresh mapping with the same output.
+  std::string attempt_key = resilient.base.placer + "|" +
+                            resilient.base.router + "|" +
+                            std::to_string(resilient.seed);
+  cache.store(attempt_fingerprint(base, attempt_key), "garbage");
+  auto again = mapper::compile_resilient(b.circuit, dev, resilient);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(qasm::to_qasm(again.value().mapping.mapped),
+            qasm::to_qasm(first.value().mapping.mapped));
+  EXPECT_GE(cache.stats().corrupt_entries, 1u);
+}
+
+}  // namespace
+}  // namespace qfs::cache

@@ -1,0 +1,93 @@
+// support/hash: the stable 128-bit fingerprint hash under the compile
+// cache. The digests below are *pinned*: they must never change across
+// platforms, endianness, or compiler upgrades, because on-disk cache
+// entries are addressed by them (a silent change would orphan every stored
+// artifact and, worse, could alias distinct keys).
+#include "support/hash.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace qfs {
+namespace {
+
+// 300 bytes = 18 full 16-byte blocks + a 12-byte tail, cycling the alphabet.
+std::string multi_block_input() {
+  std::string s(300, '\0');
+  for (std::size_t i = 0; i < s.size(); ++i) s[i] = char('a' + i % 26);
+  return s;
+}
+
+TEST(HashTest, PinnedGoldenDigests) {
+  // Empty input with seed 0 digests to all-zero (the murmur3 finalizer
+  // fixed point) — a legal, stable key like any other.
+  EXPECT_EQ(hash128("").hex(), "00000000000000000000000000000000");
+  EXPECT_EQ(hash128("a").hex(), "85555565f6597889e6b53a48510e895a");
+  EXPECT_EQ(hash128("abc").hex(), "b4963f3f3fad78673ba2744126ca2d52");
+  EXPECT_EQ(hash128(multi_block_input()).hex(),
+            "d788f6a6f8f78493e7bce8d1368fc48c");
+  EXPECT_EQ(hash128("The quick brown fox jumps over the lazy dog").hex(),
+            "e34bbc7bbc071b6c7a433ca9c49a9347");
+}
+
+TEST(HashTest, SeedChangesDigest) {
+  EXPECT_EQ(hash128("abc", 42).hex(), "0d85089fb3cff7d67510712b42353d30");
+  EXPECT_NE(hash128("abc", 42).hex(), hash128("abc", 0).hex());
+  EXPECT_NE(hash128("", 1).hex(), hash128("", 0).hex());
+}
+
+TEST(HashTest, StreamingMatchesOneShot) {
+  const std::string input = multi_block_input();
+  // Every split point, including mid-block and block-boundary splits.
+  for (std::size_t cut = 0; cut <= input.size(); cut += 7) {
+    Hasher h;
+    h.update(input.substr(0, cut));
+    h.update(input.substr(cut));
+    EXPECT_EQ(h.finish().hex(), hash128(input).hex()) << "cut=" << cut;
+  }
+  // Byte-at-a-time feeding.
+  Hasher h;
+  for (char c : input) h.update(&c, 1);
+  EXPECT_EQ(h.finish().hex(), hash128(input).hex());
+}
+
+TEST(HashTest, FinishIsNonDestructive) {
+  Hasher h;
+  h.update("abc");
+  Hash128 first = h.finish();
+  Hash128 second = h.finish();
+  EXPECT_EQ(first.hex(), second.hex());
+  // Updating after a finish continues the stream.
+  h.update("def");
+  EXPECT_EQ(h.finish().hex(), hash128("abcdef").hex());
+}
+
+TEST(HashTest, HexIs32LowercaseChars) {
+  std::string hex = hash128("x").hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << c;
+  }
+}
+
+TEST(HashTest, SmallPerturbationsChangeDigest) {
+  std::string base = multi_block_input();
+  std::string flipped = base;
+  flipped[150] ^= 1;
+  EXPECT_NE(hash128(base).hex(), hash128(flipped).hex());
+  // Length extension must not collide with the shorter input.
+  EXPECT_NE(hash128(base).hex(), hash128(base + std::string(1, '\0')).hex());
+  EXPECT_NE(hash128("ab").hex(), hash128("a").hex());
+}
+
+TEST(Hash128Test, EqualityAndOrdering) {
+  Hash128 a = hash128("a");
+  Hash128 b = hash128("b");
+  EXPECT_TRUE(a == hash128("a"));
+  EXPECT_FALSE(a == b);
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+}  // namespace
+}  // namespace qfs

@@ -1,0 +1,94 @@
+# Compilation-cache contract test for qfsc, run via `cmake -P`.
+#
+# Arguments (all -D):
+#   QFSC       path to the qfsc binary
+#   INPUTS     semicolon-separated QASM inputs for a --jobs batch compile
+#   WORK_DIR   scratch directory for the cache
+#
+# The contract, end to end through the CLI:
+#   1. cold-then-warm `qfsc --jobs 4 --cache-dir` produces byte-identical
+#      stdout and exit code 0 both times,
+#   2. the warm run reports > 0 hits and 0 misses (--cache-stats JSON),
+#   3. truncating a stored entry does not break anything: qfsc still exits 0
+#      (the entry is a recorded miss and gets rewritten).
+if(NOT DEFINED QFSC OR NOT DEFINED INPUTS OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+      "cache_contract_test.cmake needs -DQFSC, -DINPUTS and -DWORK_DIR")
+endif()
+
+set(cache_dir ${WORK_DIR}/cache)
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(compile_args
+    --device surface17 --placer degree-match --router lookahead
+    --emit-qasm --emit-json --jobs 4 --cache-dir ${cache_dir})
+
+# 1. Cold run populates the cache.
+execute_process(
+  COMMAND ${QFSC} ${compile_args} ${INPUTS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE cold_out
+  ERROR_VARIABLE cold_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "cold cache run failed (${rc}):\n${cold_err}")
+endif()
+
+# 2. Warm run must be byte-identical on stdout.
+execute_process(
+  COMMAND ${QFSC} ${compile_args} ${INPUTS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE warm_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm cache run failed (${rc}):\n${warm_err}")
+endif()
+if(NOT cold_out STREQUAL warm_out)
+  message(FATAL_ERROR
+      "warm-cache stdout differs from cold stdout.\n"
+      "cold:\n${cold_out}\nwarm:\n${warm_out}")
+endif()
+
+# 3. A warm --cache-stats run reports hits and no misses. (The stats JSON
+# goes to stdout, so this run is separate from the byte-compare above.)
+execute_process(
+  COMMAND ${QFSC} ${compile_args} --cache-stats ${INPUTS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE stats_out
+  ERROR_VARIABLE stats_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warm --cache-stats run failed (${rc}):\n${stats_err}")
+endif()
+if(stats_out MATCHES "\"hits\": 0[^0-9]")
+  message(FATAL_ERROR "warm run reported 0 cache hits:\n${stats_out}")
+endif()
+if(NOT stats_out MATCHES "\"misses\": 0[^0-9]")
+  message(FATAL_ERROR "warm run reported misses:\n${stats_out}")
+endif()
+
+# 4. Corrupt every stored entry (truncate to 10 bytes): compilation must
+# still succeed — a damaged entry is a miss, never an error.
+file(GLOB_RECURSE entries ${cache_dir}/*.entry)
+list(LENGTH entries n_entries)
+if(n_entries EQUAL 0)
+  message(FATAL_ERROR "no .entry files found under ${cache_dir}")
+endif()
+foreach(entry ${entries})
+  file(READ ${entry} head LIMIT 10)
+  file(WRITE ${entry} "${head}")
+endforeach()
+execute_process(
+  COMMAND ${QFSC} ${compile_args} --cache-stats ${INPUTS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE corrupt_out
+  ERROR_VARIABLE corrupt_err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+      "qfsc failed on a corrupted cache (${rc}):\n${corrupt_err}")
+endif()
+if(corrupt_out MATCHES "\"corrupt_entries\": 0[^0-9]")
+  message(FATAL_ERROR
+      "corrupted entries were not detected:\n${corrupt_out}")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})

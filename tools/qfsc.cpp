@@ -17,9 +17,15 @@
 #include <string_view>
 #include <vector>
 
+#include <memory>
+
 #include "analysis/checkers.h"
 #include "analysis/diagnostic.h"
+#include "cache/cache.h"
+#include "cache/fingerprint.h"
+#include "cache/memo.h"
 #include "circuit/draw.h"
+#include "report/cache_summary.h"
 #include "compiler/schedule.h"
 #include "device/calibration.h"
 #include "device/faults.h"
@@ -63,7 +69,12 @@ struct CliOptions {
   std::string fault_spec;
   int max_attempts = 4;
   int jobs = 1;  // worker threads for batch compiles; 0 = auto
+  std::string cache_dir;     // persistent compile cache root; "" = off
+  bool cache_stats = false;  // emit cache counters after compiling
   std::vector<std::string> input_paths;  // empty: stdin
+  /// Process-wide compile cache (owned by main; thread-safe, shared across
+  /// --jobs workers). Null when caching is disabled.
+  cache::CompileCache* cache = nullptr;
 };
 
 void print_usage() {
@@ -92,6 +103,13 @@ void print_usage() {
       "  --jobs <n>        compile multiple input files over n worker\n"
       "                    threads (0 = one per hardware thread); output\n"
       "                    order and bytes are independent of n (default 1)\n"
+      "  --cache-dir <d>   reuse compilation results from the persistent\n"
+      "                    content-addressed cache rooted at <d> (created on\n"
+      "                    demand; safe to share across --jobs workers and\n"
+      "                    concurrent qfsc processes)\n"
+      "  --cache-stats     after compiling, print cache hit/miss counters as\n"
+      "                    JSON on stdout (without --cache-dir this enables\n"
+      "                    an in-memory cache for the run)\n"
       "  --emit-qasm       print the compiled OpenQASM program\n"
       "  --emit-cqasm      print the compiled cQASM 1.0 program\n"
       "  --emit-timed      print the scheduled, timed ISA program\n"
@@ -112,6 +130,8 @@ void print_usage() {
       "  --recommend       use (and print) the profile-based strategy\n"
       "                    recommendation instead of --placer/--router\n"
       "  --draw            print the input circuit as ASCII art first\n"
+      "  --version         print the compiler version and the salt folded\n"
+      "                    into every cache key, then exit\n"
       "  --help            this text\n"
       "\n"
       "Circuits are read from the positional files, or stdin when omitted.\n"
@@ -330,6 +350,17 @@ int compile_source(const CliOptions& cli, const std::string& source,
   resilient.base = options;
   resilient.max_attempts = cli.max_attempts;
   resilient.seed = cli.seed;
+  // With a cache attached, memoize per-attempt mappings keyed by the base
+  // fingerprint (canonical QASM + post-calibration/fault device + options)
+  // plus each attempt's strategy/seed. Hits still pass validation inside
+  // compile_resilient, so a stale artifact degrades to a fresh compile.
+  mapper::AttemptMemo memo;
+  if (cli.cache != nullptr) {
+    cache::Fingerprint base = cache::compile_fingerprint(
+        qasm::to_qasm(circuit), dev, options, cli.seed);
+    memo = cache::make_attempt_memo(*cli.cache, base);
+    resilient.memo = &memo;
+  }
   mapper::CompileAttemptLog attempt_log;
   auto compiled =
       mapper::compile_resilient(circuit, dev, resilient, &attempt_log);
@@ -468,7 +499,7 @@ const char* const kKnownFlags[] = {
     "--max-attempts", "--jobs",          "--emit-qasm",    "--emit-cqasm",
     "--emit-timed",   "--emit-dot",      "--emit-json",    "--crosstalk-safe",
     "--profile",      "--lint",          "--verify",       "--recommend",
-    "--draw",
+    "--draw",         "--cache-dir",     "--cache-stats",  "--version",
 };
 
 /// Classic dynamic-programming edit distance (small inputs only).
@@ -518,6 +549,14 @@ int main(int argc, char** argv) {
     if (arg == "--help" || arg == "-h") {
       print_usage();
       return 0;
+    } else if (arg == "--version") {
+      std::cout << "qfsc (qfs full-stack NISQ compiler)\n"
+                << "cache key salt: " << cache::kCacheVersionSalt << "\n";
+      return 0;
+    } else if (arg == "--cache-dir") {
+      cli.cache_dir = next();
+    } else if (arg == "--cache-stats") {
+      cli.cache_stats = true;
     } else if (arg == "--device") {
       cli.device = next();
     } else if (arg == "--placer") {
@@ -583,7 +622,24 @@ int main(int argc, char** argv) {
       cli.input_paths.push_back(arg);
     }
   }
-  if (cli.input_paths.size() > 1) return run_batch(cli);
-  return compile_path(cli, cli.input_paths.empty() ? "" : cli.input_paths[0],
-                      std::cout, std::cerr);
+  std::unique_ptr<cache::CompileCache> compile_cache;
+  if (!cli.cache_dir.empty() || cli.cache_stats) {
+    cache::CacheConfig cache_config;
+    cache_config.disk_dir = cli.cache_dir;  // "" = in-memory tier only
+    compile_cache = std::make_unique<cache::CompileCache>(cache_config);
+    cli.cache = compile_cache.get();
+  }
+  int rc = cli.input_paths.size() > 1
+               ? run_batch(cli)
+               : compile_path(cli,
+                              cli.input_paths.empty() ? "" : cli.input_paths[0],
+                              std::cout, std::cerr);
+  if (cli.cache_stats && cli.cache != nullptr) {
+    cache::CacheStatsSnapshot snap = cli.cache->stats();
+    JsonValue doc = JsonValue::object();
+    doc.set("cache", report::cache_stats_to_json(snap));
+    std::cout << doc.to_pretty_string() << "\n";
+    std::cerr << report::cache_summary_line(snap) << "\n";
+  }
+  return rc;
 }

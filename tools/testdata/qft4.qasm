@@ -1,0 +1,19 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// 4-qubit quantum Fourier transform (no final swaps)
+qreg q[4];
+creg c[4];
+h q[0];
+cu1(1.570796326794897) q[1],q[0];
+cu1(0.785398163397448) q[2],q[0];
+cu1(0.392699081698724) q[3],q[0];
+h q[1];
+cu1(1.570796326794897) q[2],q[1];
+cu1(0.785398163397448) q[3],q[1];
+h q[2];
+cu1(1.570796326794897) q[3],q[2];
+h q[3];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
+measure q[3] -> c[3];

@@ -1,0 +1,12 @@
+OPENQASM 2.0;
+include "qelib1.inc";
+// 3-qubit Toffoli sandwiched in Hadamards
+qreg q[3];
+creg c[3];
+h q[0];
+h q[1];
+ccx q[0],q[1],q[2];
+h q[2];
+measure q[0] -> c[0];
+measure q[1] -> c[1];
+measure q[2] -> c[2];
