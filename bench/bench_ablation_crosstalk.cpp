@@ -16,7 +16,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Ablation: crosstalk-aware scheduling (surface-17) ===\n\n";
 
   device::Device dev = device::surface17_device();

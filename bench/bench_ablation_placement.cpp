@@ -13,7 +13,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Ablation: placement (surface-97, trivial router) ===\n\n";
 
   device::Device dev = device::surface97_device();

@@ -12,7 +12,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Ablation: routers (surface-97, trivial placement) ===\n\n";
 
   device::Device dev = device::surface97_device();

@@ -32,7 +32,7 @@ circuit::Circuit serialise(const circuit::Circuit& c) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Ablation: scheduling strategy vs decoherence "
                "(surface-17) ===\n\n";
 

@@ -10,7 +10,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Ablation: topologies (trivial mapper, same suite) ===\n\n";
 
   struct Target {

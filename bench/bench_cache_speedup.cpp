@@ -71,7 +71,7 @@ TimedRun timed_suite_run(const device::Device& device,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   const double min_speedup = parse_double_flag(argc, argv, "--min-speedup", 5.0);
   std::cout << "=== Compilation cache: cold vs warm suite run ===\n\n";
 

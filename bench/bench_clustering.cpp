@@ -19,7 +19,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Sec. IV: clustering algorithms by graph metrics ===\n\n";
 
   device::Device dev = device::surface97_device();

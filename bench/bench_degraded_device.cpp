@@ -126,7 +126,7 @@ std::vector<WorkloadOutcome> run_grid_point(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cerr << "=== Degraded-device survival study (Surface-97) ===\n";
 
   const device::Device pristine = device::surface97_device();

@@ -64,7 +64,7 @@ double mean_of(const std::vector<double>& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Fig. 3: impact of the circuit mapping process ===\n";
   std::cout << "device: surface-97 (extended 100-qubit Surface-17), "
                "trivial placer + trivial router\n\n";

@@ -52,7 +52,7 @@ void print_panel(const PanelData& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Fig. 5: gate overhead vs interaction-graph parameters "
                "===\n";
   std::cout << "200 benchmarks, surface-97, trivial mapper\n\n";

@@ -15,7 +15,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const int jobs = bench::request_flags(argc, argv).jobs;
   std::cout << "=== Sec. IV: Pearson reduction of the metric set ===\n\n";
 
   device::Device dev = device::surface97_device();

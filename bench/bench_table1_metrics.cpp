@@ -19,7 +19,7 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::parse_jobs(argc, argv);
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
   std::cout << "=== Table I: metrics for characterising interaction graphs "
                "===\n\n";
 
@@ -47,13 +47,13 @@ int main(int argc, char** argv) {
   // Part 2: relation to mapping (sign of correlation with gate overhead).
   device::Device dev = device::surface97_device();
   bench::SuiteRunConfig config;
-  config.jobs = jobs;
+  config.jobs = flags.jobs;
   config.suite.max_gates = 3000;
   // Optional persistent compile cache: re-runs reuse every mapping.
   std::unique_ptr<cache::CompileCache> compile_cache;
-  if (std::string dir = bench::parse_cache_dir(argc, argv); !dir.empty()) {
-    compile_cache =
-        std::make_unique<cache::CompileCache>(cache::CacheConfig{dir});
+  if (!flags.cache_dir.empty()) {
+    compile_cache = std::make_unique<cache::CompileCache>(
+        cache::CacheConfig{flags.cache_dir});
     config.cache = compile_cache.get();
   }
   std::cerr << "mapping 200 circuits ";

@@ -9,12 +9,13 @@
 
 #include "analysis/checkers.h"
 #include "analysis/diagnostic.h"
-#include "cache/artifact.h"
-#include "cache/fingerprint.h"
 #include "mapper/pipeline.h"
 #include "profile/circuit_profile.h"
-#include "qasm/writer.h"
 #include "report/cache_summary.h"
+#include "service/api.h"
+#include "service/flags.h"
+#include "service/service.h"
+#include "support/assert.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 #include "support/strings.h"
@@ -62,6 +63,13 @@ inline std::vector<SuiteRow> run_suite(const device::Device& device,
                                        const SuiteRunConfig& config) {
   qfs::Rng suite_rng(config.seed);
   auto suite = workloads::make_suite(config.suite, suite_rng);
+  // Every per-circuit compile goes through the same service entrypoint the
+  // daemon and qfsc use, with the "direct" pipeline pinning the historical
+  // one-attempt bench semantics. Circuit and device are lent by pointer —
+  // nothing is serialized on this path.
+  service::ServiceConfig service_config;
+  service_config.cache = config.cache;
+  const service::CompileService service(service_config);
   qfs::ProgressReporter progress(20);
   auto rows =
       qfs::parallel_map(config.jobs, suite.size(), [&](std::size_t i) {
@@ -70,25 +78,18 @@ inline std::vector<SuiteRow> run_suite(const device::Device& device,
         row.name = b.name;
         row.family = b.family;
         row.profile = profile::profile_circuit(b.circuit);
-        std::uint64_t circuit_seed = qfs::derive_seed(config.seed, i);
-        bool cached = false;
-        cache::Fingerprint key;
-        if (config.cache != nullptr) {
-          key = cache::compile_fingerprint(qasm::to_qasm(b.circuit), device,
-                                           config.mapping, circuit_seed);
-          if (auto hit = cache::load_mapping(*config.cache, key)) {
-            row.mapping = std::move(*hit);
-            cached = true;
-          }
-        }
-        if (!cached) {
-          qfs::Rng rng(circuit_seed);
-          row.mapping =
-              mapper::map_circuit(b.circuit, device, config.mapping, rng);
-          if (config.cache != nullptr) {
-            cache::store_mapping(*config.cache, key, row.mapping);
-          }
-        }
+        service::CompileRequest request;
+        request.circuit = &b.circuit;
+        request.source_name = b.name;
+        request.device_obj = &device;
+        request.options = config.mapping;
+        request.pipeline = "direct";
+        request.seed = qfs::derive_seed(config.seed, i);
+        request.want_digest = false;
+        service::CompileResponse resp = service.execute(request);
+        QFS_ASSERT_MSG(resp.ok(), "suite compile failed for " + b.name +
+                                      ": " + resp.error_message);
+        row.mapping = std::move(resp.mapping);
         progress.tick();
         return row;
       });
@@ -145,29 +146,19 @@ inline std::string suite_rows_to_csv(const std::vector<SuiteRow>& rows) {
   return os.str();
 }
 
-/// Parse the one flag all suite benches share: --jobs N (0 = auto, one
-/// worker per hardware thread). Unknown arguments are ignored so benches
-/// can add their own. Exits with code 1 on a malformed value.
-inline int parse_jobs(int argc, char** argv, int default_jobs = 1) {
-  int jobs = default_jobs;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg == "--jobs" && i + 1 < argc) {
-      if (!qfs::parse_int(argv[++i], jobs) || jobs < 0) {
-        std::cerr << argv[0] << ": bad --jobs value '" << argv[i] << "'\n";
-        std::exit(1);
-      }
-    }
+/// Parse the shared request flags every bench understands (--jobs,
+/// --cache-dir, --seed, --placer, --router, --device) through the service
+/// layer's single implementation; unknown arguments are ignored so benches
+/// can add their own. Exits with code 1 on a malformed value, matching the
+/// historical parse_jobs behaviour this replaces.
+inline service::RequestFlagValues request_flags(int argc, char** argv) {
+  service::RequestFlagValues flags;
+  qfs::Status status = service::parse_request_flags(argc, argv, flags);
+  if (!status.is_ok()) {
+    std::cerr << argv[0] << ": " << status.message() << "\n";
+    std::exit(1);
   }
-  return jobs;
-}
-
-/// Parse the optional shared --cache-dir flag; "" means "no cache".
-inline std::string parse_cache_dir(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--cache-dir") return argv[i + 1];
-  }
-  return "";
+  return flags;
 }
 
 /// Print the standard suite-bench cache summary line (stderr, alongside the

@@ -13,6 +13,19 @@ const char* severity_name(Severity severity) {
   return "unknown";
 }
 
+bool severity_from_name(const std::string& name, Severity& out) {
+  if (name == "note") {
+    out = Severity::kNote;
+  } else if (name == "warning") {
+    out = Severity::kWarning;
+  } else if (name == "error") {
+    out = Severity::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 std::string diagnostic_to_string(const Diagnostic& d,
                                  const std::string& source) {
   std::ostringstream os;
@@ -54,6 +67,52 @@ JsonValue diagnostics_to_json(const std::vector<Diagnostic>& diags) {
     arr.push_back(std::move(obj));
   }
   return arr;
+}
+
+qfs::StatusOr<std::vector<Diagnostic>> diagnostics_from_json(
+    const JsonValue& json) {
+  if (!json.is_array()) {
+    return qfs::parse_error("diagnostics: expected a JSON array");
+  }
+  std::vector<Diagnostic> out;
+  out.reserve(json.size());
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const JsonValue& obj = json.at(i);
+    if (!obj.is_object()) {
+      return qfs::parse_error("diagnostics: entry " + std::to_string(i) +
+                              " is not an object");
+    }
+    Diagnostic d;
+    const JsonValue* code = obj.find("code");
+    const JsonValue* severity = obj.find("severity");
+    const JsonValue* message = obj.find("message");
+    if (code == nullptr || !code->is_string() || severity == nullptr ||
+        !severity->is_string() || message == nullptr ||
+        !message->is_string()) {
+      return qfs::parse_error("diagnostics: entry " + std::to_string(i) +
+                              " missing code/severity/message strings");
+    }
+    d.code = code->as_string();
+    d.message = message->as_string();
+    if (!severity_from_name(severity->as_string(), d.severity)) {
+      return qfs::parse_error("diagnostics: unknown severity \"" +
+                              severity->as_string() + "\"");
+    }
+    auto read_location = [&obj](const char* key, int& field) -> bool {
+      const JsonValue* v = obj.find(key);
+      if (v == nullptr) return true;
+      if (!v->is_integer()) return false;
+      field = static_cast<int>(v->as_integer());
+      return true;
+    };
+    if (!read_location("line", d.location.line) ||
+        !read_location("gate", d.location.gate_index) ||
+        !read_location("qubit", d.location.qubit)) {
+      return qfs::parse_error("diagnostics: non-integer location field");
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 int count_errors(const std::vector<Diagnostic>& diags) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "support/json.h"
+#include "support/status.h"
 
 namespace qfs::analysis {
 
@@ -22,6 +23,9 @@ enum class Severity {
 
 /// "note", "warning" or "error".
 const char* severity_name(Severity severity);
+
+/// Inverse of severity_name; false on an unknown name.
+bool severity_from_name(const std::string& name, Severity& out);
 
 /// Where a finding points. Fields default to -1 (unknown); renderers print
 /// only what is known. `line` is a 1-based QASM source line, `gate_index`
@@ -59,6 +63,12 @@ std::string render_diagnostics(const std::vector<Diagnostic>& diags,
 /// JSON array of {code, severity, message, line?, gate?, qubit?} objects
 /// (unknown location fields are omitted), for machine consumers.
 JsonValue diagnostics_to_json(const std::vector<Diagnostic>& diags);
+
+/// Inverse of diagnostics_to_json, for wire consumers (the compile-service
+/// response decoder): exact round-trip of every encoded field. Structural
+/// violations come back as parse_error, never an assertion.
+qfs::StatusOr<std::vector<Diagnostic>> diagnostics_from_json(
+    const JsonValue& json);
 
 int count_errors(const std::vector<Diagnostic>& diags);
 int count_warnings(const std::vector<Diagnostic>& diags);

@@ -355,4 +355,16 @@ std::unique_ptr<Placer> make_placer(const std::string& name) {
   return nullptr;
 }
 
+const std::vector<std::string>& known_placer_names() {
+  static const std::vector<std::string> names = {
+      "trivial", "random", "degree-match", "annealing", "subgraph",
+      "noise-aware"};
+  return names;
+}
+
+bool is_known_placer(const std::string& name) {
+  const auto& names = known_placer_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
 }  // namespace qfs::mapper

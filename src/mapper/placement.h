@@ -111,7 +111,12 @@ class NoiseAwarePlacer final : public Placer {
 };
 
 /// Factory by name ("trivial", "random", "degree-match", "annealing",
-/// "subgraph", "noise-aware").
+/// "subgraph", "noise-aware"). An unknown name is a contract violation;
+/// external input must be vetted with is_known_placer first.
 std::unique_ptr<Placer> make_placer(const std::string& name);
+
+/// Every name make_placer accepts, in factory order.
+const std::vector<std::string>& known_placer_names();
+bool is_known_placer(const std::string& name);
 
 }  // namespace qfs::mapper

@@ -380,4 +380,15 @@ std::unique_ptr<Router> make_router(const std::string& name) {
   return nullptr;
 }
 
+const std::vector<std::string>& known_router_names() {
+  static const std::vector<std::string> names = {
+      "trivial", "lookahead", "noise-aware", "bridge", "optimal"};
+  return names;
+}
+
+bool is_known_router(const std::string& name) {
+  const auto& names = known_router_names();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
 }  // namespace qfs::mapper

@@ -92,8 +92,14 @@ class BridgeRouter final : public Router {
   /// but no layout change.
 };
 
-/// Factory by name ("trivial", "lookahead", "noise-aware").
+/// Factory by name ("trivial", "lookahead", "noise-aware", "bridge",
+/// "optimal"). An unknown name is a contract violation; external input
+/// must be vetted with is_known_router first.
 std::unique_ptr<Router> make_router(const std::string& name);
+
+/// Every name make_router accepts, in factory order.
+const std::vector<std::string>& known_router_names();
+bool is_known_router(const std::string& name);
 
 /// True when every multi-qubit gate of `mapped` respects the coupling graph
 /// (the routing postcondition; used by tests and the pipeline contract).

@@ -1,0 +1,145 @@
+// The qfsd network engine: line-delimited CompileRequest JSON over a Unix
+// or loopback TCP socket, dispatched through a shared worker pool.
+//
+// One Server owns one listening socket, one accept thread, one
+// support/parallel ThreadPool, and (via ServiceConfig) the process-wide
+// compile cache every client shares. Each connection gets a cheap reader
+// thread that frames lines and performs admission control; actual
+// compilation runs on the pool. Admission is bounded: when `max_queue`
+// requests are already in flight, new ones are rejected immediately with a
+// typed kResourceExhausted response instead of queueing without limit.
+// Per-request deadlines are re-checked when a worker dequeues the request,
+// so a request that waited out its budget in the queue fails fast with
+// kDeadlineExceeded rather than compiling dead work.
+//
+// Wire protocol (one JSON document per '\n'-terminated line, responses in
+// completion order, matched to requests by the echoed "id"):
+//   {"id":"1","qasm":"OPENQASM 2.0; ...","device":"surface17"}   -> compile
+//   {"op":"ping"}      -> {"ok":true,"op":"ping"}
+//   {"op":"stats"}     -> server + cache counters
+//   {"op":"shutdown"}  -> ack, then graceful drain and exit
+// A malformed line never kills the daemon: it produces one error response
+// with the stable taxonomy code and the connection keeps serving.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "support/parallel.h"
+#include "support/status.h"
+
+namespace qfs::service {
+
+struct ServerConfig {
+  /// "unix:<path>" or "tcp:<port>" (loopback only; port 0 = ephemeral,
+  /// resolved port available from endpoint()).
+  std::string listen = "unix:/tmp/qfsd.sock";
+
+  /// Worker threads compiling requests (0 = one per hardware thread).
+  int workers = 0;
+
+  /// Bounded admission: max requests in flight (queued + compiling) before
+  /// new ones are rejected with kResourceExhausted.
+  int max_queue = 64;
+
+  /// Deadline applied to requests that do not carry their own (< 0: none).
+  double default_deadline_ms = -1.0;
+
+  /// A wire line longer than this is answered with kResourceExhausted and
+  /// the connection is closed (framing cannot be trusted past this point).
+  std::size_t max_line_bytes = 16u << 20;
+
+  ServiceConfig service;
+};
+
+/// Monotonic counters, readable while the server runs ("op":"stats").
+struct ServerCounters {
+  std::uint64_t connections = 0;
+  std::uint64_t requests = 0;       ///< admitted compile/lint requests
+  std::uint64_t ok = 0;
+  std::uint64_t failed = 0;         ///< typed error responses (any code)
+  std::uint64_t rejected = 0;       ///< bounced at admission (queue full)
+  std::uint64_t deadline_expired = 0;
+  std::uint64_t cache_hits = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, listen and start the accept thread + worker pool. On error the
+  /// server is left stopped and may not be restarted.
+  qfs::Status start();
+
+  /// Block until shutdown() completes (from the wire op, a signal, or
+  /// another thread).
+  void wait();
+
+  /// Graceful stop: stop accepting, half-close every connection so pending
+  /// responses still flush, drain the pool, join the threads. Idempotent;
+  /// safe from any thread (NOT from a signal handler — see listen_fd()).
+  void shutdown();
+
+  /// The listening socket. ::shutdown(listen_fd(), SHUT_RDWR) is
+  /// async-signal-safe and makes the accept loop initiate a graceful stop,
+  /// which is exactly what a SIGINT/SIGTERM handler needs.
+  int listen_fd() const { return listen_fd_; }
+
+  /// Resolved listen address ("unix:/path" or "tcp:127.0.0.1:<port>" with
+  /// the actual port when 0 was requested). Valid after start().
+  const std::string& endpoint() const { return endpoint_; }
+
+  ServerCounters counters() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+  void handle_line(const std::shared_ptr<Connection>& conn,
+                   std::string line);
+  void dispatch(const std::shared_ptr<Connection>& conn, CompileRequest req);
+  bool handle_op(const std::shared_ptr<Connection>& conn,
+                 const std::string& op, const std::string& id);
+
+  ServerConfig config_;
+  CompileService service_;
+
+  int listen_fd_ = -1;
+  bool is_unix_ = false;
+  std::string unix_path_;  ///< unlinked on shutdown when we created it
+  std::string endpoint_;
+
+  std::thread accept_thread_;
+  std::unique_ptr<qfs::ThreadPool> pool_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> inflight_{0};
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::weak_ptr<Connection>> conns_;
+
+  std::mutex readers_mu_;
+  std::condition_variable readers_done_;
+  int active_readers_ = 0;
+
+  mutable std::mutex counters_mu_;
+  ServerCounters counters_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace qfs::service

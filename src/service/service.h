@@ -1,0 +1,56 @@
+// CompileService — the one execution engine behind every qfs entrypoint.
+//
+// execute() takes a validated CompileRequest and runs it end to end:
+// source resolution, QASM parsing, device construction (calibration and
+// fault-injection overrides included), lint/verify static analysis, the
+// resilient or direct mapping pipeline, the shared compile cache, and
+// artifact emission. Nothing in here prints or exits: every outcome —
+// including malformed input that used to kill the process — comes back as
+// a typed CompileResponse, so the daemon can serve hostile clients and
+// qfsc can render byte-identical output to the pre-service tool.
+//
+// Thread safety: execute() is const and touches only request-local state
+// plus the shared CompileCache, which is internally synchronized. One
+// CompileService instance serves every daemon worker concurrently.
+#pragma once
+
+#include <cstddef>
+
+#include "cache/cache.h"
+#include "service/api.h"
+
+namespace qfs::service {
+
+struct ServiceConfig {
+  /// Shared process-wide compile cache (borrowed, not owned; may be null).
+  /// One cache instance stays hot across every client of the daemon.
+  cache::CompileCache* cache = nullptr;
+
+  /// Requests whose QASM source exceeds this are rejected with
+  /// kResourceExhausted before parsing (wire-facing bound; in-process
+  /// circuit pointers are exempt).
+  std::size_t max_source_bytes = 8u << 20;
+};
+
+class CompileService {
+ public:
+  CompileService() = default;
+  explicit CompileService(ServiceConfig config) : config_(config) {}
+
+  /// Run one request to completion. Never throws, never exits, never
+  /// asserts on request content; programming errors surface as kInternal.
+  CompileResponse execute(const CompileRequest& request) const;
+
+  cache::CompileCache* cache() const { return config_.cache; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Parse a device spec ("surface17", "line:20", "grid:4x5", "full:9",
+  /// "file:topology.txt"). Shared with qfsc's --device handling.
+  static bool parse_device(const std::string& spec, device::Device& out,
+                           std::string& error);
+
+ private:
+  ServiceConfig config_;
+};
+
+}  // namespace qfs::service

@@ -1,7 +1,9 @@
 #include "support/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "support/assert.h"
 
@@ -47,6 +49,54 @@ JsonValue JsonValue::object() {
   JsonValue v;
   v.kind_ = Kind::kObject;
   return v;
+}
+
+bool JsonValue::as_bool() const {
+  QFS_ASSERT_MSG(kind_ == Kind::kBool, "as_bool on non-bool JSON value");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  QFS_ASSERT_MSG(is_number(), "as_number on non-number JSON value");
+  return kind_ == Kind::kInteger ? static_cast<double>(integer_) : number_;
+}
+
+long long JsonValue::as_integer() const {
+  QFS_ASSERT_MSG(kind_ == Kind::kInteger,
+                 "as_integer on non-integer JSON value");
+  return integer_;
+}
+
+const std::string& JsonValue::as_string() const {
+  QFS_ASSERT_MSG(kind_ == Kind::kString, "as_string on non-string JSON value");
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (kind_ == Kind::kArray) return items_.size();
+  if (kind_ == Kind::kObject) return members_.size();
+  QFS_ASSERT_MSG(false, "size() on scalar JSON value");
+  return 0;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  QFS_ASSERT_MSG(kind_ == Kind::kArray, "at() on non-array JSON value");
+  QFS_ASSERT_MSG(index < items_.size(), "JSON array index out of range");
+  return items_[index];
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  QFS_ASSERT_MSG(kind_ == Kind::kObject, "find() on non-object JSON value");
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members()
+    const {
+  QFS_ASSERT_MSG(kind_ == Kind::kObject, "members() on non-object JSON value");
+  return members_;
 }
 
 JsonValue& JsonValue::push_back(JsonValue value) {
@@ -158,6 +208,278 @@ void JsonValue::render(std::string& out, int indent, int depth) const {
       return;
     }
   }
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a raw byte view. Errors carry the
+/// byte offset so a malformed request can be pointed at exactly.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  qfs::StatusOr<JsonValue> parse_document() {
+    auto value = parse_value(0);
+    if (!value.is_ok()) return value.status();
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  qfs::Status error(const std::string& what) const {
+    return qfs::parse_error("json: " + what + " at byte " +
+                            std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char expected) {
+    if (pos_ < text_.size() && text_[pos_] == expected) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  qfs::StatusOr<JsonValue> parse_value(int depth) {
+    if (depth > kMaxDepth) return error("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(depth);
+      case '[': return parse_array(depth);
+      case '"': {
+        auto s = parse_string();
+        if (!s.is_ok()) return s.status();
+        return JsonValue::string(std::move(s).value());
+      }
+      case 't':
+        if (consume_literal("true")) return JsonValue::boolean(true);
+        return error("invalid literal");
+      case 'f':
+        if (consume_literal("false")) return JsonValue::boolean(false);
+        return error("invalid literal");
+      case 'n':
+        if (consume_literal("null")) return JsonValue::null();
+        return error("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+        return error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  qfs::StatusOr<JsonValue> parse_object(int depth) {
+    ++pos_;  // '{'
+    JsonValue obj = JsonValue::object();
+    skip_whitespace();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_whitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return error("expected object key string");
+      }
+      auto key = parse_string();
+      if (!key.is_ok()) return key.status();
+      skip_whitespace();
+      if (!consume(':')) return error("expected ':' after object key");
+      auto value = parse_value(depth + 1);
+      if (!value.is_ok()) return value.status();
+      if (obj.find(key.value()) != nullptr) {
+        return error("duplicate object key \"" + key.value() + "\"");
+      }
+      obj.set(key.value(), std::move(value).value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      return error("expected ',' or '}' in object");
+    }
+  }
+
+  qfs::StatusOr<JsonValue> parse_array(int depth) {
+    ++pos_;  // '['
+    JsonValue arr = JsonValue::array();
+    skip_whitespace();
+    if (consume(']')) return arr;
+    while (true) {
+      auto value = parse_value(depth + 1);
+      if (!value.is_ok()) return value.status();
+      arr.push_back(std::move(value).value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      return error("expected ',' or ']' in array");
+    }
+  }
+
+  static void append_utf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  qfs::StatusOr<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return error("truncated \\u escape");
+    unsigned value = 0;
+    for (int k = 0; k < 4; ++k) {
+      char c = text_[pos_ + static_cast<std::size_t>(k)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return error("bad hex digit in \\u escape");
+      }
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  qfs::StatusOr<std::string> parse_string() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return error("unterminated string");
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        ++pos_;
+        continue;
+      }
+      ++pos_;  // backslash
+      if (pos_ >= text_.size()) return error("truncated escape");
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          auto code = parse_hex4();
+          if (!code.is_ok()) return code.status();
+          unsigned code_point = code.value();
+          // Surrogate pair: a high surrogate must be chased by \uDC00-DFFF.
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            if (!consume_literal("\\u")) return error("lone high surrogate");
+            auto low = parse_hex4();
+            if (!low.is_ok()) return low.status();
+            if (low.value() < 0xDC00 || low.value() > 0xDFFF) {
+              return error("bad low surrogate");
+            }
+            code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                         (low.value() - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            return error("lone low surrogate");
+          }
+          append_utf8(out, code_point);
+          break;
+        }
+        default: return error("unknown escape");
+      }
+    }
+  }
+
+  qfs::StatusOr<JsonValue> parse_number() {
+    std::size_t start = pos_;
+    bool is_integer = true;
+    consume('-');
+    if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+      return error("malformed number");
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (consume('.')) {
+      is_integer = false;
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return error("malformed number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_integer = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || text_[pos_] < '0' || text_[pos_] > '9') {
+        return error("malformed number");
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (is_integer) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        return JsonValue::integer(v);
+      }
+      // Out-of-range integers fall through to double precision.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) return error("malformed number");
+    if (!std::isfinite(d)) return error("number out of range");
+    return JsonValue::number(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+qfs::StatusOr<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
 }
 
 std::string JsonValue::to_string() const {

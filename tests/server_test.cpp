@@ -1,0 +1,391 @@
+// In-process tests for the qfsd network engine: wire framing, the control
+// ops, typed error handling for hostile lines (a malformed request must
+// never kill the daemon), bounded admission, per-request deadlines, and
+// concurrent clients sharing one server.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+#include "support/json.h"
+
+namespace qfs::service {
+namespace {
+
+const char* kBellQasm =
+    "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[1];\ncx q[1],q[2];\n";
+
+/// Minimal blocking line-protocol client for the tests.
+class Client {
+ public:
+  explicit Client(const std::string& endpoint) { connect(endpoint); }
+
+ private:
+  // ASSERT_* needs a void function, so the constructor delegates.
+  void connect(const std::string& endpoint) {
+    if (endpoint.rfind("unix:", 0) == 0) {
+      fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      ASSERT_GE(fd_, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::string path = endpoint.substr(5);
+      ASSERT_LT(path.size(), sizeof(addr.sun_path));
+      std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+      ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)),
+                0)
+          << "connect " << endpoint << ": " << std::strerror(errno);
+    } else {
+      // "tcp:127.0.0.1:<port>"
+      std::size_t colon = endpoint.rfind(':');
+      int port = std::stoi(endpoint.substr(colon + 1));
+      fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      ASSERT_GE(fd_, 0);
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port));
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+      ASSERT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)),
+                0)
+          << "connect " << endpoint << ": " << std::strerror(errno);
+    }
+  }
+
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent, 0);
+      ASSERT_GT(n, 0) << "send: " << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Next '\n'-terminated line, or "" on EOF.
+  std::string read_line() {
+    while (true) {
+      std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        std::string line = buffer_.substr(0, pos);
+        buffer_.erase(0, pos + 1);
+        return line;
+      }
+      char chunk[4096];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  JsonValue read_json() {
+    std::string line = read_line();
+    EXPECT_FALSE(line.empty()) << "connection closed mid-conversation";
+    auto parsed = JsonValue::parse(line);
+    EXPECT_TRUE(parsed.is_ok()) << parsed.status().to_string() << ": "
+                                << line;
+    return parsed.is_ok() ? parsed.value() : JsonValue::object();
+  }
+
+  bool eof() { return read_line().empty(); }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+std::string field(const JsonValue& v, const char* key) {
+  const JsonValue* m = v.find(key);
+  return (m != nullptr && m->is_string()) ? m->as_string() : "";
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void start(ServerConfig config) {
+    server_ = std::make_unique<Server>(std::move(config));
+    qfs::Status status = server_->start();
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->shutdown();
+      server_->wait();
+    }
+  }
+
+  ServerConfig tcp_config() {
+    ServerConfig config;
+    config.listen = "tcp:0";  // ephemeral loopback port
+    config.workers = 2;
+    return config;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, PingOverTcp) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  client.send_line("{\"op\":\"ping\"}");
+  JsonValue resp = client.read_json();
+  EXPECT_TRUE(resp.find("ok")->as_bool());
+  EXPECT_EQ(field(resp, "op"), "ping");
+}
+
+TEST_F(ServerTest, PingOverUnixSocket) {
+  ServerConfig config = tcp_config();
+  config.listen =
+      "unix:/tmp/qfsd-test-" + std::to_string(::getpid()) + ".sock";
+  start(config);
+  Client client(server_->endpoint());
+  client.send_line("{\"op\":\"ping\"}");
+  EXPECT_TRUE(client.read_json().find("ok")->as_bool());
+}
+
+TEST_F(ServerTest, CompilesOverTheWire) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::string("t-1"));
+  req.set("qasm", JsonValue::string(kBellQasm));
+  client.send_line(req.to_string());
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "t-1");
+  EXPECT_TRUE(resp.find("ok")->as_bool()) << field(resp, "error");
+  EXPECT_EQ(field(resp, "code"), "ok");
+  const JsonValue* metrics = resp.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(field(*metrics, "device"), "surface-17");
+  EXPECT_EQ(field(*metrics, "mapped_digest").size(), 32u);
+}
+
+TEST_F(ServerTest, MalformedLinesNeverKillTheConnection) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+
+  client.send_line("this is not json");
+  JsonValue resp = client.read_json();
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_EQ(field(resp, "code"), "invalid_request");
+
+  client.send_line("{\"qasm\":\"x\",\"qasm\":\"y\"}");  // duplicate key
+  EXPECT_EQ(field(client.read_json(), "code"), "invalid_request");
+
+  client.send_line("{\"id\":\"bad-1\",\"qasm\":\"x\",\"plaser\":\"a\"}");
+  resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "bad-1");  // id echoed even when rejected
+  EXPECT_EQ(field(resp, "code"), "invalid_request");
+
+  // The same connection still serves a valid request afterwards.
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::string("after"));
+  req.set("qasm", JsonValue::string(kBellQasm));
+  client.send_line(req.to_string());
+  resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "after");
+  EXPECT_TRUE(resp.find("ok")->as_bool());
+}
+
+TEST_F(ServerTest, UnparsableQasmIsATypedResponse) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  client.send_line("{\"id\":\"p-1\",\"qasm\":\"qreg q[1]; bogus q[0];\"}");
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "p-1");
+  EXPECT_EQ(field(resp, "code"), "parse_error");
+}
+
+TEST_F(ServerTest, UnknownOpIsRejected) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  client.send_line("{\"op\":\"reboot\"}");
+  JsonValue resp = client.read_json();
+  EXPECT_FALSE(resp.find("ok")->as_bool());
+  EXPECT_NE(field(resp, "error").find("unknown op"), std::string::npos);
+}
+
+TEST_F(ServerTest, ExpiredDeadlineIsTyped) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::string("d-1"));
+  req.set("qasm", JsonValue::string(kBellQasm));
+  req.set("deadline_ms", JsonValue::integer(0));  // already expired
+  client.send_line(req.to_string());
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "d-1");
+  EXPECT_EQ(field(resp, "code"), "deadline_exceeded");
+  // The worker bumps the counter after flushing the response.
+  for (int i = 0; i < 200 && server_->counters().deadline_expired == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server_->counters().deadline_expired, 1u);
+}
+
+TEST_F(ServerTest, OversizedCircuitIsTyped) {
+  ServerConfig config = tcp_config();
+  config.service.max_source_bytes = 32;
+  start(config);
+  Client client(server_->endpoint());
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::string("big"));
+  req.set("qasm", JsonValue::string(kBellQasm));  // > 32 bytes
+  client.send_line(req.to_string());
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "big");
+  EXPECT_EQ(field(resp, "code"), "resource_exhausted");
+}
+
+TEST_F(ServerTest, OverlongLineClosesTheConnection) {
+  ServerConfig config = tcp_config();
+  config.max_line_bytes = 256;
+  start(config);
+  Client client(server_->endpoint());
+  // An unterminated line past the limit: framing cannot be trusted, so the
+  // server answers once and hangs up.
+  client.send_raw("{\"qasm\":\"" + std::string(1024, 'h'));
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "code"), "resource_exhausted");
+  EXPECT_TRUE(client.eof());
+}
+
+TEST_F(ServerTest, AdmissionQueueBouncesWhenFull) {
+  ServerConfig config = tcp_config();
+  config.workers = 1;
+  config.max_queue = 1;
+  start(config);
+  Client client(server_->endpoint());
+
+  // Pipeline a burst: with one worker and one in-flight slot, the reader
+  // admits the first slow request and must bounce most of the rest with a
+  // typed resource_exhausted instead of queueing without bound. A slow
+  // placer keeps the worker busy long enough to make the race one-sided.
+  JsonValue req = JsonValue::object();
+  req.set("qasm", JsonValue::string(kBellQasm));
+  req.set("placer", JsonValue::string("annealing"));
+  req.set("sabre", JsonValue::integer(4));
+  std::string line = req.to_string();
+  constexpr int kBurst = 16;
+  for (int i = 0; i < kBurst; ++i) client.send_line(line);
+
+  int bounced = 0, served = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    JsonValue resp = client.read_json();
+    if (field(resp, "code") == "resource_exhausted") {
+      EXPECT_NE(field(resp, "error").find("admission queue full"),
+                std::string::npos);
+      ++bounced;
+    } else {
+      EXPECT_EQ(field(resp, "code"), "ok");
+      ++served;
+    }
+  }
+  EXPECT_GT(served, 0);
+  EXPECT_GT(bounced, 0);
+  const auto expected_rejected = static_cast<std::uint64_t>(bounced);
+  for (int i = 0;
+       i < 200 && server_->counters().rejected < expected_rejected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server_->counters().rejected, expected_rejected);
+}
+
+TEST_F(ServerTest, StatsOpReportsCounters) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  JsonValue req = JsonValue::object();
+  req.set("qasm", JsonValue::string(kBellQasm));
+  client.send_line(req.to_string());
+  client.read_json();
+
+  client.send_line("{\"op\":\"stats\"}");
+  JsonValue stats = client.read_json();
+  EXPECT_TRUE(stats.find("ok")->as_bool());
+  const JsonValue* server = stats.find("server");
+  ASSERT_NE(server, nullptr);
+  const JsonValue* requests = server->find("requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->as_integer(), 1);
+}
+
+TEST_F(ServerTest, ShutdownOpDrainsAndStops) {
+  start(tcp_config());
+  Client client(server_->endpoint());
+  client.send_line("{\"op\":\"shutdown\"}");
+  JsonValue ack = client.read_json();
+  EXPECT_TRUE(ack.find("ok")->as_bool());
+  server_->wait();  // returns once the graceful drain completes
+  // New connections are refused after shutdown.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  std::size_t colon = server_->endpoint().rfind(':');
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(
+      std::stoi(server_->endpoint().substr(colon + 1))));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_NE(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+}
+
+TEST_F(ServerTest, ConcurrentClientsAllSucceed) {
+  ServerConfig config = tcp_config();
+  config.workers = 4;
+  start(config);
+
+  constexpr int kClients = 6;
+  constexpr int kRequestsPerClient = 5;
+  std::atomic<int> ok_count{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c]() {
+      Client client(server_->endpoint());
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        JsonValue req = JsonValue::object();
+        req.set("id", JsonValue::string(std::to_string(c) + "-" +
+                                        std::to_string(i)));
+        req.set("qasm", JsonValue::string(kBellQasm));
+        client.send_line(req.to_string());
+      }
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        JsonValue resp = client.read_json();
+        if (resp.find("ok") != nullptr && resp.find("ok")->as_bool()) {
+          ok_count.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok_count.load(), kClients * kRequestsPerClient);
+  // Workers bump the counters after flushing the response, so give the
+  // last few tasks a moment to finish their accounting.
+  const auto expected =
+      static_cast<std::uint64_t>(kClients * kRequestsPerClient);
+  for (int i = 0; i < 200 && server_->counters().ok < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server_->counters().ok, expected);
+}
+
+}  // namespace
+}  // namespace qfs::service

@@ -406,5 +406,111 @@ TEST(Csv, RowWidthMismatchIsContractViolation) {
   EXPECT_THROW(w.row({"only-one"}), AssertionError);
 }
 
+// ---------------------------------------------------------------------------
+// JsonValue::parse — the strict wire parser qfsd feeds untrusted input to.
+// ---------------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(JsonValue::parse("null").value().is_null());
+  EXPECT_TRUE(JsonValue::parse("true").value().as_bool());
+  EXPECT_FALSE(JsonValue::parse("false").value().as_bool());
+  EXPECT_EQ(JsonValue::parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParse, IntegersKeepIntegerKind) {
+  auto v = JsonValue::parse("-42").value();
+  ASSERT_TRUE(v.is_integer());
+  EXPECT_EQ(v.as_integer(), -42);
+  EXPECT_DOUBLE_EQ(v.as_number(), -42.0);
+}
+
+TEST(JsonParse, DecimalsAndExponentsAreDoubles) {
+  auto v = JsonValue::parse("2.5").value();
+  EXPECT_TRUE(v.is_number());
+  EXPECT_FALSE(v.is_integer());
+  EXPECT_DOUBLE_EQ(v.as_number(), 2.5);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("1e3").value().as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(JsonValue::parse("-1.25E-2").value().as_number(), -0.0125);
+}
+
+TEST(JsonParse, NestedDocumentPreservesMemberOrder) {
+  auto v = JsonValue::parse(
+      " { \"b\" : [1, 2, {\"x\": true}] , \"a\" : null } ").value();
+  ASSERT_TRUE(v.is_object());
+  ASSERT_EQ(v.members().size(), 2u);
+  EXPECT_EQ(v.members()[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(v.members()[1].first, "a");
+  const JsonValue* b = v.find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->size(), 3u);
+  EXPECT_EQ(b->at(1).as_integer(), 2);
+  EXPECT_TRUE(b->at(2).find("x")->as_bool());
+}
+
+TEST(JsonParse, RoundTripsCompactRendering) {
+  const std::string text =
+      "{\"a\":[1,2.5,\"s\"],\"b\":{\"c\":true,\"d\":null}}";
+  auto v = JsonValue::parse(text);
+  ASSERT_TRUE(v.is_ok()) << v.status().to_string();
+  EXPECT_EQ(v.value().to_string(), text);
+}
+
+TEST(JsonParse, StringEscapesAndUnicode) {
+  auto v = JsonValue::parse("\"a\\n\\t\\\"\\\\\\/\\u0041\"").value();
+  EXPECT_EQ(v.as_string(), "a\n\t\"\\/A");
+  // Surrogate pair: U+1F600 encodes as 4 UTF-8 bytes.
+  EXPECT_EQ(JsonValue::parse("\"\\uD83D\\uDE00\"").value().as_string(),
+            "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, TruncatedInputIsParseError) {
+  for (const char* text :
+       {"", "{", "[1,", "{\"a\":", "\"unterminated", "tru", "-"}) {
+    auto v = JsonValue::parse(text);
+    ASSERT_FALSE(v.is_ok()) << "accepted: " << text;
+    EXPECT_EQ(v.status().code(), StatusCode::kParseError);
+  }
+}
+
+TEST(JsonParse, TrailingGarbageRejected) {
+  auto v = JsonValue::parse("{} extra");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(JsonParse, DuplicateObjectKeyRejected) {
+  auto v = JsonValue::parse("{\"a\":1,\"a\":2}");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("duplicate object key"),
+            std::string::npos);
+}
+
+TEST(JsonParse, ErrorsNameTheBytePosition) {
+  auto v = JsonValue::parse("[1, x]");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("at byte 4"), std::string::npos);
+}
+
+TEST(JsonParse, NestingDepthIsCapped) {
+  // 64 levels parse; 100 must be rejected, not overflow the stack.
+  std::string deep_ok(64, '[');
+  deep_ok += "1";
+  deep_ok += std::string(64, ']');
+  EXPECT_TRUE(JsonValue::parse(deep_ok).is_ok());
+  std::string too_deep(100, '[');
+  too_deep += "1";
+  too_deep += std::string(100, ']');
+  auto v = JsonValue::parse(too_deep);
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("nesting too deep"), std::string::npos);
+}
+
+TEST(JsonParse, ControlCharacterInStringRejected) {
+  auto v = JsonValue::parse("\"a\nb\"");
+  ASSERT_FALSE(v.is_ok());
+  EXPECT_NE(v.status().message().find("control character"),
+            std::string::npos);
+}
+
 }  // namespace
 }  // namespace qfs

@@ -6,40 +6,36 @@
 // input files are batch-compiled over --jobs worker threads with output
 // bytes independent of the job count.
 //
+// Since the service layer landed, qfsc is a thin renderer: every compile,
+// lint and verify goes through service::CompileService::execute() — the
+// same entrypoint the qfsd daemon serves over its socket — and this file
+// only turns CompileRequest/CompileResponse into the historical CLI bytes
+// and exit codes (0 ok, 1 bad input, 2 compile failed, 3 lint errors).
+//
 //   qfsc --device surface17 --placer annealing --router lookahead in.qasm
 //   qfsc --device surface97 --jobs 8 --emit-qasm batch/*.qasm
 //   cat in.qasm | qfsc --device line:20 --emit-qasm
-#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
-#include <string_view>
 #include <vector>
 
-#include <memory>
-
-#include "analysis/checkers.h"
 #include "analysis/diagnostic.h"
 #include "cache/cache.h"
 #include "cache/fingerprint.h"
-#include "cache/memo.h"
 #include "circuit/draw.h"
-#include "report/cache_summary.h"
-#include "compiler/schedule.h"
-#include "device/calibration.h"
-#include "device/faults.h"
-#include "mapper/recommend.h"
-#include "device/device.h"
-#include "isa/timed_program.h"
-#include "mapper/pipeline.h"
 #include "profile/circuit_profile.h"
 #include "profile/dot_export.h"
 #include "profile/interaction.h"
-#include "qasm/cqasm_writer.h"
 #include "qasm/parser.h"
-#include "qasm/writer.h"
+#include "report/cache_summary.h"
 #include "report/table.h"
+#include "service/api.h"
+#include "service/flags.h"
+#include "service/service.h"
 #include "support/json.h"
 #include "support/parallel.h"
 #include "support/strings.h"
@@ -72,9 +68,9 @@ struct CliOptions {
   std::string cache_dir;     // persistent compile cache root; "" = off
   bool cache_stats = false;  // emit cache counters after compiling
   std::vector<std::string> input_paths;  // empty: stdin
-  /// Process-wide compile cache (owned by main; thread-safe, shared across
-  /// --jobs workers). Null when caching is disabled.
-  cache::CompileCache* cache = nullptr;
+  /// The shared execution engine (owned by main; thread-safe, one cache
+  /// across --jobs workers — the same engine qfsd serves remotely).
+  const service::CompileService* service = nullptr;
 };
 
 void print_usage() {
@@ -140,247 +136,136 @@ void print_usage() {
       "the first failing input.\n";
 }
 
-bool parse_device(const std::string& spec, device::Device& out,
-                  std::string& error) {
-  if (spec == "surface7") {
-    out = device::surface7_device();
-  } else if (spec == "surface17") {
-    out = device::surface17_device();
-  } else if (spec == "surface97") {
-    out = device::surface97_device();
-  } else if (spec == "heavyhex27") {
-    out = device::heavy_hex27_device();
-  } else if (starts_with(spec, "line:")) {
-    int n = 0;
-    if (!parse_int(spec.substr(5), n) || n < 1) {
-      error = "bad line size in '" + spec + "'";
-      return false;
-    }
-    out = device::line_device(n);
-  } else if (starts_with(spec, "full:")) {
-    int n = 0;
-    if (!parse_int(spec.substr(5), n) || n < 1) {
-      error = "bad size in '" + spec + "'";
-      return false;
-    }
-    out = device::fully_connected_device(n);
-  } else if (starts_with(spec, "file:")) {
-    std::ifstream in(std::string(spec.substr(5)));
-    if (!in) {
-      error = "cannot open topology file '" + spec.substr(5) + "'";
-      return false;
-    }
-    std::stringstream buffer;
-    buffer << in.rdbuf();
-    auto topo = device::parse_topology(buffer.str());
-    if (!topo.is_ok()) {
-      error = topo.status().to_string();
-      return false;
-    }
-    std::string name = topo.value().name();
-    out = device::Device(name, std::move(topo).value(),
-                         device::surface_code_gateset(), device::ErrorModel());
-  } else if (starts_with(spec, "grid:")) {
-    auto dims = split(spec.substr(5), 'x');
-    int r = 0, c = 0;
-    if (dims.size() != 2 || !parse_int(dims[0], r) || !parse_int(dims[1], c) ||
-        r < 1 || c < 1) {
-      error = "bad grid spec in '" + spec + "' (expected grid:RxC)";
-      return false;
-    }
-    out = device::grid_device(r, c);
-  } else {
-    error = "unknown device '" + spec + "'";
-    return false;
-  }
-  return true;
+/// Build the service request for one source. Everything behavioural lives
+/// in the request; qfsc itself only renders the response.
+service::CompileRequest build_request(const CliOptions& cli,
+                                      const std::string& source,
+                                      const std::string& source_name) {
+  service::CompileRequest request;
+  request.mode = cli.verify  ? service::RequestMode::kVerify
+                 : cli.lint ? service::RequestMode::kLint
+                            : service::RequestMode::kCompile;
+  request.qasm = source;
+  request.source_name = source_name;
+  request.device = cli.device;
+  request.calibration_path = cli.calibration_path;
+  request.fault_spec = cli.fault_spec;
+  request.options.placer = cli.placer;
+  request.options.router = cli.router;
+  request.options.sabre_refinement_rounds = cli.sabre_rounds;
+  request.options.compute_latency = true;
+  request.seed = cli.seed;
+  request.max_attempts = cli.max_attempts;
+  request.recommend = cli.recommend;
+  request.crosstalk_safe = cli.avoid_crosstalk;
+  request.emit_qasm = cli.emit_qasm;
+  request.emit_cqasm = cli.emit_cqasm;
+  request.emit_timed = cli.emit_timed;
+  return request;
 }
 
-/// Lint / verify one QASM source without compiling it. Diagnostics render
-/// to `out` (JSON with --emit-json), a one-line summary to `err`. Exit
-/// code 3 = error-severity findings, 1 = unusable configuration, 0 = clean
-/// (warnings allowed) — extending the PR-2 contract without disturbing it.
-int lint_source_mode(const CliOptions& cli, const std::string& source,
-                     const std::string& source_name, std::ostream& out,
-                     std::ostream& err) {
-  analysis::CheckOptions opts;
-  device::Device dev;
-  if (cli.verify) {
-    std::string error;
-    if (!parse_device(cli.device, dev, error)) {
-      err << "qfsc: " << error << "\n";
-      return 1;
-    }
-    opts.device = &dev;
-    opts.physical = true;
+/// Render a lint/verify response in the historical CLI format.
+int render_lint(const CliOptions& cli, const service::CompileResponse& resp,
+                const std::string& source_name, std::ostream& out,
+                std::ostream& err) {
+  if (!resp.ok() && resp.code != service::ErrorCode::kLintError) {
+    err << "qfsc: " << resp.error_message << "\n";
+    return service::exit_code_for(resp.code);
   }
-
-  std::vector<analysis::Diagnostic> diags;
-  auto parsed = qasm::parse(source);
-  if (!parsed.is_ok()) {
-    diags = analysis::lint_source(source, opts);
-  } else {
-    const circuit::Circuit& circuit = parsed.value();
-    diags = analysis::analyze_circuit(circuit, opts);
-    // With a structurally-valid physical circuit in hand, also verify the
-    // scheduled timed program (double-booked qubits, control-group mixing).
-    if (cli.verify && !analysis::has_errors(diags) &&
-        circuit.num_qubits() <= dev.num_qubits()) {
-      compiler::ScheduleOptions sched;
-      sched.avoid_crosstalk = cli.avoid_crosstalk;
-      auto schedule = compiler::asap_schedule(circuit, dev, sched);
-      auto program = isa::lower_to_timed_program(circuit, schedule);
-      auto timed = analysis::analyze_timed_program(program, dev);
-      diags.insert(diags.end(), timed.begin(), timed.end());
-    }
-  }
-
   if (cli.emit_json) {
-    out << analysis::diagnostics_to_json(diags).to_pretty_string() << "\n";
+    out << analysis::diagnostics_to_json(resp.diagnostics).to_pretty_string()
+        << "\n";
   } else {
-    out << analysis::render_diagnostics(diags, source_name);
+    out << analysis::render_diagnostics(resp.diagnostics, source_name);
   }
   err << "qfsc: " << (cli.verify ? "verify" : "lint") << ": "
-      << analysis::diagnostic_summary(diags) << "\n";
-  return analysis::has_errors(diags) ? 3 : 0;
+      << analysis::diagnostic_summary(resp.diagnostics) << "\n";
+  return service::exit_code_for(resp.code);
 }
 
-/// Compile one QASM source end to end, writing artifacts to `out` (stdout
-/// in single-file mode) and diagnostics/reports to `err`. Returns the PR-2
-/// exit-code contract: 0 = ok, 1 = bad input, 2 = compilation failed,
-/// 3 = lint/verify errors (with --lint/--verify).
+/// Compile one QASM source end to end through the service, writing
+/// artifacts to `out` (stdout in single-file mode) and diagnostics/reports
+/// to `err`. Returns the PR-2 exit-code contract: 0 = ok, 1 = bad input,
+/// 2 = compilation failed, 3 = lint/verify errors (with --lint/--verify).
 int compile_source(const CliOptions& cli, const std::string& source,
                    const std::string& source_name, std::ostream& out,
                    std::ostream& err) {
+  service::CompileRequest request = build_request(cli, source, source_name);
   if (cli.lint || cli.verify) {
-    return lint_source_mode(cli, source, source_name, out, err);
-  }
-  auto parsed = qasm::parse(source);
-  if (!parsed.is_ok()) {
-    err << "qfsc: " << parsed.status().to_string() << "\n";
-    return 1;
-  }
-  circuit::Circuit circuit = std::move(parsed).value();
-
-  if (cli.draw_circuit) {
-    circuit::DrawOptions draw_opts;
-    draw_opts.show_params = false;
-    err << circuit::draw(circuit, draw_opts) << "\n";
+    return render_lint(cli, cli.service->execute(request), source_name, out,
+                       err);
   }
 
-  if (cli.emit_dot) {
-    profile::DotOptions dot;
-    dot.graph_name = "interaction";
-    out << profile::to_dot(profile::interaction_graph(circuit), dot);
-    if (!cli.emit_qasm && !cli.emit_cqasm && !cli.emit_timed &&
-        !cli.profile_only) {
+  // The circuit-introspection modes (--draw/--emit-dot/--profile) render
+  // client-side; parse here and lend the circuit to the request so the
+  // source is parsed exactly once.
+  circuit::Circuit local;
+  if (cli.draw_circuit || cli.emit_dot || cli.profile_only) {
+    auto parsed = qasm::parse(source);
+    if (!parsed.is_ok()) {
+      err << "qfsc: " << parsed.status().to_string() << "\n";
+      return 1;
+    }
+    local = std::move(parsed).value();
+    request.circuit = &local;
+
+    if (cli.draw_circuit) {
+      circuit::DrawOptions draw_opts;
+      draw_opts.show_params = false;
+      err << circuit::draw(local, draw_opts) << "\n";
+    }
+    if (cli.emit_dot) {
+      profile::DotOptions dot;
+      dot.graph_name = "interaction";
+      out << profile::to_dot(profile::interaction_graph(local), dot);
+      if (!cli.emit_qasm && !cli.emit_cqasm && !cli.emit_timed &&
+          !cli.profile_only) {
+        return 0;
+      }
+    }
+    if (cli.profile_only) {
+      profile::CircuitProfile p = profile::profile_circuit(local);
+      report::TextTable t({"metric", "value"});
+      t.add_row({"qubits (active)", std::to_string(p.num_qubits)});
+      t.add_row({"gates", std::to_string(p.gate_count)});
+      t.add_row({"two-qubit gate %",
+                 format_double(100.0 * p.two_qubit_fraction, 1)});
+      t.add_row({"depth", std::to_string(p.depth)});
+      t.add_row({"interaction edges", std::to_string(p.ig_edges)});
+      t.add_row({"avg shortest path", format_double(p.avg_shortest_path, 3)});
+      t.add_row({"max degree", std::to_string(p.max_degree)});
+      t.add_row({"min degree", std::to_string(p.min_degree)});
+      t.add_row({"adjacency std dev", format_double(p.adj_matrix_stddev, 3)});
+      out << t.to_string();
       return 0;
     }
   }
 
-  if (cli.profile_only) {
-    profile::CircuitProfile p = profile::profile_circuit(circuit);
-    report::TextTable t({"metric", "value"});
-    t.add_row({"qubits (active)", std::to_string(p.num_qubits)});
-    t.add_row({"gates", std::to_string(p.gate_count)});
-    t.add_row({"two-qubit gate %",
-               format_double(100.0 * p.two_qubit_fraction, 1)});
-    t.add_row({"depth", std::to_string(p.depth)});
-    t.add_row({"interaction edges", std::to_string(p.ig_edges)});
-    t.add_row({"avg shortest path", format_double(p.avg_shortest_path, 3)});
-    t.add_row({"max degree", std::to_string(p.max_degree)});
-    t.add_row({"min degree", std::to_string(p.min_degree)});
-    t.add_row({"adjacency std dev", format_double(p.adj_matrix_stddev, 3)});
-    out << t.to_string();
-    return 0;
-  }
+  service::CompileResponse resp = cli.service->execute(request);
 
-  device::Device dev;
-  std::string error;
-  if (!parse_device(cli.device, dev, error)) {
-    err << "qfsc: " << error << "\n";
-    return 1;
+  // Side-channel notes come back even when the compile later failed, in
+  // the order the pre-service tool printed them.
+  if (!resp.fault_note.empty()) {
+    err << "fault injection: " << resp.fault_note << "\n";
   }
-  if (!cli.calibration_path.empty()) {
-    std::ifstream cal(cli.calibration_path);
-    if (!cal) {
-      err << "qfsc: cannot open calibration '" << cli.calibration_path
-                << "'\n";
-      return 1;
-    }
-    std::stringstream buffer;
-    buffer << cal.rdbuf();
-    auto model = device::parse_calibration(buffer.str(), dev.num_qubits());
-    if (!model.is_ok()) {
-      err << "qfsc: " << model.status().to_string() << "\n";
-      return 1;
-    }
-    dev.mutable_error_model() = model.value();
+  if (!resp.recommend_note.empty()) {
+    err << "recommendation: " << resp.recommend_note << "\n";
   }
-  if (!cli.fault_spec.empty()) {
-    auto spec = device::parse_fault_spec(cli.fault_spec);
-    if (!spec.is_ok()) {
-      err << "qfsc: " << spec.status().to_string() << "\n";
-      return 1;
-    }
-    device::FaultInjector injector(std::move(spec).value());
-    auto degraded = injector.apply(dev);
-    if (!degraded.is_ok()) {
-      err << "qfsc: fault injection: " << degraded.status().to_string()
-                << "\n";
-      return 1;
-    }
-    err << "fault injection: " << degraded.value().summary() << "\n";
-    dev = std::move(degraded).value().device;
+  if (!resp.ok()) {
+    err << resp.attempt_log;  // full ladder on resilient failure ("" else)
+    err << "qfsc: " << resp.error_message << "\n";
+    return service::exit_code_for(resp.code);
   }
-  mapper::MappingOptions options;
-  options.placer = cli.placer;
-  options.router = cli.router;
-  options.sabre_refinement_rounds = cli.sabre_rounds;
-  if (cli.recommend) {
-    auto rec = mapper::recommend_mapping(profile::profile_circuit(circuit));
-    options = rec.options;
-    err << "recommendation: placer=" << options.placer
-              << " router=" << options.router << " ("
-              << rec.rationale << ")\n";
-  }
-  options.compute_latency = true;
-
-  mapper::ResilientOptions resilient;
-  resilient.base = options;
-  resilient.max_attempts = cli.max_attempts;
-  resilient.seed = cli.seed;
-  // With a cache attached, memoize per-attempt mappings keyed by the base
-  // fingerprint (canonical QASM + post-calibration/fault device + options)
-  // plus each attempt's strategy/seed. Hits still pass validation inside
-  // compile_resilient, so a stale artifact degrades to a fresh compile.
-  mapper::AttemptMemo memo;
-  if (cli.cache != nullptr) {
-    cache::Fingerprint base = cache::compile_fingerprint(
-        qasm::to_qasm(circuit), dev, options, cli.seed);
-    memo = cache::make_attempt_memo(*cli.cache, base);
-    resilient.memo = &memo;
-  }
-  mapper::CompileAttemptLog attempt_log;
-  auto compiled =
-      mapper::compile_resilient(circuit, dev, resilient, &attempt_log);
-  if (!compiled.is_ok()) {
-    err << mapper::attempt_log_to_string(attempt_log);
-    err << "qfsc: " << compiled.status().to_string() << "\n";
-    return 2;
-  }
-  if (attempt_log.size() > 1) {
+  if (!resp.attempt_log.empty()) {
     // Fallbacks were needed; show the full ladder so the outcome is
     // explainable.
-    err << mapper::attempt_log_to_string(attempt_log);
+    err << resp.attempt_log;
   }
-  mapper::ResilientResult resilient_result = std::move(compiled).value();
-  const mapper::MappingOptions& used = resilient_result.options_used;
-  mapper::MappingResult result = std::move(resilient_result.mapping);
 
+  const mapper::MappingResult& result = resp.mapping;
   report::TextTable t({"metric", "value"});
-  t.add_row({"device", dev.name()});
-  t.add_row({"placer / router", used.placer + " / " + used.router});
+  t.add_row({"device", resp.device_name});
+  t.add_row({"placer / router", resp.placer_used + " / " + resp.router_used});
   t.add_row({"gates before -> after", std::to_string(result.gates_before) +
                                           " -> " +
                                           std::to_string(result.gates_after)});
@@ -399,44 +284,11 @@ int compile_source(const CliOptions& cli, const std::string& source,
   err << t.to_string();
 
   if (cli.emit_json) {
-    JsonValue layouts = JsonValue::object();
-    JsonValue init = JsonValue::array();
-    for (int p : result.initial_layout) init.push_back(JsonValue::integer(p));
-    JsonValue fin = JsonValue::array();
-    for (int p : result.final_layout) fin.push_back(JsonValue::integer(p));
-    layouts.set("initial", std::move(init)).set("final", std::move(fin));
-
-    JsonValue doc = JsonValue::object();
-    doc.set("device", JsonValue::string(dev.name()))
-        .set("placer", JsonValue::string(used.placer))
-        .set("router", JsonValue::string(used.router))
-        .set("gates_before", JsonValue::integer(result.gates_before))
-        .set("gates_after", JsonValue::integer(result.gates_after))
-        .set("swaps_inserted", JsonValue::integer(result.swaps_inserted))
-        .set("gate_overhead_pct", JsonValue::number(result.gate_overhead_pct))
-        .set("depth_before", JsonValue::integer(result.depth_before))
-        .set("depth_after", JsonValue::integer(result.depth_after))
-        .set("fidelity_before", JsonValue::number(result.fidelity_before))
-        .set("fidelity_after", JsonValue::number(result.fidelity_after))
-        .set("fidelity_decrease_pct",
-             JsonValue::number(result.fidelity_decrease_pct))
-        .set("latency_before_ns", JsonValue::number(result.latency_before_ns))
-        .set("latency_after_ns", JsonValue::number(result.latency_after_ns))
-        .set("layouts", std::move(layouts));
-    out << doc.to_pretty_string() << "\n";
+    out << service::mapping_metrics_json(resp).to_pretty_string() << "\n";
   }
-  if (cli.emit_qasm) {
-    out << qasm::to_qasm(result.mapped);
-  }
-  if (cli.emit_cqasm) {
-    out << qasm::to_cqasm(result.mapped);
-  }
-  if (cli.emit_timed) {
-    compiler::ScheduleOptions sched;
-    sched.avoid_crosstalk = cli.avoid_crosstalk;
-    auto schedule = compiler::asap_schedule(result.mapped, dev, sched);
-    out << isa::lower_to_timed_program(result.mapped, schedule).to_text();
-  }
+  out << resp.mapped_qasm;
+  out << resp.mapped_cqasm;
+  out << resp.timed_text;
   return 0;
 }
 
@@ -492,53 +344,39 @@ int run_batch(const CliOptions& cli) {
   return exit_code;
 }
 
-/// Every option qfsc understands (for did-you-mean suggestions).
-const char* const kKnownFlags[] = {
-    "--help",         "--device",        "--placer",       "--router",
-    "--sabre",        "--seed",          "--calibration",  "--inject-faults",
-    "--max-attempts", "--jobs",          "--emit-qasm",    "--emit-cqasm",
-    "--emit-timed",   "--emit-dot",      "--emit-json",    "--crosstalk-safe",
-    "--profile",      "--lint",          "--verify",       "--recommend",
-    "--draw",         "--cache-dir",     "--cache-stats",  "--version",
-};
-
-/// Classic dynamic-programming edit distance (small inputs only).
-std::size_t edit_distance(std::string_view a, std::string_view b) {
-  std::vector<std::size_t> row(b.size() + 1);
-  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
-  for (std::size_t i = 1; i <= a.size(); ++i) {
-    std::size_t diag = row[0];
-    row[0] = i;
-    for (std::size_t j = 1; j <= b.size(); ++j) {
-      std::size_t next = std::min({row[j] + 1, row[j - 1] + 1,
-                                   diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
-      diag = row[j];
-      row[j] = next;
-    }
+/// Every option qfsc understands (for did-you-mean suggestions): the
+/// shared request flags plus the tool-specific ones.
+std::vector<std::string> known_flags() {
+  std::vector<std::string> flags = service::shared_request_flags();
+  for (const char* flag :
+       {"--help", "--sabre", "--calibration", "--inject-faults",
+        "--max-attempts", "--emit-qasm", "--emit-cqasm", "--emit-timed",
+        "--emit-dot", "--emit-json", "--crosstalk-safe", "--profile",
+        "--lint", "--verify", "--recommend", "--draw", "--cache-stats",
+        "--version"}) {
+    flags.emplace_back(flag);
   }
-  return row[b.size()];
-}
-
-/// Closest known flag within edit distance 3, or "" when nothing is close.
-std::string suggest_flag(std::string_view arg) {
-  std::size_t best = 4;  // only suggest reasonably close matches
-  std::string suggestion;
-  for (const char* flag : kKnownFlags) {
-    std::size_t d = edit_distance(arg, flag);
-    if (d < best) {
-      best = d;
-      suggestion = flag;
-    }
-  }
-  return suggestion;
+  return flags;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
+  service::RequestFlagValues shared;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    std::string shared_error;
+    switch (service::consume_request_flag(argc, argv, i, shared,
+                                          shared_error)) {
+      case service::FlagParse::kConsumed:
+        continue;
+      case service::FlagParse::kError:
+        std::cerr << "qfsc: " << shared_error << "\n";
+        return 1;
+      case service::FlagParse::kNotMine:
+        break;
+    }
     auto next = [&]() -> const char* {
       if (i + 1 >= argc) {
         std::cerr << "qfsc: missing value for " << arg << "\n";
@@ -553,28 +391,13 @@ int main(int argc, char** argv) {
       std::cout << "qfsc (qfs full-stack NISQ compiler)\n"
                 << "cache key salt: " << cache::kCacheVersionSalt << "\n";
       return 0;
-    } else if (arg == "--cache-dir") {
-      cli.cache_dir = next();
     } else if (arg == "--cache-stats") {
       cli.cache_stats = true;
-    } else if (arg == "--device") {
-      cli.device = next();
-    } else if (arg == "--placer") {
-      cli.placer = next();
-    } else if (arg == "--router") {
-      cli.router = next();
     } else if (arg == "--sabre") {
       if (!qfs::parse_int(next(), cli.sabre_rounds) || cli.sabre_rounds < 0) {
         std::cerr << "qfsc: bad --sabre round count\n";
         return 1;
       }
-    } else if (arg == "--seed") {
-      int seed = 0;
-      if (!qfs::parse_int(next(), seed)) {
-        std::cerr << "qfsc: bad seed\n";
-        return 1;
-      }
-      cli.seed = static_cast<std::uint64_t>(seed);
     } else if (arg == "--emit-qasm") {
       cli.emit_qasm = true;
     } else if (arg == "--emit-cqasm") {
@@ -590,11 +413,6 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-attempts") {
       if (!qfs::parse_int(next(), cli.max_attempts) || cli.max_attempts < 1) {
         std::cerr << "qfsc: bad --max-attempts count\n";
-        return 1;
-      }
-    } else if (arg == "--jobs") {
-      if (!qfs::parse_int(next(), cli.jobs) || cli.jobs < 0) {
-        std::cerr << "qfsc: bad --jobs count\n";
         return 1;
       }
     } else if (arg == "--emit-timed") {
@@ -613,7 +431,7 @@ int main(int argc, char** argv) {
       cli.draw_circuit = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "qfsc: unknown option '" << arg << "'";
-      std::string suggestion = suggest_flag(arg);
+      std::string suggestion = service::suggest_flag(arg, known_flags());
       if (!suggestion.empty()) std::cerr << " (did you mean " << suggestion
                                          << "?)";
       std::cerr << " (try --help)\n";
@@ -622,20 +440,34 @@ int main(int argc, char** argv) {
       cli.input_paths.push_back(arg);
     }
   }
+  cli.device = shared.device;
+  cli.placer = shared.placer;
+  cli.router = shared.router;
+  cli.seed = shared.seed;
+  cli.jobs = shared.jobs;
+  cli.cache_dir = shared.cache_dir;
+
   std::unique_ptr<cache::CompileCache> compile_cache;
   if (!cli.cache_dir.empty() || cli.cache_stats) {
     cache::CacheConfig cache_config;
     cache_config.disk_dir = cli.cache_dir;  // "" = in-memory tier only
     compile_cache = std::make_unique<cache::CompileCache>(cache_config);
-    cli.cache = compile_cache.get();
   }
+  service::ServiceConfig service_config;
+  service_config.cache = compile_cache.get();
+  // The CLI reads local files the user already owns; the wire-facing size
+  // bound is a daemon concern.
+  service_config.max_source_bytes = std::numeric_limits<std::size_t>::max();
+  service::CompileService engine(service_config);
+  cli.service = &engine;
+
   int rc = cli.input_paths.size() > 1
                ? run_batch(cli)
                : compile_path(cli,
                               cli.input_paths.empty() ? "" : cli.input_paths[0],
                               std::cout, std::cerr);
-  if (cli.cache_stats && cli.cache != nullptr) {
-    cache::CacheStatsSnapshot snap = cli.cache->stats();
+  if (cli.cache_stats && compile_cache != nullptr) {
+    cache::CacheStatsSnapshot snap = compile_cache->stats();
     JsonValue doc = JsonValue::object();
     doc.set("cache", report::cache_stats_to_json(snap));
     std::cout << doc.to_pretty_string() << "\n";

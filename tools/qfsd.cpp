@@ -1,0 +1,157 @@
+// qfsd — the qfs compilation daemon.
+//
+// Serves service::CompileService over a Unix or loopback TCP socket:
+// line-delimited CompileRequest JSON in, CompileResponse JSON out (see
+// src/service/server.h for the wire protocol). One process-wide compile
+// cache stays hot across every client, so a fleet of short-lived callers
+// gets warm-cache latency without each paying the cold-start cost.
+//
+//   qfsd --listen unix:/tmp/qfsd.sock --workers 8 --cache-dir /var/qfs
+//   qfsd --listen tcp:7717
+//   echo '{"op":"ping"}' | nc -U /tmp/qfsd.sock
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "cache/cache.h"
+#include "service/flags.h"
+#include "service/server.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace qfs;
+
+void print_usage() {
+  std::cout <<
+      "usage: qfsd [options]\n"
+      "\n"
+      "options:\n"
+      "  --listen <spec>   unix:<path> or tcp:<port> (loopback; port 0 =\n"
+      "                    ephemeral)        (default unix:/tmp/qfsd-<pid>.sock)\n"
+      "  --workers <n>     compile worker threads (0 = one per hardware\n"
+      "                    thread)                               (default 0)\n"
+      "  --queue <n>       max requests in flight before new ones are\n"
+      "                    rejected with resource_exhausted      (default 64)\n"
+      "  --cache-dir <d>   persist the shared compile cache under <d>\n"
+      "                    (without it the cache is in-memory only)\n"
+      "  --default-deadline-ms <x>\n"
+      "                    deadline applied to requests that carry none\n"
+      "                    (negative = unlimited)                (default -1)\n"
+      "  --max-request-bytes <n>\n"
+      "                    reject QASM sources larger than n     (default 8 MiB)\n"
+      "  --help            this text\n"
+      "\n"
+      "The daemon exits on SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request,\n"
+      "draining in-flight compilations first.\n";
+}
+
+/// The listening socket, for the signal handler: shutdown(2) is
+/// async-signal-safe and nudges the accept loop into a graceful stop.
+volatile int g_listen_fd = -1;
+
+void handle_signal(int) {
+  int fd = g_listen_fd;
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+const std::vector<std::string>& known_flags() {
+  static const std::vector<std::string> flags = {
+      "--help",      "--listen",           "--workers",
+      "--queue",     "--cache-dir",        "--default-deadline-ms",
+      "--max-request-bytes",
+  };
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServerConfig config;
+  config.listen = "unix:/tmp/qfsd-" + std::to_string(::getpid()) + ".sock";
+  std::string cache_dir;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qfsd: missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--listen") {
+      config.listen = next();
+    } else if (arg == "--workers") {
+      if (!parse_int(next(), config.workers) || config.workers < 0) {
+        std::cerr << "qfsd: bad --workers value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--queue") {
+      if (!parse_int(next(), config.max_queue) || config.max_queue < 1) {
+        std::cerr << "qfsd: bad --queue value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--cache-dir") {
+      cache_dir = next();
+    } else if (arg == "--default-deadline-ms") {
+      if (!parse_double(next(), config.default_deadline_ms)) {
+        std::cerr << "qfsd: bad --default-deadline-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--max-request-bytes") {
+      int bytes = 0;
+      if (!parse_int(next(), bytes) || bytes < 1) {
+        std::cerr << "qfsd: bad --max-request-bytes value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+      config.service.max_source_bytes = static_cast<std::size_t>(bytes);
+    } else {
+      std::cerr << "qfsd: unknown option '" << arg << "'";
+      std::string suggestion = service::suggest_flag(arg, known_flags());
+      if (!suggestion.empty()) {
+        std::cerr << " (did you mean " << suggestion << "?)";
+      }
+      std::cerr << " (try --help)\n";
+      return 1;
+    }
+  }
+
+  // The shared cache is the daemon's reason to exist: always on, with a
+  // disk tier when --cache-dir names one.
+  cache::CacheConfig cache_config;
+  cache_config.disk_dir = cache_dir;
+  cache::CompileCache compile_cache(cache_config);
+  config.service.cache = &compile_cache;
+
+  service::Server server(std::move(config));
+  qfs::Status status = server.start();
+  if (!status.is_ok()) {
+    std::cerr << "qfsd: " << status.to_string() << "\n";
+    return 1;
+  }
+  g_listen_fd = server.listen_fd();
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "qfsd: listening on " << server.endpoint() << "\n";
+
+  server.wait();
+
+  service::ServerCounters c = server.counters();
+  std::cerr << "qfsd: served " << c.requests << " requests ("
+            << c.ok << " ok, " << c.failed << " failed, " << c.rejected
+            << " rejected, " << c.cache_hits << " cache hits) over "
+            << c.connections << " connections\n";
+  return 0;
+}

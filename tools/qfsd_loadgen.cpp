@@ -1,0 +1,649 @@
+// qfsd_loadgen — bursty concurrent load generator and wire client for qfsd.
+//
+// Three modes:
+//
+//   Load (default): N client connections fire a total request budget at the
+//   daemon in pipelined bursts, match responses by id, and report p50/p99
+//   latency, throughput and cache-hit counts — optionally as BENCH_service
+//   JSON. Exit code 0 only when every connection survived and every
+//   response came back ok.
+//
+//   --once <file>: send one compile request and print the response's
+//   "metrics" document verbatim, pretty-printed. Byte-identical to
+//   `qfsc --emit-json` stdout for the same flags — the cross-entrypoint
+//   contract pinned by tools/service_contract_test.cmake.
+//
+//   --spawn <qfsd>: fork/exec a private daemon on a scratch Unix socket,
+//   wait for it to answer ping, run the selected mode against it, then ask
+//   it to shut down and reap it. Makes ctest self-contained: no daemon
+//   orchestration outside this process.
+//
+//   qfsd_loadgen --spawn $(which qfsd) --clients 8 --requests 100 a.qasm b.qasm
+//   qfsd_loadgen --connect unix:/tmp/qfsd.sock --clients 4 --requests 40 x.qasm
+//   qfsd_loadgen --spawn ./qfsd --once qft4.qasm --device surface17
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/api.h"
+#include "service/flags.h"
+#include "support/json.h"
+#include "support/status.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace qfs;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// ---------------------------------------------------------------------------
+// Wire client: connect, send lines, read framed responses.
+// ---------------------------------------------------------------------------
+
+int connect_endpoint(const std::string& spec, std::string& error) {
+  if (starts_with(spec, "unix:")) {
+    std::string path = spec.substr(5);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+      error = "bad unix socket path '" + path + "'";
+      return -1;
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      error = std::string("connect '") + path + "': " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (starts_with(spec, "tcp:")) {
+    // Accept both "tcp:<port>" and "tcp:127.0.0.1:<port>" (the form a
+    // daemon prints as its endpoint).
+    std::string rest = spec.substr(4);
+    std::string host = "127.0.0.1";
+    std::size_t colon = rest.rfind(':');
+    if (colon != std::string::npos) {
+      host = rest.substr(0, colon);
+      rest = rest.substr(colon + 1);
+    }
+    int port = 0;
+    if (!parse_int(rest, port) || port < 1 || port > 65535) {
+      error = "bad tcp port in '" + spec + "'";
+      return -1;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      error = "bad tcp host in '" + spec + "'";
+      return -1;
+    }
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) != 0) {
+      error = "connect '" + spec + "': " + std::strerror(errno);
+      if (fd >= 0) ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  error = "bad endpoint '" + spec + "' (expected unix:<path> or tcp:<port>)";
+  return -1;
+}
+
+bool send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    ssize_t n =
+        ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Buffered line reader over a socket.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Next '\n'-terminated line (without the newline); false on EOF/error.
+  bool next(std::string& line) {
+    for (;;) {
+      std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return true;
+      }
+      char chunk[64 * 1024];
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_;
+  std::string buffer_;
+};
+
+// ---------------------------------------------------------------------------
+// Daemon lifecycle (--spawn)
+// ---------------------------------------------------------------------------
+
+struct SpawnedDaemon {
+  pid_t pid = -1;
+  std::string endpoint;
+};
+
+bool spawn_daemon(const std::string& qfsd_path, SpawnedDaemon& out,
+                  std::string& error) {
+  std::string socket_path =
+      "/tmp/qfsd-loadgen-" + std::to_string(::getpid()) + ".sock";
+  out.endpoint = "unix:" + socket_path;
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    error = std::string("fork: ") + std::strerror(errno);
+    return false;
+  }
+  if (pid == 0) {
+    std::string listen = "unix:" + socket_path;
+    ::execl(qfsd_path.c_str(), qfsd_path.c_str(), "--listen", listen.c_str(),
+            static_cast<char*>(nullptr));
+    std::cerr << "qfsd_loadgen: exec '" << qfsd_path
+              << "': " << std::strerror(errno) << "\n";
+    ::_exit(127);
+  }
+  out.pid = pid;
+  // The daemon is up once it answers a ping on its socket.
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    std::string connect_error;
+    int fd = connect_endpoint(out.endpoint, connect_error);
+    if (fd >= 0) {
+      bool ok = send_all(fd, "{\"op\":\"ping\"}\n");
+      std::string line;
+      LineReader reader(fd);
+      ok = ok && reader.next(line) && line.find("\"ok\"") != std::string::npos;
+      ::close(fd);
+      if (ok) return true;
+    }
+    int wait_status = 0;
+    if (::waitpid(pid, &wait_status, WNOHANG) == pid) {
+      error = "daemon exited before accepting connections";
+      return false;
+    }
+    ::usleep(25 * 1000);
+  }
+  error = "daemon never answered ping on " + out.endpoint;
+  return false;
+}
+
+int stop_daemon(const SpawnedDaemon& daemon) {
+  std::string error;
+  int fd = connect_endpoint(daemon.endpoint, error);
+  if (fd >= 0) {
+    send_all(fd, "{\"op\":\"shutdown\"}\n");
+    std::string line;
+    LineReader(fd).next(line);  // wait for the ack so the drain has begun
+    ::close(fd);
+  } else {
+    ::kill(daemon.pid, SIGTERM);
+  }
+  int wait_status = 0;
+  ::waitpid(daemon.pid, &wait_status, 0);
+  return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 128;
+}
+
+// ---------------------------------------------------------------------------
+// Request construction
+// ---------------------------------------------------------------------------
+
+struct LoadgenOptions {
+  std::string connect;          // existing endpoint ("" = need --spawn)
+  std::string spawn;            // path to a qfsd binary to run privately
+  std::string once_path;        // --once: single-request contract mode
+  int clients = 8;
+  int requests = 100;           // total across all clients
+  int burst = 4;                // pipelined requests per write burst
+  double deadline_ms = -1.0;
+  bool require_warm_hits = false;
+  std::string bench_json;       // "" = don't write
+  service::RequestFlagValues shared;  // --device/--placer/--router/--seed
+  std::vector<std::string> qasm_paths;
+};
+
+qfs::StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return qfs::invalid_argument("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The compile request every mode sends: mirrors the qfsc defaults so the
+/// daemon's answers are comparable with the offline tool.
+service::CompileRequest base_request(const LoadgenOptions& opts,
+                                     std::string qasm_text,
+                                     const std::string& source_name) {
+  service::CompileRequest request;
+  request.qasm = std::move(qasm_text);
+  request.source_name = source_name;
+  request.device = opts.shared.device;
+  request.options.placer = opts.shared.placer;
+  request.options.router = opts.shared.router;
+  request.options.compute_latency = true;
+  request.seed = opts.shared.seed;
+  request.deadline_ms = opts.deadline_ms;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Modes
+// ---------------------------------------------------------------------------
+
+/// --once: one request, metrics printed verbatim (the byte-identity mode).
+int run_once(const LoadgenOptions& opts, const std::string& endpoint) {
+  auto source = read_file(opts.once_path);
+  if (!source.is_ok()) {
+    std::cerr << "qfsd_loadgen: " << source.status().message() << "\n";
+    return 1;
+  }
+  std::string error;
+  int fd = connect_endpoint(endpoint, error);
+  if (fd < 0) {
+    std::cerr << "qfsd_loadgen: " << error << "\n";
+    return 1;
+  }
+  service::CompileRequest request =
+      base_request(opts, std::move(source).value(), opts.once_path);
+  request.id = "once";
+  bool sent = send_all(fd, service::request_to_json(request).to_string() + "\n");
+  std::string line;
+  bool got = sent && LineReader(fd).next(line);
+  ::close(fd);
+  if (!got) {
+    std::cerr << "qfsd_loadgen: connection dropped before a response\n";
+    return 1;
+  }
+  auto json = JsonValue::parse(line);
+  if (!json.is_ok()) {
+    std::cerr << "qfsd_loadgen: bad response: " << json.status().to_string()
+              << "\n";
+    return 1;
+  }
+  auto response = service::response_from_json(json.value());
+  if (!response.is_ok()) {
+    std::cerr << "qfsd_loadgen: bad response: "
+              << response.status().to_string() << "\n";
+    return 1;
+  }
+  if (!response.value().ok()) {
+    std::cerr << "qfsd_loadgen: "
+              << service::error_code_name(response.value().code) << ": "
+              << response.value().error_message << "\n";
+    return service::exit_code_for(response.value().code);
+  }
+  // Print the wire document verbatim (not a re-encoded struct): this is
+  // exactly what `qfsc --emit-json` prints for the same compile.
+  const JsonValue* metrics = json.value().find("metrics");
+  if (metrics == nullptr) {
+    std::cerr << "qfsd_loadgen: response carries no metrics\n";
+    return 1;
+  }
+  std::cout << metrics->to_pretty_string() << "\n";
+  return 0;
+}
+
+struct LoadStats {
+  std::vector<double> latencies_ms;
+  long long ok = 0;
+  long long failed = 0;
+  long long cache_hits = 0;
+  long long dropped_connections = 0;
+};
+
+/// One client connection: its slice of the request budget, sent in
+/// pipelined bursts, responses matched by id.
+void run_client(const std::string& endpoint,
+                const std::vector<service::CompileRequest>& requests,
+                int burst, LoadStats& stats, std::mutex& stats_mu) {
+  std::string error;
+  int fd = connect_endpoint(endpoint, error);
+  if (fd < 0) {
+    std::lock_guard<std::mutex> lock(stats_mu);
+    ++stats.dropped_connections;
+    return;
+  }
+  LineReader reader(fd);
+  LoadStats local;
+  std::size_t next_to_send = 0;
+  std::vector<std::pair<std::string, Clock::time_point>> inflight;
+  bool alive = true;
+  while (alive && (next_to_send < requests.size() || !inflight.empty())) {
+    // Fire one burst...
+    while (next_to_send < requests.size() &&
+           inflight.size() < static_cast<std::size_t>(burst)) {
+      const service::CompileRequest& request = requests[next_to_send];
+      std::string line = service::request_to_json(request).to_string() + "\n";
+      inflight.emplace_back(request.id, Clock::now());
+      ++next_to_send;
+      if (!send_all(fd, line)) {
+        alive = false;
+        ++local.dropped_connections;
+        break;
+      }
+    }
+    // ...then drain responses until the window has room again.
+    while (alive && !inflight.empty() &&
+           (inflight.size() >= static_cast<std::size_t>(burst) ||
+            next_to_send >= requests.size())) {
+      std::string line;
+      if (!reader.next(line)) {
+        alive = false;
+        ++local.dropped_connections;
+        break;
+      }
+      auto json = JsonValue::parse(line);
+      std::string id;
+      bool ok = false;
+      bool cache_hit = false;
+      if (json.is_ok() && json.value().is_object()) {
+        const JsonValue* id_field = json.value().find("id");
+        if (id_field != nullptr && id_field->is_string()) {
+          id = id_field->as_string();
+        }
+        const JsonValue* ok_field = json.value().find("ok");
+        ok = ok_field != nullptr && ok_field->is_bool() && ok_field->as_bool();
+        const JsonValue* hit_field = json.value().find("cache_hit");
+        cache_hit = hit_field != nullptr && hit_field->is_bool() &&
+                    hit_field->as_bool();
+      }
+      auto it = std::find_if(inflight.begin(), inflight.end(),
+                             [&id](const auto& entry) {
+                               return entry.first == id;
+                             });
+      if (it == inflight.end()) {
+        ++local.failed;  // unmatched response: count it, keep draining
+        continue;
+      }
+      local.latencies_ms.push_back(ms_since(it->second));
+      inflight.erase(it);
+      if (ok) {
+        ++local.ok;
+      } else {
+        ++local.failed;
+      }
+      if (cache_hit) ++local.cache_hits;
+    }
+  }
+  local.failed += static_cast<long long>(inflight.size());
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(stats_mu);
+  stats.ok += local.ok;
+  stats.failed += local.failed;
+  stats.cache_hits += local.cache_hits;
+  stats.dropped_connections += local.dropped_connections;
+  stats.latencies_ms.insert(stats.latencies_ms.end(),
+                            local.latencies_ms.begin(),
+                            local.latencies_ms.end());
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
+  // Materialise the request schedule up front: round-robin over the input
+  // circuits, ids globally unique, identical options everywhere so repeat
+  // compiles hit the daemon's shared cache.
+  std::vector<std::string> sources;
+  for (const std::string& path : opts.qasm_paths) {
+    auto source = read_file(path);
+    if (!source.is_ok()) {
+      std::cerr << "qfsd_loadgen: " << source.status().message() << "\n";
+      return 1;
+    }
+    sources.push_back(std::move(source).value());
+  }
+  std::vector<std::vector<service::CompileRequest>> per_client(
+      static_cast<std::size_t>(opts.clients));
+  for (int i = 0; i < opts.requests; ++i) {
+    std::size_t which = static_cast<std::size_t>(i) % sources.size();
+    service::CompileRequest request = base_request(
+        opts, sources[which], opts.qasm_paths[which]);
+    request.id = "r" + std::to_string(i);
+    per_client[static_cast<std::size_t>(i) %
+               static_cast<std::size_t>(opts.clients)]
+        .push_back(std::move(request));
+  }
+
+  LoadStats stats;
+  std::mutex stats_mu;
+  Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(per_client.size());
+  for (const auto& slice : per_client) {
+    clients.emplace_back([&endpoint, &slice, &opts, &stats, &stats_mu] {
+      run_client(endpoint, slice, opts.burst, stats, stats_mu);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  double wall_ms = ms_since(start);
+
+  double p50 = percentile(stats.latencies_ms, 0.50);
+  double p99 = percentile(stats.latencies_ms, 0.99);
+  double throughput =
+      wall_ms > 0.0 ? 1000.0 * static_cast<double>(stats.ok) / wall_ms : 0.0;
+
+  std::cerr << "qfsd_loadgen: " << stats.ok << "/" << opts.requests
+            << " ok, " << stats.failed << " failed, "
+            << stats.dropped_connections << " dropped connections, "
+            << stats.cache_hits << " cache hits\n"
+            << "qfsd_loadgen: p50 " << format_double(p50, 3) << " ms, p99 "
+            << format_double(p99, 3) << " ms, "
+            << format_double(throughput, 1) << " req/s over "
+            << format_double(wall_ms, 1) << " ms\n";
+
+  if (!opts.bench_json.empty()) {
+    JsonValue doc = JsonValue::object();
+    doc.set("bench", JsonValue::string("service"))
+        .set("clients", JsonValue::integer(opts.clients))
+        .set("requests", JsonValue::integer(opts.requests))
+        .set("burst", JsonValue::integer(opts.burst))
+        .set("ok", JsonValue::integer(stats.ok))
+        .set("failed", JsonValue::integer(stats.failed))
+        .set("dropped_connections",
+             JsonValue::integer(stats.dropped_connections))
+        .set("cache_hits", JsonValue::integer(stats.cache_hits))
+        .set("p50_ms", JsonValue::number(p50))
+        .set("p99_ms", JsonValue::number(p99))
+        .set("throughput_rps", JsonValue::number(throughput))
+        .set("wall_ms", JsonValue::number(wall_ms));
+    std::ofstream out(opts.bench_json);
+    if (!out) {
+      std::cerr << "qfsd_loadgen: cannot write '" << opts.bench_json << "'\n";
+      return 1;
+    }
+    out << doc.to_pretty_string() << "\n";
+  }
+
+  if (stats.dropped_connections > 0 || stats.failed > 0 ||
+      stats.ok != opts.requests) {
+    return 1;
+  }
+  if (opts.require_warm_hits && stats.cache_hits == 0) {
+    std::cerr << "qfsd_loadgen: expected warm cache hits, saw none\n";
+    return 1;
+  }
+  return 0;
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: qfsd_loadgen (--connect <endpoint> | --spawn <qfsd-binary>)\n"
+      "                    [options] input.qasm [...]\n"
+      "\n"
+      "options:\n"
+      "  --connect <spec>  endpoint of a running daemon (unix:<path> or\n"
+      "                    tcp:<port>)\n"
+      "  --spawn <qfsd>    run a private daemon for the duration\n"
+      "  --once <file>     send one request; print its metrics JSON verbatim\n"
+      "                    (byte-identical to `qfsc --emit-json`)\n"
+      "  --clients <n>     concurrent client connections      (default 8)\n"
+      "  --requests <n>    total requests across clients      (default 100)\n"
+      "  --burst <n>       pipelined requests per connection  (default 4)\n"
+      "  --deadline-ms <x> per-request deadline               (default none)\n"
+      "  --require-warm-hits  fail unless the daemon reports cache hits\n"
+      "  --bench-json <f>  write the load report as JSON to <f>\n"
+      "  --device/--placer/--router/--seed  forwarded into every request\n"
+      "  --help            this text\n";
+}
+
+const std::vector<std::string>& known_loadgen_flags() {
+  static const std::vector<std::string> flags = {
+      "--help",     "--connect", "--spawn",
+      "--once",     "--clients", "--requests",
+      "--burst",    "--deadline-ms", "--require-warm-hits",
+      "--bench-json",
+  };
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string shared_error;
+    switch (service::consume_request_flag(argc, argv, i, opts.shared,
+                                          shared_error)) {
+      case service::FlagParse::kConsumed:
+        continue;
+      case service::FlagParse::kError:
+        std::cerr << "qfsd_loadgen: " << shared_error << "\n";
+        return 1;
+      case service::FlagParse::kNotMine:
+        break;
+    }
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qfsd_loadgen: missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--connect") {
+      opts.connect = next();
+    } else if (arg == "--spawn") {
+      opts.spawn = next();
+    } else if (arg == "--once") {
+      opts.once_path = next();
+    } else if (arg == "--clients") {
+      if (!parse_int(next(), opts.clients) || opts.clients < 1) {
+        std::cerr << "qfsd_loadgen: bad --clients value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--requests") {
+      if (!parse_int(next(), opts.requests) || opts.requests < 1) {
+        std::cerr << "qfsd_loadgen: bad --requests value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--burst") {
+      if (!parse_int(next(), opts.burst) || opts.burst < 1) {
+        std::cerr << "qfsd_loadgen: bad --burst value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--deadline-ms") {
+      if (!parse_double(next(), opts.deadline_ms)) {
+        std::cerr << "qfsd_loadgen: bad --deadline-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--require-warm-hits") {
+      opts.require_warm_hits = true;
+    } else if (arg == "--bench-json") {
+      opts.bench_json = next();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qfsd_loadgen: unknown option '" << arg << "'";
+      std::string suggestion =
+          service::suggest_flag(arg, known_loadgen_flags());
+      if (!suggestion.empty()) {
+        std::cerr << " (did you mean " << suggestion << "?)";
+      }
+      std::cerr << " (try --help)\n";
+      return 1;
+    } else {
+      opts.qasm_paths.push_back(arg);
+    }
+  }
+
+  if (opts.once_path.empty() && opts.qasm_paths.empty()) {
+    std::cerr << "qfsd_loadgen: no input circuits (try --help)\n";
+    return 1;
+  }
+  if (opts.connect.empty() && opts.spawn.empty()) {
+    std::cerr << "qfsd_loadgen: need --connect or --spawn (try --help)\n";
+    return 1;
+  }
+
+  SpawnedDaemon daemon;
+  std::string endpoint = opts.connect;
+  if (!opts.spawn.empty()) {
+    std::string error;
+    if (!spawn_daemon(opts.spawn, daemon, error)) {
+      std::cerr << "qfsd_loadgen: " << error << "\n";
+      return 1;
+    }
+    endpoint = daemon.endpoint;
+  }
+
+  int rc = opts.once_path.empty() ? run_load(opts, endpoint)
+                                  : run_once(opts, endpoint);
+
+  if (daemon.pid > 0) {
+    int daemon_rc = stop_daemon(daemon);
+    if (daemon_rc != 0) {
+      std::cerr << "qfsd_loadgen: daemon exited with code " << daemon_rc
+                << "\n";
+      if (rc == 0) rc = 1;
+    }
+  }
+  return rc;
+}

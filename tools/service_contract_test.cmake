@@ -1,0 +1,39 @@
+# Cross-entrypoint byte-identity contract: for every input circuit, the
+# daemon's response metrics (mapped-circuit digest included) must be
+# byte-identical to offline `qfsc --emit-json` stdout with the same flags.
+#
+# Expects: -DQFSC=<qfsc> -DQFSD=<qfsd> -DLOADGEN=<qfsd_loadgen>
+#          -DINPUTS=<qasm;files> [-DFLAGS=<shared;request;flags>]
+if(NOT DEFINED FLAGS)
+  set(FLAGS "")
+endif()
+
+foreach(input ${INPUTS})
+  execute_process(
+    COMMAND ${QFSC} --emit-json ${FLAGS} ${input}
+    OUTPUT_VARIABLE offline_out
+    ERROR_VARIABLE offline_err
+    RESULT_VARIABLE offline_rc)
+  if(NOT offline_rc EQUAL 0)
+    message(FATAL_ERROR
+      "qfsc failed on ${input} (exit ${offline_rc}):\n${offline_err}")
+  endif()
+
+  execute_process(
+    COMMAND ${LOADGEN} --spawn ${QFSD} --once ${input} ${FLAGS}
+    OUTPUT_VARIABLE daemon_out
+    ERROR_VARIABLE daemon_err
+    RESULT_VARIABLE daemon_rc)
+  if(NOT daemon_rc EQUAL 0)
+    message(FATAL_ERROR
+      "qfsd_loadgen --once failed on ${input} (exit ${daemon_rc}):\n"
+      "${daemon_err}")
+  endif()
+
+  if(NOT offline_out STREQUAL daemon_out)
+    message(FATAL_ERROR
+      "daemon metrics differ from offline qfsc for ${input}:\n"
+      "--- qfsc ---\n${offline_out}\n--- daemon ---\n${daemon_out}")
+  endif()
+endforeach()
+message(STATUS "daemon and offline outputs byte-identical for ${INPUTS}")
