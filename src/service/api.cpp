@@ -118,7 +118,7 @@ const std::vector<std::string>& known_request_fields() {
       "seed",        "max_attempts",   "recommend",
       "crosstalk_safe", "emit_qasm",   "emit_cqasm",
       "emit_timed",  "digest",         "cache",
-      "deadline_ms",
+      "deadline_ms", "attempt",        "chaos",
   };
   return fields;
 }
@@ -187,6 +187,12 @@ JsonValue request_to_json(const CompileRequest& request) {
   }
   if (request.deadline_ms >= 0) {
     doc.set("deadline_ms", JsonValue::number(request.deadline_ms));
+  }
+  if (request.attempt != 0) {
+    doc.set("attempt", JsonValue::integer(request.attempt));
+  }
+  if (!request.chaos.empty()) {
+    doc.set("chaos", JsonValue::string(request.chaos));
   }
   return doc;
 }
@@ -321,6 +327,19 @@ qfs::StatusOr<CompileRequest> request_from_json(const JsonValue& json) {
         if (request.deadline_ms < 0) {
           status = field_error(field, "must be >= 0");
         }
+      }
+    } else if (field == "attempt") {
+      long long v = 0;
+      status = read_int(value, field, 0, 1000, v);
+      request.attempt = static_cast<int>(v);
+    } else if (field == "chaos") {
+      status = read_string(value, field, request.chaos);
+      if (status.is_ok() && !request.chaos.empty() &&
+          request.chaos != "hang" && request.chaos != "crash" &&
+          request.chaos != "exit") {
+        status = field_error(field, "unknown chaos directive '" +
+                                        request.chaos +
+                                        "' (hang | crash | exit)");
       }
     } else {
       std::string message = "unknown request field '" + field + "'";

@@ -136,6 +136,18 @@ struct CompileRequest {
   /// Wall-clock budget in milliseconds from admission. Negative = none;
   /// 0 = already expired (useful for testing the deadline path).
   double deadline_ms = -1.0;
+
+  /// Retry generation: 0 for the first send, incremented by the retrying
+  /// Client so the daemon can count retries observed server-side. Encoded
+  /// on the wire only when non-zero.
+  int attempt = 0;
+
+  /// Chaos-injection directive for fault-tolerance testing: "" (none,
+  /// the only value the service accepts), or "hang" | "crash" | "exit",
+  /// honoured exclusively by chaos-enabled supervised workers
+  /// (`qfsd --worker-procs N --enable-chaos`). Anything else, or any
+  /// non-empty value on an unsupervised daemon, is an invalid_request.
+  std::string chaos;
 };
 
 // ---------------------------------------------------------------------------

@@ -85,7 +85,10 @@ qfs::Status Server::start() {
                                    unix_path_);
     }
     std::memcpy(addr.sun_path, unix_path_.c_str(), unix_path_.size() + 1);
-    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    // CLOEXEC everywhere: supervised worker children must not inherit the
+    // listener or any connection fd (an inherited fd would keep a "closed"
+    // client connection alive and mask its EOF).
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listen_fd_ < 0) {
       return qfs::io_error(std::string("socket: ") + std::strerror(errno));
     }
@@ -106,7 +109,7 @@ qfs::Status Server::start() {
     if (!parse_int(spec.substr(4), port) || port < 0 || port > 65535) {
       return qfs::invalid_argument("bad tcp port in '" + spec + "'");
     }
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (listen_fd_ < 0) {
       return qfs::io_error(std::string("socket: ") + std::strerror(errno));
     }
@@ -141,6 +144,17 @@ qfs::Status Server::start() {
     listen_fd_ = -1;
     return status;
   }
+  if (!config_.supervisor.command.empty()) {
+    supervisor_ = std::make_unique<Supervisor>(config_.supervisor);
+    qfs::Status status = supervisor_->start();
+    if (!status.is_ok()) {
+      supervisor_.reset();
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      if (is_unix_ && !unix_path_.empty()) ::unlink(unix_path_.c_str());
+      return status;
+    }
+  }
   pool_ = std::make_unique<qfs::ThreadPool>(
       qfs::resolve_jobs(config_.workers));
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -149,7 +163,7 @@ qfs::Status Server::start() {
 
 void Server::accept_loop() {
   while (!stopping_.load()) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;  // listening socket shut down (signal or "op":"shutdown")
@@ -299,9 +313,35 @@ bool Server::handle_op(const std::shared_ptr<Connection>& conn,
              JsonValue::integer(static_cast<long long>(c.deadline_expired)))
         .set("cache_hits",
              JsonValue::integer(static_cast<long long>(c.cache_hits)))
+        .set("retries_observed",
+             JsonValue::integer(static_cast<long long>(c.retries_observed)))
         .set("inflight", JsonValue::integer(inflight_.load()))
         .set("workers", JsonValue::integer(pool_ ? pool_->size() : 0));
     doc.set("server", std::move(server));
+    if (supervisor_ != nullptr) {
+      SupervisorCounters sc = supervisor_->counters();
+      JsonValue sup = JsonValue::object();
+      sup.set("requests",
+              JsonValue::integer(static_cast<long long>(sc.requests)))
+          .set("spawns", JsonValue::integer(static_cast<long long>(sc.spawns)))
+          .set("restarts",
+               JsonValue::integer(static_cast<long long>(sc.restarts)))
+          .set("crashes",
+               JsonValue::integer(static_cast<long long>(sc.crashes)))
+          .set("hung_killed",
+               JsonValue::integer(static_cast<long long>(sc.hung_killed)))
+          .set("breaker_trips",
+               JsonValue::integer(static_cast<long long>(sc.breaker_trips)))
+          .set("shed", JsonValue::integer(static_cast<long long>(sc.shed)))
+          .set("breaker_open",
+               JsonValue::boolean(supervisor_->breaker_open()));
+      JsonValue pids = JsonValue::array();
+      for (int pid : supervisor_->worker_pids()) {
+        pids.push_back(JsonValue::integer(pid));
+      }
+      sup.set("worker_pids", std::move(pids));
+      doc.set("supervisor", std::move(sup));
+    }
     if (service_.cache() != nullptr) {
       doc.set("cache", report::cache_stats_to_json(service_.cache()->stats()));
     }
@@ -320,6 +360,21 @@ bool Server::handle_op(const std::shared_ptr<Connection>& conn,
 
 void Server::dispatch(const std::shared_ptr<Connection>& conn,
                       CompileRequest request) {
+  // The chaos field is a test-only fault-injection directive: only a
+  // supervised daemon started with --enable-chaos honours it, everywhere
+  // else it is a client error (never silently compiled — see service.cpp).
+  if (!request.chaos.empty() &&
+      (supervisor_ == nullptr || !config_.enable_chaos)) {
+    conn->write_line(
+        error_response_json(ErrorCode::kInvalidRequest,
+                            "chaos injection is disabled on this daemon "
+                            "(start with --worker-procs N --enable-chaos)",
+                            request.id)
+            .to_string());
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.failed;
+    return;
+  }
   if (stopping_.load() || pool_ == nullptr) {
     conn->write_line(error_response_json(ErrorCode::kResourceExhausted,
                                          "server is shutting down",
@@ -346,6 +401,7 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
   {
     std::lock_guard<std::mutex> lock(counters_mu_);
     ++counters_.requests;
+    if (request.attempt > 0) ++counters_.retries_observed;
   }
   if (request.deadline_ms < 0) request.deadline_ms = config_.default_deadline_ms;
   Clock::time_point admitted = Clock::now();
@@ -358,6 +414,13 @@ void Server::dispatch(const std::shared_ptr<Connection>& conn,
       response.error_message =
           "deadline of " + std::to_string(request.deadline_ms) +
           " ms expired in the admission queue";
+    } else if (supervisor_ != nullptr) {
+      // Crash-isolated path: hand the request to a child worker with the
+      // budget that remains after its queue wait.
+      double budget_ms = request.deadline_ms >= 0
+                             ? request.deadline_ms - queue_ms
+                             : -1.0;
+      response = supervisor_->execute(request, budget_ms);
     } else {
       response = service_.execute(request);
     }
@@ -400,6 +463,9 @@ void Server::shutdown() {
     pool_->wait_idle();
     pool_.reset();  // joins the workers
   }
+  // Only after the pool is gone is no execute() in flight, so the worker
+  // fleet can be torn down safely.
+  if (supervisor_) supervisor_->shutdown();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "service/service.h"
+#include "service/supervisor.h"
 #include "support/parallel.h"
 #include "support/status.h"
 
@@ -57,6 +58,17 @@ struct ServerConfig {
   std::size_t max_line_bytes = 16u << 20;
 
   ServiceConfig service;
+
+  /// Crash isolation: when `supervisor.command` is non-empty, compilations
+  /// run in supervised child worker processes (`qfsd --worker`) instead of
+  /// in-process pool threads — a compiler crash then costs one worker, not
+  /// the daemon. The pool threads become cheap forwarders, so `workers`
+  /// should be >= supervisor.workers to keep the fleet busy.
+  SupervisorConfig supervisor;
+
+  /// Honour the test-only `chaos` request field (supervised mode only).
+  /// Off by default: a production daemon must never fault-inject itself.
+  bool enable_chaos = false;
 };
 
 /// Monotonic counters, readable while the server runs ("op":"stats").
@@ -68,6 +80,7 @@ struct ServerCounters {
   std::uint64_t rejected = 0;       ///< bounced at admission (queue full)
   std::uint64_t deadline_expired = 0;
   std::uint64_t cache_hits = 0;
+  std::uint64_t retries_observed = 0;  ///< requests carrying attempt > 0
 };
 
 class Server {
@@ -102,6 +115,10 @@ class Server {
 
   ServerCounters counters() const;
 
+  /// The worker supervisor, or nullptr when compiling in-process. Valid
+  /// after start(); the chaos tests read worker pids through it.
+  Supervisor* supervisor() { return supervisor_.get(); }
+
  private:
   struct Connection;
 
@@ -123,6 +140,7 @@ class Server {
 
   std::thread accept_thread_;
   std::unique_ptr<qfs::ThreadPool> pool_;
+  std::unique_ptr<Supervisor> supervisor_;
 
   std::atomic<bool> stopping_{false};
   std::atomic<int> inflight_{0};

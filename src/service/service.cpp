@@ -197,6 +197,16 @@ CompileResponse execute_impl(const ServiceConfig& config,
                 "deadline expired before compilation started");
   }
 
+  // Chaos directives are intercepted by chaos-enabled supervised workers
+  // (`qfsd --worker --enable-chaos`) before the service sees them; a
+  // directive that reaches this layer was sent to a deployment that does
+  // not fault-inject, and silently compiling it would mask the mistake.
+  if (!request.chaos.empty()) {
+    return fail(std::move(response), ErrorCode::kInvalidRequest,
+                "chaos injection requires a chaos-enabled supervised daemon "
+                "(qfsd --worker-procs N --enable-chaos)");
+  }
+
   // --- Source resolution + parse ---------------------------------------
   std::string source;
   std::string source_name = "<request>";

@@ -347,6 +347,67 @@ TEST_F(ServerTest, ShutdownOpDrainsAndStops) {
   ::close(fd);
 }
 
+TEST_F(ServerTest, MidWriteClientDisconnectDoesNotKillTheDaemon) {
+  start(tcp_config());
+
+  // A fat circuit with emit_qasm makes each response tens of kilobytes;
+  // eight of them pipelined and then an immediate close leaves the writer
+  // flushing into a dead socket. Without MSG_NOSIGNAL that's a SIGPIPE and
+  // the whole test process dies — this is the regression pin.
+  std::string fat = "OPENQASM 2.0;\nqreg q[5];\n";
+  for (int i = 0; i < 1200; ++i) {
+    // Alternate h/x per wire so no optimizer can cancel the body away.
+    fat += (i % 2 == 0 ? "h q[" : "x q[") + std::to_string(i % 5) + "];\n";
+  }
+  JsonValue req = JsonValue::object();
+  req.set("qasm", JsonValue::string(fat));
+  req.set("emit_qasm", JsonValue::boolean(true));
+  std::string line = req.to_string();
+  {
+    Client doomed(server_->endpoint());
+    for (int i = 0; i < 8; ++i) doomed.send_line(line);
+    // Destructor closes the socket with every response still in flight.
+  }
+
+  // The daemon is still alive and still serves a fresh connection.
+  Client client(server_->endpoint());
+  JsonValue probe = JsonValue::object();
+  probe.set("id", JsonValue::string("alive"));
+  probe.set("qasm", JsonValue::string(kBellQasm));
+  client.send_line(probe.to_string());
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "alive");
+  EXPECT_TRUE(resp.find("ok")->as_bool()) << field(resp, "error");
+}
+
+TEST_F(ServerTest, ChaosFieldIsRejectedWithoutChaosWorkers) {
+  start(tcp_config());  // in-process compilation: no supervised workers
+  Client client(server_->endpoint());
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::string("x-1"));
+  req.set("qasm", JsonValue::string(kBellQasm));
+  req.set("chaos", JsonValue::string("crash"));
+  client.send_line(req.to_string());
+  JsonValue resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "x-1");
+  EXPECT_EQ(field(resp, "code"), "invalid_request");
+  EXPECT_NE(field(resp, "error").find("chaos"), std::string::npos);
+
+  // An unknown chaos verb is rejected at the codec layer.
+  req.set("chaos", JsonValue::string("explode"));
+  client.send_line(req.to_string());
+  EXPECT_EQ(field(client.read_json(), "code"), "invalid_request");
+
+  // The same connection still compiles without the field.
+  JsonValue clean = JsonValue::object();
+  clean.set("id", JsonValue::string("x-2"));
+  clean.set("qasm", JsonValue::string(kBellQasm));
+  client.send_line(clean.to_string());
+  resp = client.read_json();
+  EXPECT_EQ(field(resp, "id"), "x-2");
+  EXPECT_TRUE(resp.find("ok")->as_bool());
+}
+
 TEST_F(ServerTest, ConcurrentClientsAllSucceed) {
   ServerConfig config = tcp_config();
   config.workers = 4;

@@ -6,10 +6,18 @@
 // cache stays hot across every client, so a fleet of short-lived callers
 // gets warm-cache latency without each paying the cold-start cost.
 //
+// With --worker-procs N the daemon runs compilations in N supervised child
+// worker processes (this same binary re-exec'ed as `qfsd --worker`) instead
+// of in-process threads: a compiler crash or hang then costs one worker —
+// restarted with backoff, storm-limited by a circuit breaker — not the
+// daemon and every in-flight request sharing its address space.
+//
 //   qfsd --listen unix:/tmp/qfsd.sock --workers 8 --cache-dir /var/qfs
-//   qfsd --listen tcp:7717
+//   qfsd --listen tcp:7717 --worker-procs 4
 //   echo '{"op":"ping"}' | nc -U /tmp/qfsd.sock
 #include <csignal>
+#include <cerrno>
+#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -44,6 +52,25 @@ void print_usage() {
       "                    (negative = unlimited)                (default -1)\n"
       "  --max-request-bytes <n>\n"
       "                    reject QASM sources larger than n     (default 8 MiB)\n"
+      "\n"
+      "crash isolation (supervised mode):\n"
+      "  --worker-procs <n>\n"
+      "                    run compilations in n supervised child processes\n"
+      "                    instead of in-process threads         (default 0 = off)\n"
+      "  --hang-timeout-ms <x>\n"
+      "                    SIGKILL a worker silent this long on a request\n"
+      "                    with no deadline of its own (negative disables)\n"
+      "                                                          (default 30000)\n"
+      "  --max-restarts <n>\n"
+      "                    worker restarts tolerated per window before the\n"
+      "                    circuit breaker sheds load            (default 8)\n"
+      "  --restart-window-ms <x>\n"
+      "                    sliding window for --max-restarts     (default 10000)\n"
+      "  --enable-chaos    honour the test-only 'chaos' request field\n"
+      "                    (hang/crash/exit fault injection in workers);\n"
+      "                    never enable in production\n"
+      "  --worker          internal: run as a supervised worker speaking the\n"
+      "                    wire protocol on stdin/stdout\n"
       "  --help            this text\n"
       "\n"
       "The daemon exits on SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request,\n"
@@ -63,9 +90,85 @@ const std::vector<std::string>& known_flags() {
   static const std::vector<std::string> flags = {
       "--help",      "--listen",           "--workers",
       "--queue",     "--cache-dir",        "--default-deadline-ms",
-      "--max-request-bytes",
+      "--max-request-bytes",               "--worker-procs",
+      "--hang-timeout-ms",                 "--max-restarts",
+      "--restart-window-ms",               "--enable-chaos",
+      "--worker",
   };
   return flags;
+}
+
+bool write_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    ssize_t n = ::write(fd, text.data() + sent, text.size() - sent);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// `qfsd --worker`: one request at a time off stdin, one response line to
+/// stdout, exit 0 on EOF (the supervisor hanging up). Both fds are the
+/// supervisor's socketpair end. The only state a worker owns is its
+/// CompileService — a crash loses nothing the supervisor can't replay.
+int run_worker(const service::ServiceConfig& service_config,
+               bool enable_chaos) {
+  std::signal(SIGPIPE, SIG_IGN);
+  service::CompileService compile_service(service_config);
+  std::string buffer;
+  char chunk[64 * 1024];
+  for (;;) {
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) == std::string::npos) {
+      ssize_t n = ::read(STDIN_FILENO, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return 0;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer.substr(0, nl);
+    buffer.erase(0, nl + 1);
+
+    auto request = service::parse_request_line(line);
+    std::string out;
+    if (!request.is_ok()) {
+      out = service::error_response_json(service::ErrorCode::kInvalidRequest,
+                                         request.status().message())
+                .to_string();
+    } else {
+      if (enable_chaos && !request.value().chaos.empty()) {
+        // Fault injection for the chaos harness: simulate the three ways a
+        // compiler backend dies on an adversarial circuit.
+        const std::string& chaos = request.value().chaos;
+        if (chaos == "hang") {
+          for (;;) ::usleep(100 * 1000);  // wedge until the watchdog SIGKILLs
+        } else if (chaos == "crash") {
+          ::kill(::getpid(), SIGKILL);  // die as a segfault would: no unwind
+        } else if (chaos == "exit") {
+          ::_exit(3);  // die "cleanly" without answering
+        }
+      }
+      out = service::response_to_json(compile_service.execute(request.value()))
+                .to_string();
+    }
+    out.push_back('\n');
+    if (!write_all(STDOUT_FILENO, out)) return 0;
+  }
+}
+
+/// Path of this binary for re-exec as a worker: /proc/self/exe when the
+/// kernel provides it, argv[0] otherwise.
+std::string self_path(const char* argv0) {
+  char buffer[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return buffer;
+  }
+  return argv0;
 }
 
 }  // namespace
@@ -74,6 +177,9 @@ int main(int argc, char** argv) {
   service::ServerConfig config;
   config.listen = "unix:/tmp/qfsd-" + std::to_string(::getpid()) + ".sock";
   std::string cache_dir;
+  bool worker_mode = false;
+  int worker_procs = 0;
+  int max_request_bytes = 0;  // 0 = default
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -108,13 +214,41 @@ int main(int argc, char** argv) {
         return 1;
       }
     } else if (arg == "--max-request-bytes") {
-      int bytes = 0;
-      if (!parse_int(next(), bytes) || bytes < 1) {
+      if (!parse_int(next(), max_request_bytes) || max_request_bytes < 1) {
         std::cerr << "qfsd: bad --max-request-bytes value '" << argv[i]
                   << "'\n";
         return 1;
       }
-      config.service.max_source_bytes = static_cast<std::size_t>(bytes);
+      config.service.max_source_bytes =
+          static_cast<std::size_t>(max_request_bytes);
+    } else if (arg == "--worker-procs") {
+      if (!parse_int(next(), worker_procs) || worker_procs < 0) {
+        std::cerr << "qfsd: bad --worker-procs value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--hang-timeout-ms") {
+      if (!parse_double(next(), config.supervisor.hang_timeout_ms)) {
+        std::cerr << "qfsd: bad --hang-timeout-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--max-restarts") {
+      if (!parse_int(next(), config.supervisor.breaker.max_restarts) ||
+          config.supervisor.breaker.max_restarts < 1) {
+        std::cerr << "qfsd: bad --max-restarts value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--restart-window-ms") {
+      if (!parse_double(next(), config.supervisor.breaker.window_ms) ||
+          config.supervisor.breaker.window_ms <= 0) {
+        std::cerr << "qfsd: bad --restart-window-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--enable-chaos") {
+      config.enable_chaos = true;
+    } else if (arg == "--worker") {
+      worker_mode = true;
     } else {
       std::cerr << "qfsd: unknown option '" << arg << "'";
       std::string suggestion = service::suggest_flag(arg, known_flags());
@@ -126,12 +260,42 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (worker_mode) {
+    // A worker keeps its own in-memory cache tier; a shared --cache-dir
+    // still gives the fleet one warm disk tier (the store is atomic and
+    // corruption-tolerant, so concurrent worker processes are safe).
+    cache::CacheConfig cache_config;
+    cache_config.disk_dir = cache_dir;
+    cache::CompileCache compile_cache(cache_config);
+    config.service.cache = &compile_cache;
+    return run_worker(config.service, config.enable_chaos);
+  }
+
   // The shared cache is the daemon's reason to exist: always on, with a
   // disk tier when --cache-dir names one.
   cache::CacheConfig cache_config;
   cache_config.disk_dir = cache_dir;
   cache::CompileCache compile_cache(cache_config);
   config.service.cache = &compile_cache;
+
+  if (worker_procs > 0) {
+    config.supervisor.workers = worker_procs;
+    config.supervisor.command = {self_path(argv[0]), "--worker"};
+    if (!cache_dir.empty()) {
+      config.supervisor.command.push_back("--cache-dir");
+      config.supervisor.command.push_back(cache_dir);
+    }
+    if (max_request_bytes > 0) {
+      config.supervisor.command.push_back("--max-request-bytes");
+      config.supervisor.command.push_back(std::to_string(max_request_bytes));
+    }
+    if (config.enable_chaos) {
+      config.supervisor.command.push_back("--enable-chaos");
+    }
+  } else if (config.enable_chaos) {
+    std::cerr << "qfsd: --enable-chaos requires --worker-procs\n";
+    return 1;
+  }
 
   service::Server server(std::move(config));
   qfs::Status status = server.start();
@@ -145,6 +309,15 @@ int main(int argc, char** argv) {
   std::signal(SIGPIPE, SIG_IGN);
 
   std::cerr << "qfsd: listening on " << server.endpoint() << "\n";
+  if (worker_procs > 0) {
+    std::cerr << "qfsd: supervising " << worker_procs << " worker process"
+              << (worker_procs == 1 ? "" : "es")
+              << (server.supervisor() != nullptr &&
+                          !server.supervisor()->worker_pids().empty()
+                      ? ""
+                      : " (starting)")
+              << "\n";
+  }
 
   server.wait();
 

@@ -1,0 +1,512 @@
+// qfsd_chaos — seeded chaos harness for the supervised qfsd daemon.
+//
+// Spawns a private chaos-enabled daemon (`qfsd --worker-procs N
+// --enable-chaos`), drives mixed compile load from concurrent retrying
+// clients, and injects every fault class the supervision layer claims to
+// survive, all from one deterministic seed:
+//
+//   - SIGKILL of random live workers (pids read off the stats op), on a
+//     fixed cadence, for the whole run;
+//   - hung-worker simulation (requests carrying chaos:"hang" under a
+//     deadline, so the per-request watchdog must fire);
+//   - worker crash/exit mid-request (chaos:"crash" / chaos:"exit");
+//   - malformed frames (non-JSON garbage, JSON non-objects, unknown
+//     fields) and oversized frames (sources past --max-request-bytes);
+//   - mid-write client disconnects (half a request line, then close).
+//
+// And asserts the contract from the issue:
+//
+//   1. every accepted request gets exactly one well-formed typed response
+//      (the load clients' transport never drops: connect failures and
+//      dead connections must be zero, because worker death is not
+//      connection death);
+//   2. clean requests (no chaos field) that complete `ok` are
+//      byte-consistent: one mapped_digest per circuit across the whole
+//      run, crashes and retries included;
+//   3. the daemon never exits: it still answers stats after the storm and
+//      acknowledges a graceful shutdown with exit code 0;
+//   4. the chaos actually happened (worker crashes and restarts observed
+//      in the supervision counters) — a harness that quietly stops
+//      injecting faults must fail, not pass.
+//
+//   qfsd_chaos --spawn ./qfsd --seed 2022 --requests 160 --clients 8 a.qasm
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/api.h"
+#include "service/client.h"
+#include "service/flags.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace qfs;
+
+struct ChaosOptions {
+  std::string spawn;            // qfsd binary (required)
+  int clients = 8;
+  int requests = 160;           // total clean+chaotic compile requests
+  int worker_procs = 2;
+  std::uint64_t seed = 2022;
+  double deadline_ms = 8000.0;  // per request; bounds hung-worker recovery
+  int retries = 4;
+  double kill_interval_ms = 150.0;  // cadence of the worker-killer thread
+  double chaos_fraction = 0.15;     // share of requests carrying a directive
+  std::vector<std::string> qasm_paths;
+};
+
+qfs::StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return qfs::invalid_argument("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct ChaosStats {
+  long long ok = 0;
+  long long chaos_sent = 0;        ///< requests carrying a chaos directive
+  long long typed_failures = 0;    ///< non-ok typed responses (expected)
+  long long transport_losses = 0;  ///< INVARIANT: must stay 0 (load clients)
+  long long digest_conflicts = 0;  ///< INVARIANT: must stay 0
+  long long missing_digests = 0;   ///< ok response without a digest
+  long long retries = 0;
+};
+
+/// One load client: its slice of the request schedule through a retrying
+/// Client. Chaos directives ride on seeded request indices.
+void run_load_client(const std::string& endpoint, const ChaosOptions& opts,
+                     const std::vector<service::CompileRequest>& requests,
+                     ChaosStats& stats,
+                     std::map<std::string, std::string>& digest_by_source,
+                     std::mutex& mu) {
+  service::RetryPolicy policy;
+  policy.max_attempts = opts.retries;
+  service::Client client(endpoint, policy);
+  ChaosStats local;
+  std::vector<std::pair<std::string, std::string>> digests;
+  for (const service::CompileRequest& request : requests) {
+    service::RetryStats retry_stats;
+    service::CompileResponse response = client.call(request, &retry_stats);
+    local.retries += retry_stats.retries;
+    if (!request.chaos.empty()) ++local.chaos_sent;
+    // Invariant 1: the daemon must never drop a load-client connection —
+    // worker death is the supervisor's problem, not the socket's. A
+    // response synthesized after transport loss counts against this even
+    // though the client still returned a typed answer.
+    if (retry_stats.connect_failures > 0 ||
+        retry_stats.dropped_connections > 0) {
+      ++local.transport_losses;
+    }
+    if (response.ok()) {
+      ++local.ok;
+      if (request.chaos.empty()) {
+        if (response.mapped_digest.empty()) {
+          ++local.missing_digests;
+        } else {
+          digests.emplace_back(request.source_name, response.mapped_digest);
+        }
+      }
+    } else {
+      ++local.typed_failures;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu);
+  stats.ok += local.ok;
+  stats.chaos_sent += local.chaos_sent;
+  stats.typed_failures += local.typed_failures;
+  stats.transport_losses += local.transport_losses;
+  stats.missing_digests += local.missing_digests;
+  stats.retries += local.retries;
+  // Invariant 2: byte-identical results per circuit, chaos or not.
+  for (const auto& [source, digest] : digests) {
+    auto [it, inserted] = digest_by_source.emplace(source, digest);
+    if (!inserted && it->second != digest) ++stats.digest_conflicts;
+  }
+}
+
+/// The worker killer: every interval, read the live worker pids off the
+/// stats op and SIGKILL one chosen by the seeded Rng.
+void run_worker_killer(const std::string& endpoint, double interval_ms,
+                       std::uint64_t seed, std::atomic<bool>& stop,
+                       std::atomic<long long>& kills) {
+  Rng rng(derive_seed(seed, /*stream=*/2));
+  service::Client client(endpoint);
+  while (!stop.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(interval_ms));
+    auto stats = client.op("stats");
+    if (!stats.is_ok() || !stats.value().is_object()) continue;
+    const JsonValue* sup = stats.value().find("supervisor");
+    if (sup == nullptr || !sup->is_object()) continue;
+    const JsonValue* pids = sup->find("worker_pids");
+    if (pids == nullptr || !pids->is_array() || pids->size() == 0) continue;
+    std::size_t which =
+        static_cast<std::size_t>(rng.uniform_index(pids->size()));
+    if (pids->at(which).is_integer()) {
+      pid_t pid = static_cast<pid_t>(pids->at(which).as_integer());
+      if (pid > 1 && ::kill(pid, SIGKILL) == 0) ++kills;
+    }
+  }
+}
+
+/// The vandal: malformed frames, oversized frames and mid-write
+/// disconnects on throwaway connections. Every complete frame must earn a
+/// typed error response; half frames may simply be dropped with the
+/// connection, but the daemon must survive all of it.
+void run_vandal(const std::string& endpoint, std::uint64_t seed, int rounds,
+                long long& typed_errors, long long& frames_sent) {
+  Rng rng(derive_seed(seed, /*stream=*/3));
+  for (int round = 0; round < rounds; ++round) {
+    std::string error;
+    int fd = service::connect_endpoint(endpoint, error);
+    if (fd < 0) continue;  // transient; the stats probe at the end decides
+    int which = rng.uniform_int(0, 3);
+    if (which == 0) {
+      // Non-JSON garbage and a JSON non-object: one typed error each.
+      for (const char* frame : {"this is not json\n", "[1,2,3]\n"}) {
+        if (!service::send_all(fd, frame)) break;
+        ++frames_sent;
+        std::string line;
+        if (service::LineReader(fd).next(line) &&
+            line.find("\"code\"") != std::string::npos) {
+          ++typed_errors;
+        }
+      }
+    } else if (which == 1) {
+      // Unknown field: typed invalid_request with a did-you-mean.
+      if (service::send_all(fd, "{\"qasm\":\"x\",\"devcie\":\"s17\"}\n")) {
+        ++frames_sent;
+        std::string line;
+        if (service::LineReader(fd).next(line) &&
+            line.find("invalid_request") != std::string::npos) {
+          ++typed_errors;
+        }
+      }
+    } else if (which == 2) {
+      // Oversized source (past --max-request-bytes): typed
+      // resource_exhausted, connection stays up.
+      std::string big(96 * 1024, 'x');
+      std::string frame = "{\"qasm\":\"" + big + "\"}\n";
+      if (service::send_all(fd, frame)) {
+        ++frames_sent;
+        std::string line;
+        if (service::LineReader(fd).next(line) &&
+            line.find("resource_exhausted") != std::string::npos) {
+          ++typed_errors;
+        }
+      }
+    } else {
+      // Mid-write disconnect: half a request line, then hang up. No
+      // response owed; the daemon just must not die (SIGPIPE hardening).
+      service::send_all(fd, "{\"qasm\":\"OPENQASM 2.0; include \\\"qel");
+    }
+    ::close(fd);
+  }
+}
+
+void print_usage() {
+  std::cout <<
+      "usage: qfsd_chaos --spawn <qfsd-binary> [options] input.qasm [...]\n"
+      "\n"
+      "options:\n"
+      "  --spawn <qfsd>        qfsd binary to run supervised + chaos-enabled\n"
+      "  --clients <n>         concurrent load clients          (default 8)\n"
+      "  --requests <n>        total compile requests           (default 160)\n"
+      "  --worker-procs <n>    supervised worker processes      (default 2)\n"
+      "  --seed <s>            master seed for every fault draw (default 2022)\n"
+      "  --deadline-ms <x>     per-request deadline             (default 8000)\n"
+      "  --retries <n>         client attempts per request      (default 4)\n"
+      "  --kill-interval-ms <x>  worker SIGKILL cadence         (default 150)\n"
+      "  --chaos-fraction <f>  share of requests carrying a chaos directive\n"
+      "                        (hang/crash/exit)                (default 0.15)\n"
+      "  --help                this text\n";
+}
+
+const std::vector<std::string>& known_chaos_flags() {
+  static const std::vector<std::string> flags = {
+      "--help",        "--spawn",       "--clients",
+      "--requests",    "--worker-procs", "--seed",
+      "--deadline-ms", "--retries",     "--kill-interval-ms",
+      "--chaos-fraction",
+  };
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "qfsd_chaos: missing value for " << arg << "\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (arg == "--spawn") {
+      opts.spawn = next();
+    } else if (arg == "--clients") {
+      if (!parse_int(next(), opts.clients) || opts.clients < 1) {
+        std::cerr << "qfsd_chaos: bad --clients value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--requests") {
+      if (!parse_int(next(), opts.requests) || opts.requests < 1) {
+        std::cerr << "qfsd_chaos: bad --requests value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--worker-procs") {
+      if (!parse_int(next(), opts.worker_procs) || opts.worker_procs < 1) {
+        std::cerr << "qfsd_chaos: bad --worker-procs value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--seed") {
+      int seed = 0;
+      if (!parse_int(next(), seed) || seed < 0) {
+        std::cerr << "qfsd_chaos: bad --seed value '" << argv[i] << "'\n";
+        return 1;
+      }
+      opts.seed = static_cast<std::uint64_t>(seed);
+    } else if (arg == "--deadline-ms") {
+      if (!parse_double(next(), opts.deadline_ms) || opts.deadline_ms <= 0) {
+        std::cerr << "qfsd_chaos: bad --deadline-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--retries") {
+      if (!parse_int(next(), opts.retries) || opts.retries < 1) {
+        std::cerr << "qfsd_chaos: bad --retries value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--kill-interval-ms") {
+      if (!parse_double(next(), opts.kill_interval_ms) ||
+          opts.kill_interval_ms <= 0) {
+        std::cerr << "qfsd_chaos: bad --kill-interval-ms value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (arg == "--chaos-fraction") {
+      if (!parse_double(next(), opts.chaos_fraction) ||
+          opts.chaos_fraction < 0 || opts.chaos_fraction > 1) {
+        std::cerr << "qfsd_chaos: bad --chaos-fraction value '" << argv[i]
+                  << "'\n";
+        return 1;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "qfsd_chaos: unknown option '" << arg << "'";
+      std::string suggestion = service::suggest_flag(arg, known_chaos_flags());
+      if (!suggestion.empty()) {
+        std::cerr << " (did you mean " << suggestion << "?)";
+      }
+      std::cerr << " (try --help)\n";
+      return 1;
+    } else {
+      opts.qasm_paths.push_back(arg);
+    }
+  }
+  if (opts.spawn.empty() || opts.qasm_paths.empty()) {
+    std::cerr << "qfsd_chaos: need --spawn and at least one input circuit "
+                 "(try --help)\n";
+    return 1;
+  }
+
+  std::vector<std::string> sources;
+  for (const std::string& path : opts.qasm_paths) {
+    auto source = read_file(path);
+    if (!source.is_ok()) {
+      std::cerr << "qfsd_chaos: " << source.status().message() << "\n";
+      return 1;
+    }
+    sources.push_back(std::move(source).value());
+  }
+
+  // A chaos-enabled supervised daemon with a small request-size cap so the
+  // vandal's oversized frames are rejected fast, and a tight restart
+  // window so the kill storm exercises the breaker.
+  service::SpawnedDaemon daemon;
+  std::string error;
+  if (!service::spawn_daemon(
+          opts.spawn,
+          {"--worker-procs", std::to_string(opts.worker_procs),
+           "--enable-chaos", "--max-request-bytes", "65536"},
+          daemon, error)) {
+    std::cerr << "qfsd_chaos: " << error << "\n";
+    return 1;
+  }
+
+  // Build the seeded request schedule: clean compiles with a deterministic
+  // sprinkling of hang/crash/exit directives.
+  Rng schedule_rng(derive_seed(opts.seed, /*stream=*/1));
+  const std::vector<std::string> directives = {"hang", "crash", "exit"};
+  std::vector<std::vector<service::CompileRequest>> per_client(
+      static_cast<std::size_t>(opts.clients));
+  for (int i = 0; i < opts.requests; ++i) {
+    std::size_t which = static_cast<std::size_t>(i) % sources.size();
+    service::CompileRequest request;
+    request.id = "c" + std::to_string(i);
+    request.qasm = sources[which];
+    request.source_name = opts.qasm_paths[which];
+    request.options.compute_latency = true;
+    request.deadline_ms = opts.deadline_ms;
+    if (schedule_rng.bernoulli(opts.chaos_fraction)) {
+      request.chaos = directives[static_cast<std::size_t>(
+          schedule_rng.uniform_index(directives.size()))];
+    }
+    per_client[static_cast<std::size_t>(i) %
+               static_cast<std::size_t>(opts.clients)]
+        .push_back(std::move(request));
+  }
+
+  ChaosStats stats;
+  std::map<std::string, std::string> digest_by_source;
+  std::mutex mu;
+  std::atomic<bool> stop_killer{false};
+  std::atomic<long long> kills{0};
+  long long vandal_typed_errors = 0;
+  long long vandal_frames = 0;
+
+  // Pre-storm warm-up: one clean compile per circuit while nothing is
+  // injecting faults yet. These must all succeed — pinning the ok>0 side of
+  // the contract even if the storm then brownouts every remaining request —
+  // and they seed the digest table the storm's results must stay
+  // byte-identical with.
+  std::vector<service::CompileRequest> warmup;
+  for (std::size_t which = 0; which < sources.size(); ++which) {
+    service::CompileRequest request;
+    request.id = "w" + std::to_string(which);
+    request.qasm = sources[which];
+    request.source_name = opts.qasm_paths[which];
+    request.options.compute_latency = true;
+    request.deadline_ms = opts.deadline_ms;
+    warmup.push_back(std::move(request));
+  }
+  ChaosStats warm_stats;
+  run_load_client(daemon.endpoint, opts, warmup, warm_stats,
+                  digest_by_source, mu);
+
+  std::thread killer([&] {
+    run_worker_killer(daemon.endpoint, opts.kill_interval_ms, opts.seed,
+                      stop_killer, kills);
+  });
+  std::thread vandal([&] {
+    run_vandal(daemon.endpoint, opts.seed, /*rounds=*/24,
+               vandal_typed_errors, vandal_frames);
+  });
+  std::vector<std::thread> clients;
+  clients.reserve(per_client.size());
+  for (const auto& slice : per_client) {
+    clients.emplace_back([&, &slice = slice] {
+      run_load_client(daemon.endpoint, opts, slice, stats, digest_by_source,
+                      mu);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  stop_killer.store(true);
+  killer.join();
+  vandal.join();
+
+  // Invariant 3: the daemon is still alive and answering after the storm.
+  service::Client probe(daemon.endpoint);
+  auto final_stats = probe.op("stats");
+  bool daemon_alive = final_stats.is_ok() && final_stats.value().is_object();
+  long long crashes = 0, restarts = 0, hung_killed = 0, breaker_trips = 0,
+            shed = 0;
+  if (daemon_alive) {
+    const JsonValue* sup = final_stats.value().find("supervisor");
+    if (sup != nullptr && sup->is_object()) {
+      auto count = [&sup](const char* key) -> long long {
+        const JsonValue* v = sup->find(key);
+        return v != nullptr && v->is_integer() ? v->as_integer() : 0;
+      };
+      crashes = count("crashes");
+      restarts = count("restarts");
+      hung_killed = count("hung_killed");
+      breaker_trips = count("breaker_trips");
+      shed = count("shed");
+    }
+  }
+  probe.disconnect();
+  int daemon_rc = service::stop_daemon(daemon);
+
+  long long answered = stats.ok + stats.typed_failures;
+  std::cerr << "qfsd_chaos: warm-up " << warm_stats.ok << "/"
+            << warmup.size() << " ok\n"
+            << "qfsd_chaos: " << answered << "/" << opts.requests
+            << " requests answered (" << stats.ok << " ok, "
+            << stats.typed_failures << " typed failures), "
+            << stats.chaos_sent << " chaos directives, " << stats.retries
+            << " client retries\n"
+            << "qfsd_chaos: " << kills.load() << " worker SIGKILLs, "
+            << crashes << " crashes, " << hung_killed << " hung-killed, "
+            << restarts << " restarts, " << breaker_trips
+            << " breaker trips, " << shed << " shed\n"
+            << "qfsd_chaos: vandal sent " << vandal_frames
+            << " bad frames, " << vandal_typed_errors
+            << " answered with typed errors\n";
+
+  bool violated = false;
+  auto check = [&violated](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "qfsd_chaos: INVARIANT VIOLATED: " << what << "\n";
+      violated = true;
+    }
+  };
+  check(answered == opts.requests,
+        "every accepted request gets exactly one response (" +
+            std::to_string(answered) + "/" + std::to_string(opts.requests) +
+            ")");
+  check(stats.transport_losses == 0,
+        "load-client connections must survive worker death (" +
+            std::to_string(stats.transport_losses) + " transport losses)");
+  check(stats.digest_conflicts == 0,
+        "ok results must be byte-consistent per circuit (" +
+            std::to_string(stats.digest_conflicts) + " digest conflicts)");
+  check(stats.missing_digests == 0,
+        "ok results must carry a mapped digest (" +
+            std::to_string(stats.missing_digests) + " missing)");
+  // The warm-up ran with no faults in flight: anything short of all-ok
+  // there is a real service bug, not storm collateral. (Storm-phase ok
+  // counts are load-dependent and deliberately not an invariant — a full
+  // brownout under a saturated machine is typed, answered, and correct.)
+  check(warm_stats.ok == static_cast<long long>(warmup.size()) &&
+            warm_stats.transport_losses == 0,
+        "pre-storm warm-up compiles all complete ok (" +
+            std::to_string(warm_stats.ok) + "/" +
+            std::to_string(warmup.size()) + ")");
+  check(vandal_typed_errors == vandal_frames,
+        "every complete malformed frame earns a typed error (" +
+            std::to_string(vandal_typed_errors) + "/" +
+            std::to_string(vandal_frames) + ")");
+  check(daemon_alive, "daemon answers stats after the storm");
+  check(daemon_rc == 0, "daemon exits 0 on graceful shutdown (got " +
+                            std::to_string(daemon_rc) + ")");
+  check(kills.load() > 0 || stats.chaos_sent > 0,
+        "chaos was actually injected");
+  check(crashes + hung_killed > 0,
+        "worker deaths were actually observed by the supervisor");
+  check(restarts > 0, "the supervisor actually restarted workers");
+
+  if (violated) return 1;
+  std::cerr << "qfsd_chaos: all invariants held\n";
+  return 0;
+}

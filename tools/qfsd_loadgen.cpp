@@ -1,37 +1,39 @@
-// qfsd_loadgen — bursty concurrent load generator and wire client for qfsd.
+// qfsd_loadgen — load generator and wire client for qfsd.
 //
-// Three modes:
+// Modes:
 //
-//   Load (default): N client connections fire a total request budget at the
-//   daemon in pipelined bursts, match responses by id, and report p50/p99
-//   latency, throughput and cache-hit counts — optionally as BENCH_service
-//   JSON. Exit code 0 only when every connection survived and every
-//   response came back ok.
+//   Closed-loop load (default): N client connections fire a total request
+//   budget at the daemon in pipelined bursts, match responses by id, and
+//   report p50/p99 latency, throughput and cache-hit counts — optionally
+//   as BENCH_service JSON. Self-throttled: a slow daemon slows the
+//   clients, so overload never shows up in the tail. Exit code 0 only
+//   when every connection survived and every response came back ok.
+//
+//   Open-loop load (--rate R): requests arrive on a fixed schedule of R
+//   per second regardless of how fast the daemon answers, and latency is
+//   measured from each request's *scheduled* arrival time (wrk2-style, so
+//   queueing delay under overload is charged to the tail instead of being
+//   silently absorbed — no coordinated omission). Overload shows up as
+//   shed/deadline-expired counts, which are reported and recorded but are
+//   not failures.
 //
 //   --once <file>: send one compile request and print the response's
 //   "metrics" document verbatim, pretty-printed. Byte-identical to
 //   `qfsc --emit-json` stdout for the same flags — the cross-entrypoint
 //   contract pinned by tools/service_contract_test.cmake.
 //
-//   --spawn <qfsd>: fork/exec a private daemon on a scratch Unix socket,
-//   wait for it to answer ping, run the selected mode against it, then ask
-//   it to shut down and reap it. Makes ctest self-contained: no daemon
-//   orchestration outside this process.
+//   --spawn <qfsd>: fork/exec a private daemon on a scratch Unix socket
+//   (forwarding every --spawn-arg), run the selected mode against it, then
+//   ask it to shut down and reap it. Makes ctest self-contained.
 //
-//   qfsd_loadgen --spawn $(which qfsd) --clients 8 --requests 100 a.qasm b.qasm
-//   qfsd_loadgen --connect unix:/tmp/qfsd.sock --clients 4 --requests 40 x.qasm
-//   qfsd_loadgen --spawn ./qfsd --once qft4.qasm --device surface17
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <sys/wait.h>
+//   qfsd_loadgen --spawn $(which qfsd) --clients 8 --requests 100 a.qasm
+//   qfsd_loadgen --spawn ./qfsd --spawn-arg --worker-procs --spawn-arg 2 \
+//                --rate 200 --requests 400 --retries 3 a.qasm
+//   qfsd_loadgen --connect unix:/tmp/qfsd.sock --once qft4.qasm
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <mutex>
@@ -41,6 +43,7 @@
 #include <vector>
 
 #include "service/api.h"
+#include "service/client.h"
 #include "service/flags.h"
 #include "support/json.h"
 #include "support/status.h"
@@ -57,182 +60,19 @@ double ms_since(Clock::time_point start) {
 }
 
 // ---------------------------------------------------------------------------
-// Wire client: connect, send lines, read framed responses.
-// ---------------------------------------------------------------------------
-
-int connect_endpoint(const std::string& spec, std::string& error) {
-  if (starts_with(spec, "unix:")) {
-    std::string path = spec.substr(5);
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
-      error = "bad unix socket path '" + path + "'";
-      return -1;
-    }
-    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
-    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                            sizeof(addr)) != 0) {
-      error = std::string("connect '") + path + "': " + std::strerror(errno);
-      if (fd >= 0) ::close(fd);
-      return -1;
-    }
-    return fd;
-  }
-  if (starts_with(spec, "tcp:")) {
-    // Accept both "tcp:<port>" and "tcp:127.0.0.1:<port>" (the form a
-    // daemon prints as its endpoint).
-    std::string rest = spec.substr(4);
-    std::string host = "127.0.0.1";
-    std::size_t colon = rest.rfind(':');
-    if (colon != std::string::npos) {
-      host = rest.substr(0, colon);
-      rest = rest.substr(colon + 1);
-    }
-    int port = 0;
-    if (!parse_int(rest, port) || port < 1 || port > 65535) {
-      error = "bad tcp port in '" + spec + "'";
-      return -1;
-    }
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(static_cast<std::uint16_t>(port));
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-      error = "bad tcp host in '" + spec + "'";
-      return -1;
-    }
-    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0 || ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
-                            sizeof(addr)) != 0) {
-      error = "connect '" + spec + "': " + std::strerror(errno);
-      if (fd >= 0) ::close(fd);
-      return -1;
-    }
-    return fd;
-  }
-  error = "bad endpoint '" + spec + "' (expected unix:<path> or tcp:<port>)";
-  return -1;
-}
-
-bool send_all(int fd, const std::string& text) {
-  std::size_t sent = 0;
-  while (sent < text.size()) {
-    ssize_t n =
-        ::send(fd, text.data() + sent, text.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Buffered line reader over a socket.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_(fd) {}
-
-  /// Next '\n'-terminated line (without the newline); false on EOF/error.
-  bool next(std::string& line) {
-    for (;;) {
-      std::size_t nl = buffer_.find('\n');
-      if (nl != std::string::npos) {
-        line = buffer_.substr(0, nl);
-        buffer_.erase(0, nl + 1);
-        return true;
-      }
-      char chunk[64 * 1024];
-      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return false;
-      buffer_.append(chunk, static_cast<std::size_t>(n));
-    }
-  }
-
- private:
-  int fd_;
-  std::string buffer_;
-};
-
-// ---------------------------------------------------------------------------
-// Daemon lifecycle (--spawn)
-// ---------------------------------------------------------------------------
-
-struct SpawnedDaemon {
-  pid_t pid = -1;
-  std::string endpoint;
-};
-
-bool spawn_daemon(const std::string& qfsd_path, SpawnedDaemon& out,
-                  std::string& error) {
-  std::string socket_path =
-      "/tmp/qfsd-loadgen-" + std::to_string(::getpid()) + ".sock";
-  out.endpoint = "unix:" + socket_path;
-  pid_t pid = ::fork();
-  if (pid < 0) {
-    error = std::string("fork: ") + std::strerror(errno);
-    return false;
-  }
-  if (pid == 0) {
-    std::string listen = "unix:" + socket_path;
-    ::execl(qfsd_path.c_str(), qfsd_path.c_str(), "--listen", listen.c_str(),
-            static_cast<char*>(nullptr));
-    std::cerr << "qfsd_loadgen: exec '" << qfsd_path
-              << "': " << std::strerror(errno) << "\n";
-    ::_exit(127);
-  }
-  out.pid = pid;
-  // The daemon is up once it answers a ping on its socket.
-  for (int attempt = 0; attempt < 200; ++attempt) {
-    std::string connect_error;
-    int fd = connect_endpoint(out.endpoint, connect_error);
-    if (fd >= 0) {
-      bool ok = send_all(fd, "{\"op\":\"ping\"}\n");
-      std::string line;
-      LineReader reader(fd);
-      ok = ok && reader.next(line) && line.find("\"ok\"") != std::string::npos;
-      ::close(fd);
-      if (ok) return true;
-    }
-    int wait_status = 0;
-    if (::waitpid(pid, &wait_status, WNOHANG) == pid) {
-      error = "daemon exited before accepting connections";
-      return false;
-    }
-    ::usleep(25 * 1000);
-  }
-  error = "daemon never answered ping on " + out.endpoint;
-  return false;
-}
-
-int stop_daemon(const SpawnedDaemon& daemon) {
-  std::string error;
-  int fd = connect_endpoint(daemon.endpoint, error);
-  if (fd >= 0) {
-    send_all(fd, "{\"op\":\"shutdown\"}\n");
-    std::string line;
-    LineReader(fd).next(line);  // wait for the ack so the drain has begun
-    ::close(fd);
-  } else {
-    ::kill(daemon.pid, SIGTERM);
-  }
-  int wait_status = 0;
-  ::waitpid(daemon.pid, &wait_status, 0);
-  return WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : 128;
-}
-
-// ---------------------------------------------------------------------------
-// Request construction
+// Options and request construction
 // ---------------------------------------------------------------------------
 
 struct LoadgenOptions {
   std::string connect;          // existing endpoint ("" = need --spawn)
   std::string spawn;            // path to a qfsd binary to run privately
+  std::vector<std::string> spawn_args;  // forwarded to the spawned daemon
   std::string once_path;        // --once: single-request contract mode
   int clients = 8;
   int requests = 100;           // total across all clients
-  int burst = 4;                // pipelined requests per write burst
+  int burst = 4;                // closed-loop: pipelined requests per burst
+  double rate = 0.0;            // > 0: open-loop arrivals per second
+  int retries = 1;              // client attempts per request (1 = no retry)
   double deadline_ms = -1.0;
   bool require_warm_hits = false;
   std::string bench_json;       // "" = don't write
@@ -265,55 +105,80 @@ service::CompileRequest base_request(const LoadgenOptions& opts,
   return request;
 }
 
+service::RetryPolicy retry_policy(const LoadgenOptions& opts) {
+  service::RetryPolicy policy;
+  policy.max_attempts = opts.retries;
+  return policy;
+}
+
 // ---------------------------------------------------------------------------
-// Modes
+// Server-side stats surfacing (supervision counters)
 // ---------------------------------------------------------------------------
 
-/// --once: one request, metrics printed verbatim (the byte-identity mode).
+/// Fetch {"op":"stats"} and print/collect the supervision counters the PR's
+/// satellite asks for. Returns the raw stats doc (null JsonValue on error).
+JsonValue fetch_stats(const std::string& endpoint) {
+  service::Client client(endpoint);
+  auto stats = client.op("stats");
+  if (!stats.is_ok()) return JsonValue::null();
+  return std::move(stats).value();
+}
+
+void report_server_stats(const JsonValue& stats) {
+  if (!stats.is_object()) return;
+  const JsonValue* server = stats.find("server");
+  if (server != nullptr && server->is_object()) {
+    const JsonValue* retries = server->find("retries_observed");
+    if (retries != nullptr && retries->is_integer()) {
+      std::cerr << "qfsd_loadgen: server observed " << retries->as_integer()
+                << " retried requests\n";
+    }
+  }
+  const JsonValue* sup = stats.find("supervisor");
+  if (sup != nullptr && sup->is_object()) {
+    auto count = [&sup](const char* key) -> long long {
+      const JsonValue* v = sup->find(key);
+      return v != nullptr && v->is_integer() ? v->as_integer() : 0;
+    };
+    std::cerr << "qfsd_loadgen: supervisor: " << count("restarts")
+              << " worker restarts (" << count("crashes") << " crashes, "
+              << count("hung_killed") << " hung-killed), "
+              << count("breaker_trips") << " breaker trips, "
+              << count("shed") << " requests shed\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --once (byte-identity mode)
+// ---------------------------------------------------------------------------
+
 int run_once(const LoadgenOptions& opts, const std::string& endpoint) {
   auto source = read_file(opts.once_path);
   if (!source.is_ok()) {
     std::cerr << "qfsd_loadgen: " << source.status().message() << "\n";
     return 1;
   }
-  std::string error;
-  int fd = connect_endpoint(endpoint, error);
-  if (fd < 0) {
-    std::cerr << "qfsd_loadgen: " << error << "\n";
-    return 1;
-  }
   service::CompileRequest request =
       base_request(opts, std::move(source).value(), opts.once_path);
   request.id = "once";
-  bool sent = send_all(fd, service::request_to_json(request).to_string() + "\n");
-  std::string line;
-  bool got = sent && LineReader(fd).next(line);
-  ::close(fd);
-  if (!got) {
+  service::Client client(endpoint, retry_policy(opts));
+  service::RetryStats retry_stats;
+  service::CompileResponse response = client.call(request, &retry_stats);
+  if (client.last_response_line().empty()) {
     std::cerr << "qfsd_loadgen: connection dropped before a response\n";
     return 1;
   }
-  auto json = JsonValue::parse(line);
-  if (!json.is_ok()) {
-    std::cerr << "qfsd_loadgen: bad response: " << json.status().to_string()
-              << "\n";
-    return 1;
-  }
-  auto response = service::response_from_json(json.value());
-  if (!response.is_ok()) {
-    std::cerr << "qfsd_loadgen: bad response: "
-              << response.status().to_string() << "\n";
-    return 1;
-  }
-  if (!response.value().ok()) {
-    std::cerr << "qfsd_loadgen: "
-              << service::error_code_name(response.value().code) << ": "
-              << response.value().error_message << "\n";
-    return service::exit_code_for(response.value().code);
+  if (!response.ok()) {
+    std::cerr << "qfsd_loadgen: " << service::error_code_name(response.code)
+              << ": " << response.error_message << "\n";
+    return service::exit_code_for(response.code);
   }
   // Print the wire document verbatim (not a re-encoded struct): this is
   // exactly what `qfsc --emit-json` prints for the same compile.
-  const JsonValue* metrics = json.value().find("metrics");
+  auto json = JsonValue::parse(client.last_response_line());
+  const JsonValue* metrics =
+      json.is_ok() && json.value().is_object() ? json.value().find("metrics")
+                                               : nullptr;
   if (metrics == nullptr) {
     std::cerr << "qfsd_loadgen: response carries no metrics\n";
     return 1;
@@ -322,27 +187,76 @@ int run_once(const LoadgenOptions& opts, const std::string& endpoint) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Load statistics
+// ---------------------------------------------------------------------------
+
 struct LoadStats {
   std::vector<double> latencies_ms;
   long long ok = 0;
-  long long failed = 0;
+  long long failed = 0;           ///< every non-ok response
+  long long shed = 0;             ///< ...of which resource_exhausted
+  long long deadline_expired = 0; ///< ...of which deadline_exceeded
   long long cache_hits = 0;
+  long long retries = 0;          ///< client-side retry attempts
   long long dropped_connections = 0;
 };
 
+void merge_into(LoadStats& stats, std::mutex& mu, LoadStats local) {
+  std::lock_guard<std::mutex> lock(mu);
+  stats.ok += local.ok;
+  stats.failed += local.failed;
+  stats.shed += local.shed;
+  stats.deadline_expired += local.deadline_expired;
+  stats.cache_hits += local.cache_hits;
+  stats.retries += local.retries;
+  stats.dropped_connections += local.dropped_connections;
+  stats.latencies_ms.insert(stats.latencies_ms.end(),
+                            local.latencies_ms.begin(),
+                            local.latencies_ms.end());
+}
+
+void count_response(LoadStats& local, const service::CompileResponse& resp) {
+  if (resp.ok()) {
+    ++local.ok;
+  } else {
+    ++local.failed;
+    if (resp.code == service::ErrorCode::kResourceExhausted) ++local.shed;
+    if (resp.code == service::ErrorCode::kDeadlineExceeded) {
+      ++local.deadline_expired;
+    }
+  }
+  if (resp.cache_hit) ++local.cache_hits;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+// ---------------------------------------------------------------------------
+// Closed-loop mode (pipelined bursts, self-throttled)
+// ---------------------------------------------------------------------------
+
 /// One client connection: its slice of the request budget, sent in
-/// pipelined bursts, responses matched by id.
-void run_client(const std::string& endpoint,
-                const std::vector<service::CompileRequest>& requests,
-                int burst, LoadStats& stats, std::mutex& stats_mu) {
+/// pipelined bursts, responses matched by id. Raw sockets rather than the
+/// retrying Client: pipelining needs out-of-order completion, and the
+/// closed-loop contract ("every request answered ok") wants failures
+/// surfaced, not retried away.
+void run_client_closed(const std::string& endpoint,
+                       const std::vector<service::CompileRequest>& requests,
+                       int burst, LoadStats& stats, std::mutex& stats_mu) {
   std::string error;
-  int fd = connect_endpoint(endpoint, error);
+  int fd = service::connect_endpoint(endpoint, error);
   if (fd < 0) {
     std::lock_guard<std::mutex> lock(stats_mu);
     ++stats.dropped_connections;
     return;
   }
-  LineReader reader(fd);
+  service::LineReader reader(fd);
   LoadStats local;
   std::size_t next_to_send = 0;
   std::vector<std::pair<std::string, Clock::time_point>> inflight;
@@ -355,7 +269,7 @@ void run_client(const std::string& endpoint,
       std::string line = service::request_to_json(request).to_string() + "\n";
       inflight.emplace_back(request.id, Clock::now());
       ++next_to_send;
-      if (!send_all(fd, line)) {
+      if (!service::send_all(fd, line)) {
         alive = false;
         ++local.dropped_connections;
         break;
@@ -372,23 +286,19 @@ void run_client(const std::string& endpoint,
         break;
       }
       auto json = JsonValue::parse(line);
-      std::string id;
-      bool ok = false;
-      bool cache_hit = false;
-      if (json.is_ok() && json.value().is_object()) {
-        const JsonValue* id_field = json.value().find("id");
-        if (id_field != nullptr && id_field->is_string()) {
-          id = id_field->as_string();
-        }
-        const JsonValue* ok_field = json.value().find("ok");
-        ok = ok_field != nullptr && ok_field->is_bool() && ok_field->as_bool();
-        const JsonValue* hit_field = json.value().find("cache_hit");
-        cache_hit = hit_field != nullptr && hit_field->is_bool() &&
-                    hit_field->as_bool();
+      auto decoded =
+          json.is_ok() && json.value().is_object()
+              ? service::response_from_json(json.value())
+              : qfs::StatusOr<service::CompileResponse>(
+                    qfs::parse_error("malformed response line"));
+      if (!decoded.is_ok()) {
+        ++local.failed;  // unframed garbage: count it, keep draining
+        continue;
       }
+      const service::CompileResponse& resp = decoded.value();
       auto it = std::find_if(inflight.begin(), inflight.end(),
-                             [&id](const auto& entry) {
-                               return entry.first == id;
+                             [&resp](const auto& entry) {
+                               return entry.first == resp.id;
                              });
       if (it == inflight.end()) {
         ++local.failed;  // unmatched response: count it, keep draining
@@ -396,33 +306,51 @@ void run_client(const std::string& endpoint,
       }
       local.latencies_ms.push_back(ms_since(it->second));
       inflight.erase(it);
-      if (ok) {
-        ++local.ok;
-      } else {
-        ++local.failed;
-      }
-      if (cache_hit) ++local.cache_hits;
+      count_response(local, resp);
     }
   }
   local.failed += static_cast<long long>(inflight.size());
   ::close(fd);
-  std::lock_guard<std::mutex> lock(stats_mu);
-  stats.ok += local.ok;
-  stats.failed += local.failed;
-  stats.cache_hits += local.cache_hits;
-  stats.dropped_connections += local.dropped_connections;
-  stats.latencies_ms.insert(stats.latencies_ms.end(),
-                            local.latencies_ms.begin(),
-                            local.latencies_ms.end());
+  merge_into(stats, stats_mu, std::move(local));
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  std::size_t index = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(index, values.size() - 1)];
+// ---------------------------------------------------------------------------
+// Open-loop mode (fixed arrival rate)
+// ---------------------------------------------------------------------------
+
+/// One open-loop client thread: its interleaved slice of the global
+/// arrival schedule, one blocking (retrying) call per scheduled request.
+/// Latency runs from the scheduled arrival, so time spent waiting behind
+/// an overloaded daemon counts against the tail.
+void run_client_open(const std::string& endpoint,
+                     const std::vector<service::CompileRequest>& requests,
+                     const std::vector<double>& scheduled_ms,
+                     Clock::time_point start,
+                     const service::RetryPolicy& policy, LoadStats& stats,
+                     std::mutex& stats_mu) {
+  service::Client client(endpoint, policy);
+  LoadStats local;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    double wait_ms = scheduled_ms[i] - ms_since(start);
+    if (wait_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(wait_ms));
+    }
+    service::RetryStats retry_stats;
+    service::CompileResponse response =
+        client.call(requests[i], &retry_stats);
+    local.latencies_ms.push_back(ms_since(start) - scheduled_ms[i]);
+    local.retries += retry_stats.retries;
+    local.dropped_connections +=
+        retry_stats.connect_failures + retry_stats.dropped_connections;
+    count_response(local, response);
+  }
+  merge_into(stats, stats_mu, std::move(local));
 }
+
+// ---------------------------------------------------------------------------
+// Load driver (both modes)
+// ---------------------------------------------------------------------------
 
 int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
   // Materialise the request schedule up front: round-robin over the input
@@ -437,26 +365,41 @@ int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
     }
     sources.push_back(std::move(source).value());
   }
+  const bool open_loop = opts.rate > 0.0;
   std::vector<std::vector<service::CompileRequest>> per_client(
+      static_cast<std::size_t>(opts.clients));
+  std::vector<std::vector<double>> per_client_schedule(
       static_cast<std::size_t>(opts.clients));
   for (int i = 0; i < opts.requests; ++i) {
     std::size_t which = static_cast<std::size_t>(i) % sources.size();
     service::CompileRequest request = base_request(
         opts, sources[which], opts.qasm_paths[which]);
     request.id = "r" + std::to_string(i);
-    per_client[static_cast<std::size_t>(i) %
-               static_cast<std::size_t>(opts.clients)]
-        .push_back(std::move(request));
+    std::size_t slot = static_cast<std::size_t>(i) %
+                       static_cast<std::size_t>(opts.clients);
+    per_client[slot].push_back(std::move(request));
+    if (open_loop) {
+      // Deterministic fixed-rate arrivals: request i is due at i/rate.
+      per_client_schedule[slot].push_back(1000.0 * static_cast<double>(i) /
+                                          opts.rate);
+    }
   }
 
   LoadStats stats;
   std::mutex stats_mu;
+  service::RetryPolicy policy = retry_policy(opts);
   Clock::time_point start = Clock::now();
   std::vector<std::thread> clients;
   clients.reserve(per_client.size());
-  for (const auto& slice : per_client) {
-    clients.emplace_back([&endpoint, &slice, &opts, &stats, &stats_mu] {
-      run_client(endpoint, slice, opts.burst, stats, stats_mu);
+  for (std::size_t c = 0; c < per_client.size(); ++c) {
+    clients.emplace_back([&, c] {
+      if (open_loop) {
+        run_client_open(endpoint, per_client[c], per_client_schedule[c],
+                        start, policy, stats, stats_mu);
+      } else {
+        run_client_closed(endpoint, per_client[c], opts.burst, stats,
+                          stats_mu);
+      }
     });
   }
   for (std::thread& t : clients) t.join();
@@ -467,23 +410,37 @@ int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
   double throughput =
       wall_ms > 0.0 ? 1000.0 * static_cast<double>(stats.ok) / wall_ms : 0.0;
 
-  std::cerr << "qfsd_loadgen: " << stats.ok << "/" << opts.requests
-            << " ok, " << stats.failed << " failed, "
+  std::cerr << "qfsd_loadgen: " << (open_loop ? "open-loop @" : "closed-loop")
+            << (open_loop ? " " + format_double(opts.rate, 1) + " req/s"
+                          : std::string())
+            << ": " << stats.ok << "/" << opts.requests << " ok, "
+            << stats.failed << " failed (" << stats.shed << " shed, "
+            << stats.deadline_expired << " deadline), "
             << stats.dropped_connections << " dropped connections, "
-            << stats.cache_hits << " cache hits\n"
+            << stats.retries << " retries, " << stats.cache_hits
+            << " cache hits\n"
             << "qfsd_loadgen: p50 " << format_double(p50, 3) << " ms, p99 "
             << format_double(p99, 3) << " ms, "
             << format_double(throughput, 1) << " req/s over "
             << format_double(wall_ms, 1) << " ms\n";
 
+  JsonValue server_stats = fetch_stats(endpoint);
+  report_server_stats(server_stats);
+
   if (!opts.bench_json.empty()) {
     JsonValue doc = JsonValue::object();
     doc.set("bench", JsonValue::string("service"))
+        .set("mode", JsonValue::string(open_loop ? "open" : "closed"))
         .set("clients", JsonValue::integer(opts.clients))
         .set("requests", JsonValue::integer(opts.requests))
         .set("burst", JsonValue::integer(opts.burst))
+        .set("rate_rps", JsonValue::number(opts.rate))
         .set("ok", JsonValue::integer(stats.ok))
         .set("failed", JsonValue::integer(stats.failed))
+        .set("shed", JsonValue::integer(stats.shed))
+        .set("deadline_expired",
+             JsonValue::integer(stats.deadline_expired))
+        .set("retries", JsonValue::integer(stats.retries))
         .set("dropped_connections",
              JsonValue::integer(stats.dropped_connections))
         .set("cache_hits", JsonValue::integer(stats.cache_hits))
@@ -491,6 +448,13 @@ int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
         .set("p99_ms", JsonValue::number(p99))
         .set("throughput_rps", JsonValue::number(throughput))
         .set("wall_ms", JsonValue::number(wall_ms));
+    if (server_stats.is_object()) {
+      const JsonValue* sup = server_stats.find("supervisor");
+      if (sup != nullptr && sup->is_object()) {
+        JsonValue copy = *sup;
+        doc.set("supervisor", std::move(copy));
+      }
+    }
     std::ofstream out(opts.bench_json);
     if (!out) {
       std::cerr << "qfsd_loadgen: cannot write '" << opts.bench_json << "'\n";
@@ -499,9 +463,20 @@ int run_load(const LoadgenOptions& opts, const std::string& endpoint) {
     out << doc.to_pretty_string() << "\n";
   }
 
-  if (stats.dropped_connections > 0 || stats.failed > 0 ||
-      stats.ok != opts.requests) {
-    return 1;
+  if (open_loop) {
+    // Under deliberate overload sheds and expired deadlines are the signal
+    // being measured, not a failure; hard failures and transport losses
+    // still are.
+    long long hard_failed =
+        stats.failed - stats.shed - stats.deadline_expired;
+    if (stats.dropped_connections > 0 || hard_failed > 0 || stats.ok == 0) {
+      return 1;
+    }
+  } else {
+    if (stats.dropped_connections > 0 || stats.failed > 0 ||
+        stats.ok != opts.requests) {
+      return 1;
+    }
   }
   if (opts.require_warm_hits && stats.cache_hits == 0) {
     std::cerr << "qfsd_loadgen: expected warm cache hits, saw none\n";
@@ -519,11 +494,21 @@ void print_usage() {
       "  --connect <spec>  endpoint of a running daemon (unix:<path> or\n"
       "                    tcp:<port>)\n"
       "  --spawn <qfsd>    run a private daemon for the duration\n"
+      "  --spawn-arg <a>   extra argument for the spawned daemon\n"
+      "                    (repeatable, e.g. --spawn-arg --worker-procs\n"
+      "                    --spawn-arg 2)\n"
       "  --once <file>     send one request; print its metrics JSON verbatim\n"
       "                    (byte-identical to `qfsc --emit-json`)\n"
       "  --clients <n>     concurrent client connections      (default 8)\n"
       "  --requests <n>    total requests across clients      (default 100)\n"
-      "  --burst <n>       pipelined requests per connection  (default 4)\n"
+      "  --burst <n>       closed-loop: pipelined requests per connection\n"
+      "                    (default 4)\n"
+      "  --rate <r>        open-loop mode: fixed arrival rate in requests\n"
+      "                    per second; latency measured from the scheduled\n"
+      "                    arrival (default 0 = closed loop)\n"
+      "  --retries <n>     client attempts per request, retrying only\n"
+      "                    connect/internal/resource_exhausted and never\n"
+      "                    past the deadline                  (default 1)\n"
       "  --deadline-ms <x> per-request deadline               (default none)\n"
       "  --require-warm-hits  fail unless the daemon reports cache hits\n"
       "  --bench-json <f>  write the load report as JSON to <f>\n"
@@ -533,9 +518,10 @@ void print_usage() {
 
 const std::vector<std::string>& known_loadgen_flags() {
   static const std::vector<std::string> flags = {
-      "--help",     "--connect", "--spawn",
+      "--help",     "--connect", "--spawn",   "--spawn-arg",
       "--once",     "--clients", "--requests",
-      "--burst",    "--deadline-ms", "--require-warm-hits",
+      "--burst",    "--rate",    "--retries",
+      "--deadline-ms", "--require-warm-hits",
       "--bench-json",
   };
   return flags;
@@ -572,6 +558,8 @@ int main(int argc, char** argv) {
       opts.connect = next();
     } else if (arg == "--spawn") {
       opts.spawn = next();
+    } else if (arg == "--spawn-arg") {
+      opts.spawn_args.push_back(next());
     } else if (arg == "--once") {
       opts.once_path = next();
     } else if (arg == "--clients") {
@@ -588,6 +576,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--burst") {
       if (!parse_int(next(), opts.burst) || opts.burst < 1) {
         std::cerr << "qfsd_loadgen: bad --burst value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--rate") {
+      if (!parse_double(next(), opts.rate) || opts.rate < 0) {
+        std::cerr << "qfsd_loadgen: bad --rate value '" << argv[i] << "'\n";
+        return 1;
+      }
+    } else if (arg == "--retries") {
+      if (!parse_int(next(), opts.retries) || opts.retries < 1) {
+        std::cerr << "qfsd_loadgen: bad --retries value '" << argv[i]
+                  << "'\n";
         return 1;
       }
     } else if (arg == "--deadline-ms") {
@@ -623,11 +622,11 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  SpawnedDaemon daemon;
+  service::SpawnedDaemon daemon;
   std::string endpoint = opts.connect;
   if (!opts.spawn.empty()) {
     std::string error;
-    if (!spawn_daemon(opts.spawn, daemon, error)) {
+    if (!service::spawn_daemon(opts.spawn, opts.spawn_args, daemon, error)) {
       std::cerr << "qfsd_loadgen: " << error << "\n";
       return 1;
     }
@@ -638,7 +637,7 @@ int main(int argc, char** argv) {
                                   : run_once(opts, endpoint);
 
   if (daemon.pid > 0) {
-    int daemon_rc = stop_daemon(daemon);
+    int daemon_rc = service::stop_daemon(daemon);
     if (daemon_rc != 0) {
       std::cerr << "qfsd_loadgen: daemon exited with code " << daemon_rc
                 << "\n";

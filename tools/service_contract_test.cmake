@@ -4,8 +4,17 @@
 #
 # Expects: -DQFSC=<qfsc> -DQFSD=<qfsd> -DLOADGEN=<qfsd_loadgen>
 #          -DINPUTS=<qasm;files> [-DFLAGS=<shared;request;flags>]
+#          [-DSPAWN_ARGS=<args;for;the;spawned;daemon>] (e.g. supervised
+#          mode: "--worker-procs;2" — the identity contract must hold with
+#          compilations running in child worker processes too)
 if(NOT DEFINED FLAGS)
   set(FLAGS "")
+endif()
+set(spawn_arg_flags "")
+if(DEFINED SPAWN_ARGS)
+  foreach(spawn_arg ${SPAWN_ARGS})
+    list(APPEND spawn_arg_flags --spawn-arg ${spawn_arg})
+  endforeach()
 endif()
 
 foreach(input ${INPUTS})
@@ -20,7 +29,8 @@ foreach(input ${INPUTS})
   endif()
 
   execute_process(
-    COMMAND ${LOADGEN} --spawn ${QFSD} --once ${input} ${FLAGS}
+    COMMAND ${LOADGEN} --spawn ${QFSD} ${spawn_arg_flags} --once ${input}
+            ${FLAGS}
     OUTPUT_VARIABLE daemon_out
     ERROR_VARIABLE daemon_err
     RESULT_VARIABLE daemon_rc)
