@@ -3,6 +3,7 @@
 // and a noise-aware router. This bench quantifies what better routing buys
 // on the same suite/device — the "hardware-aware compilation" side of the
 // paper's co-design argument.
+#include <cstdlib>
 #include <iostream>
 
 #include "common.h"
@@ -11,8 +12,28 @@
 
 using namespace qfs;
 
+namespace {
+
+int parse_int_flag(int argc, char** argv, const std::string& flag,
+                   int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (argv[i] == flag) {
+      int value = 0;
+      if (!qfs::parse_int(argv[i + 1], value) || value < 0) {
+        std::cerr << "bench_ablation_routers: bad value for " << flag << "\n";
+        std::exit(1);
+      }
+      return value;
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const int jobs = bench::request_flags(argc, argv).jobs;
+  const int max_gates = parse_int_flag(argc, argv, "--max-gates", 1500);
   std::cout << "=== Ablation: routers (surface-97, trivial placement) ===\n\n";
 
   device::Device dev = device::surface97_device();
@@ -36,7 +57,7 @@ int main(int argc, char** argv) {
     config.suite.random_count = 30;
     config.suite.real_count = 30;
     config.suite.reversible_count = 15;
-    config.suite.max_gates = 1500;
+    config.suite.max_gates = max_gates;
     config.mapping.router = router;
     std::cerr << router << " ";
     auto rows = bench::run_suite(dev, config);

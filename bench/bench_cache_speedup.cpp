@@ -8,7 +8,6 @@
 //      0 disables the timing assertion for load-sensitive CI runners).
 //
 //   bench_cache_speedup [--jobs N] [--min-speedup X] [--max-gates N]
-#include <chrono>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -18,6 +17,7 @@
 #include "common.h"
 #include "report/table.h"
 #include "support/strings.h"
+#include "support/timer.h"
 
 using namespace qfs;
 
@@ -58,12 +58,11 @@ TimedRun timed_suite_run(const device::Device& device,
                          bench::SuiteRunConfig config,
                          cache::CompileCache& cache) {
   config.cache = &cache;
-  auto start = std::chrono::steady_clock::now();
+  qfs::StopWatch watch;
   auto rows = bench::run_suite(device, config);
-  auto stop = std::chrono::steady_clock::now();
   TimedRun run;
+  run.seconds = watch.elapsed_seconds();
   run.csv = bench::suite_rows_to_csv(rows);
-  run.seconds = std::chrono::duration<double>(stop - start).count();
   run.stats = cache.stats();
   return run;
 }

@@ -1,0 +1,485 @@
+// Compile hot-path harness: times each pipeline phase (decompose, place,
+// route, schedule, full pipeline, cache store/hit) per circuit class on
+// surface-97 and appends machine-readable rows to BENCH_compile.json, the
+// perf trajectory the hot-path work is pinned against (DESIGN.md §13).
+//
+// Rows are append-only: each invocation adds one row per (class, phase)
+// under --label, and every new row that has a predecessor with the same
+// (class, phase) but a *different* label records a speedup_vs delta against
+// it — the before/after evidence for an optimization lands in the file
+// itself. Each row also carries a digest of the serialized MappingResult
+// (pipeline phase) or routed circuit (routing phases), so cross-label
+// byte-identity of compiler output is checkable straight from the JSON.
+//
+//   bench_compile_hotpath --label NAME [--out FILE] [--repeat N] [--smoke]
+//                         [--validate] [--floor-route-kgps X]
+//
+//   --label NAME            row label (e.g. "seed-ir", "flat-ir"); required
+//   --out FILE              JSON file to append to (default BENCH_compile.json)
+//   --repeat N              timed repetitions per phase; the median is
+//                           recorded (default 3)
+//   --smoke                 small shapes + repeat 1 (CI perf-smoke job)
+//   --fresh                 start a new file instead of appending (ctest)
+//   --validate              re-parse the written file and check the schema
+//   --floor-route-kgps X    fail (exit 1) unless lookahead routing sustains
+//                           at least X kilogates/s on the densest random
+//                           class — the ctest regression floor for the
+//                           routing inner loop (0 disables; default 0)
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cache/artifact.h"
+#include "cache/cache.h"
+#include "cache/fingerprint.h"
+#include "common.h"
+#include "compiler/decompose.h"
+#include "compiler/schedule.h"
+#include "device/device.h"
+#include "mapper/pipeline.h"
+#include "mapper/placement.h"
+#include "mapper/routing.h"
+#include "qasm/writer.h"
+#include "report/table.h"
+#include "stats/descriptive.h"
+#include "support/hash.h"
+#include "support/json.h"
+#include "support/rng.h"
+#include "support/strings.h"
+#include "support/timer.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+using namespace qfs;
+
+namespace {
+
+constexpr int kSchemaVersion = 1;
+
+struct Options {
+  std::string label;
+  std::string out = "BENCH_compile.json";
+  int repeat = 3;
+  bool smoke = false;
+  bool fresh = false;
+  bool validate = false;
+  double floor_route_kgps = 0.0;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_compile_hotpath: " << flag << " needs a value\n";
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--label") {
+      opts.label = value("--label");
+    } else if (arg == "--out") {
+      opts.out = value("--out");
+    } else if (arg == "--repeat") {
+      if (!qfs::parse_int(value("--repeat"), opts.repeat) || opts.repeat < 1) {
+        std::cerr << "bench_compile_hotpath: bad --repeat\n";
+        std::exit(1);
+      }
+    } else if (arg == "--smoke") {
+      opts.smoke = true;
+    } else if (arg == "--fresh") {
+      opts.fresh = true;
+    } else if (arg == "--validate") {
+      opts.validate = true;
+    } else if (arg == "--floor-route-kgps") {
+      opts.floor_route_kgps = std::atof(value("--floor-route-kgps").c_str());
+    } else {
+      std::cerr << "bench_compile_hotpath: unknown flag " << arg << "\n";
+      std::exit(1);
+    }
+  }
+  if (opts.label.empty()) {
+    std::cerr << "bench_compile_hotpath: --label is required\n";
+    std::exit(1);
+  }
+  if (opts.smoke) opts.repeat = 1;
+  return opts;
+}
+
+/// One benchmarked circuit class: a deterministic generator (fixed seeds
+/// only) so every invocation times identical work and cross-label digests
+/// are comparable.
+struct CircuitClass {
+  std::string name;
+  circuit::Circuit circuit;
+  /// The densest random class carries the routing throughput floor.
+  bool floor_carrier = false;
+};
+
+std::vector<CircuitClass> make_classes(bool smoke) {
+  const int scale = smoke ? 1 : 4;
+  std::vector<CircuitClass> classes;
+  classes.push_back({"ghz48", workloads::ghz(48), false});
+  classes.push_back({"qft20", workloads::qft(20, true), false});
+  classes.push_back(
+      {"bv40", workloads::bernstein_vazirani(40, 0x5a5a5a5a5aULL), false});
+  {
+    qfs::Rng rng(7);
+    classes.push_back(
+        {"qv16", workloads::quantum_volume(16, smoke ? 4 : 8, rng), false});
+  }
+  {
+    qfs::Rng rng(11);
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 40;
+    spec.num_gates = 750 * scale;
+    spec.two_qubit_fraction = 0.5;
+    classes.push_back(
+        {"random_dense", workloads::random_circuit(spec, rng), true});
+  }
+  {
+    qfs::Rng rng(13);
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 40;
+    spec.num_gates = 750 * scale;
+    spec.two_qubit_fraction = 0.2;
+    classes.push_back(
+        {"random_sparse", workloads::random_circuit(spec, rng), false});
+  }
+  return classes;
+}
+
+/// Median wall-clock over `repeat` runs of `fn` (nearest-rank p50, the
+/// shared percentile implementation — satellite S1's single source of
+/// truth for rank semantics).
+template <typename Fn>
+double median_ms(int repeat, Fn&& fn) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repeat));
+  for (int r = 0; r < repeat; ++r) {
+    qfs::StopWatch watch;
+    fn();
+    samples.push_back(watch.elapsed_ms());
+  }
+  return stats::percentile_nearest_rank(std::move(samples), 0.5);
+}
+
+struct Row {
+  std::string phase;
+  double ms = 0.0;
+  int gates = 0;
+  /// Throughput in kilogates/second (gates / ms); 0 when not meaningful.
+  double kgps = 0.0;
+  /// Digest of the phase's output bytes (empty when the phase has no
+  /// deterministic artifact, e.g. cache timing).
+  std::string digest;
+};
+
+std::string digest_of(const std::string& bytes) {
+  return qfs::hash128(bytes).hex();
+}
+
+/// Run every phase for one class and return its rows.
+std::vector<Row> bench_class(const CircuitClass& cls,
+                             const device::Device& device, int repeat,
+                             const std::string& cache_dir) {
+  std::vector<Row> rows;
+  auto add = [&rows](const std::string& phase, double ms, int gates,
+                     std::string digest = std::string()) {
+    Row row;
+    row.phase = phase;
+    row.ms = ms;
+    row.gates = gates;
+    row.kgps = ms > 0.0 ? static_cast<double>(gates) / ms : 0.0;
+    row.digest = std::move(digest);
+    rows.push_back(std::move(row));
+  };
+
+  // Phase: decompose to the device's primitive set. Everything downstream
+  // times the decomposed circuit, as the pipeline does.
+  circuit::Circuit decomposed;
+  add("decompose", median_ms(repeat,
+                             [&] {
+                               decomposed = compiler::decompose_to_gateset(
+                                   cls.circuit, device.gateset());
+                             }),
+      static_cast<int>(cls.circuit.size()));
+  const int gates = static_cast<int>(decomposed.size());
+
+  // Phase: placement (degree-match: the distance-table-heavy placer that
+  // is cheap enough to time per class; annealing is covered by
+  // bench_perf_microbench).
+  mapper::Layout placement = mapper::Layout::identity(device.num_qubits());
+  add("place_degree", median_ms(repeat,
+                                [&] {
+                                  qfs::Rng rng(1);
+                                  placement = mapper::DegreeMatchPlacer().place(
+                                      decomposed, device, rng);
+                                }),
+      gates);
+
+  // Phases: routing from the identity layout (fixed start so the digest is
+  // label-comparable), trivial and lookahead.
+  const mapper::Layout identity = mapper::Layout::identity(device.num_qubits());
+  mapper::RoutingResult routed;
+  add("route_trivial", median_ms(repeat,
+                                 [&] {
+                                   qfs::Rng rng(1);
+                                   routed = mapper::TrivialRouter().route(
+                                       decomposed, device, identity, rng);
+                                 }),
+      gates, digest_of(qasm::to_qasm(routed.mapped)));
+  add("route_lookahead", median_ms(repeat,
+                                   [&] {
+                                     qfs::Rng rng(1);
+                                     routed = mapper::LookaheadRouter().route(
+                                         decomposed, device, identity, rng);
+                                   }),
+      gates, digest_of(qasm::to_qasm(routed.mapped)));
+
+  // Phase: ASAP scheduling of the routed circuit (SWAPs expanded to
+  // primitives first, as the pipeline does before scheduling).
+  circuit::Circuit physical = compiler::expand_swaps(routed.mapped);
+  add("schedule_asap", median_ms(repeat,
+                                 [&] {
+                                   auto sched =
+                                       compiler::asap_schedule(physical, device);
+                                   (void)sched;
+                                 }),
+      static_cast<int>(physical.size()));
+
+  // Phase: the full mapping pipeline under the heavy configuration
+  // (degree placer + lookahead router), whose MappingResult digest is the
+  // byte-identity witness for the whole compile.
+  mapper::MappingOptions mopts;
+  mopts.placer = "degree-match";
+  mopts.router = "lookahead";
+  mapper::MappingResult mapping;
+  add("pipeline", median_ms(repeat,
+                            [&] {
+                              qfs::Rng rng(1);
+                              mapping = mapper::map_circuit(cls.circuit, device,
+                                                            mopts, rng);
+                            }),
+      gates, digest_of(cache::serialize_mapping_result(mapping)));
+
+  // Phases: cache store + disk hit for that artifact. A fresh cache
+  // instance per lookup run keeps the memory tier cold, so the hit path
+  // timed here is deserialization + content-addressed disk read — the
+  // cross-process warm-compile scenario.
+  const cache::Fingerprint key = cache::compile_fingerprint(
+      qasm::to_qasm(cls.circuit), device, mopts, /*seed=*/1);
+  add("cache_store", median_ms(repeat,
+                               [&] {
+                                 cache::CompileCache store_cache(
+                                     cache::CacheConfig{cache_dir});
+                                 cache::store_mapping(store_cache, key,
+                                                      mapping);
+                               }),
+      mapping.gates_after);
+  add("cache_hit", median_ms(repeat,
+                             [&] {
+                               cache::CompileCache hit_cache(
+                                   cache::CacheConfig{cache_dir});
+                               auto loaded = cache::load_mapping(hit_cache, key);
+                               QFS_ASSERT_MSG(loaded.has_value(),
+                                              "cache hit phase missed");
+                             }),
+      mapping.gates_after);
+  return rows;
+}
+
+// --- BENCH_compile.json append/delta machinery ----------------------------
+
+JsonValue load_or_init(const std::string& path, bool fresh) {
+  std::ifstream in(path);
+  if (in && !fresh) {
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto parsed = JsonValue::parse(buffer.str());
+    if (parsed.is_ok() && parsed.value().is_object() &&
+        parsed.value().find("rows") != nullptr) {
+      return std::move(parsed.value());
+    }
+    std::cerr << "bench_compile_hotpath: " << path
+              << " exists but is not a valid bench file; refusing to "
+                 "overwrite it\n";
+    std::exit(1);
+  }
+  JsonValue root = JsonValue::object();
+  root.set("bench", JsonValue::string("compile"));
+  root.set("schema", JsonValue::integer(kSchemaVersion));
+  root.set("device", JsonValue::string("surface97"));
+  root.set("rows", JsonValue::array());
+  return root;
+}
+
+/// The most recent existing row with the same (class, phase) and a
+/// different label — the "before" a new row's delta is computed against.
+const JsonValue* find_predecessor(const JsonValue& rows,
+                                  const std::string& cls,
+                                  const std::string& phase,
+                                  const std::string& label) {
+  const JsonValue* best = nullptr;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const JsonValue& row = rows.at(i);
+    const JsonValue* row_class = row.find("class");
+    const JsonValue* row_phase = row.find("phase");
+    const JsonValue* row_label = row.find("label");
+    if (row_class == nullptr || row_phase == nullptr || row_label == nullptr)
+      continue;
+    if (row_class->as_string() == cls && row_phase->as_string() == phase &&
+        row_label->as_string() != label) {
+      best = &row;  // keep scanning: later rows are more recent
+    }
+  }
+  return best;
+}
+
+bool validate_bench_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "validate: cannot open " << path << "\n";
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto parsed = JsonValue::parse(buffer.str());
+  if (!parsed.is_ok()) {
+    std::cerr << "validate: " << parsed.status().message() << "\n";
+    return false;
+  }
+  const JsonValue& root = parsed.value();
+  const JsonValue* schema = root.find("schema");
+  const JsonValue* bench = root.find("bench");
+  const JsonValue* rows = root.find("rows");
+  if (schema == nullptr || !schema->is_integer() ||
+      schema->as_integer() != kSchemaVersion || bench == nullptr ||
+      bench->as_string() != "compile" || rows == nullptr ||
+      !rows->is_array() || rows->size() == 0) {
+    std::cerr << "validate: bad top-level schema\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < rows->size(); ++i) {
+    const JsonValue& row = rows->at(i);
+    for (const char* key : {"label", "class", "phase"}) {
+      const JsonValue* field = row.find(key);
+      if (field == nullptr || !field->is_string() ||
+          field->as_string().empty()) {
+        std::cerr << "validate: row " << i << " missing " << key << "\n";
+        return false;
+      }
+    }
+    const JsonValue* ms = row.find("ms");
+    const JsonValue* gates = row.find("gates");
+    if (ms == nullptr || !ms->is_number() || ms->as_number() < 0.0 ||
+        gates == nullptr || !gates->is_integer() || gates->as_integer() < 0) {
+      std::cerr << "validate: row " << i << " has bad ms/gates\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts = parse_options(argc, argv);
+  std::cout << "=== Compile hot-path phase timings (label: " << opts.label
+            << (opts.smoke ? ", smoke" : "") << ") ===\n\n";
+
+  device::Device device = device::surface97_device();
+  std::string cache_dir =
+      (std::filesystem::temp_directory_path() / "qfs_bench_compile_hotpath")
+          .string();
+  std::filesystem::remove_all(cache_dir);
+
+  JsonValue root = load_or_init(opts.out, opts.fresh);
+  JsonValue rows_json = *root.find("rows");
+
+  report::TextTable table(
+      {"class", "phase", "ms (median)", "kgates/s", "vs prior"});
+  bool floor_ok = true;
+  double floor_kgps_seen = -1.0;
+
+  for (const auto& cls : make_classes(opts.smoke)) {
+    std::cerr << cls.name << " ";
+    std::vector<Row> rows = bench_class(cls, device, opts.repeat, cache_dir);
+    for (const Row& row : rows) {
+      JsonValue entry = JsonValue::object();
+      entry.set("label", JsonValue::string(opts.label));
+      entry.set("class", JsonValue::string(cls.name));
+      entry.set("phase", JsonValue::string(row.phase));
+      entry.set("ms", JsonValue::number(row.ms));
+      entry.set("reps", JsonValue::integer(opts.repeat));
+      entry.set("gates", JsonValue::integer(row.gates));
+      entry.set("smoke", JsonValue::boolean(opts.smoke));
+      if (row.kgps > 0.0) entry.set("kgps", JsonValue::number(row.kgps));
+      if (!row.digest.empty())
+        entry.set("digest", JsonValue::string(row.digest));
+
+      std::string delta_text = "-";
+      const JsonValue* prior =
+          find_predecessor(rows_json, cls.name, row.phase, opts.label);
+      if (prior != nullptr) {
+        const JsonValue* prior_ms = prior->find("ms");
+        const JsonValue* prior_label = prior->find("label");
+        if (prior_ms != nullptr && prior_ms->as_number() > 0.0 && row.ms > 0.0) {
+          const double speedup = prior_ms->as_number() / row.ms;
+          JsonValue delta = JsonValue::object();
+          delta.set("label", *prior_label);
+          delta.set("ms", *prior_ms);
+          delta.set("speedup", JsonValue::number(speedup));
+          entry.set("speedup_vs", std::move(delta));
+          delta_text = bench::fmt(speedup, 2) + "x vs " +
+                       prior_label->as_string();
+        }
+      }
+
+      if (cls.floor_carrier && row.phase == "route_lookahead")
+        floor_kgps_seen = row.kgps;
+      table.add_row({cls.name, row.phase, bench::fmt(row.ms, 3),
+                     row.kgps > 0.0 ? bench::fmt(row.kgps, 1) : "-",
+                     delta_text});
+      rows_json.push_back(std::move(entry));
+    }
+  }
+  std::cerr << "\n";
+  std::cout << table.to_string() << "\n";
+
+  root.set("rows", std::move(rows_json));
+  std::ofstream out(opts.out, std::ios::trunc);
+  if (!out) {
+    std::cerr << "bench_compile_hotpath: cannot write " << opts.out << "\n";
+    return 1;
+  }
+  out << root.to_pretty_string() << "\n";
+  out.close();
+  std::cout << "appended rows to " << opts.out << "\n";
+
+  std::filesystem::remove_all(cache_dir);
+
+  bool ok = true;
+  if (opts.validate) {
+    const bool valid = validate_bench_file(opts.out);
+    std::cout << (valid ? "PASS" : "FAIL") << ": " << opts.out
+              << " matches the bench schema\n";
+    ok = ok && valid;
+  }
+  if (opts.floor_route_kgps > 0.0) {
+    floor_ok = floor_kgps_seen >= opts.floor_route_kgps;
+    std::cout << (floor_ok ? "PASS" : "FAIL")
+              << ": lookahead routing throughput "
+              << bench::fmt(floor_kgps_seen, 1) << " kgates/s (floor "
+              << bench::fmt(opts.floor_route_kgps, 1) << ")\n";
+    ok = ok && floor_ok;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,131 @@
+// Flat POD instruction array: the compile hot-path mirror of Circuit.
+//
+// The pointer-heavy IR (Gate with two std::vectors per instruction) is the
+// right interface for passes that build or rewrite circuits, but the
+// router/scheduler inner loops only *read* kind + operands, millions of
+// times, and every Gate access costs two potential cache misses. FlatCircuit
+// packs the same program into three contiguous buffers:
+//   - instrs:  one fixed-size Instr (op byte + operand slots) per gate,
+//   - params:  all angle parameters, exact doubles, pooled in gate order,
+//   - overflow: qubit operands of variable-arity gates (barriers) that do
+//     not fit the fixed slots.
+//
+// Conversion happens at pipeline boundaries only (see mapper/routing.cpp):
+// a pass converts once, scans the flat array in its loops, and emits its
+// result from the *original* Gate objects, so downstream output stays
+// byte-identical to the legacy path — params are never re-encoded, and
+// Instr keeps the source gate index for that purpose.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/circuit.h"
+
+namespace qfs::circuit {
+
+/// GateKind packed into one byte. Enumerator order mirrors GateKind exactly
+/// (pinned by flat_ir_test's exhaustive mirror check), so conversion is a
+/// static_cast in both directions.
+enum class Op : std::uint8_t {
+  kI,
+  kX,
+  kY,
+  kZ,
+  kH,
+  kS,
+  kSdg,
+  kT,
+  kTdg,
+  kSx,
+  kSxdg,
+  kRx,
+  kRy,
+  kRz,
+  kPhase,
+  kU3,
+  kCx,
+  kCy,
+  kCz,
+  kCphase,
+  kSwap,
+  kCcx,
+  kCcz,
+  kCswap,
+  kMeasure,
+  kReset,
+  kBarrier,
+};
+
+inline constexpr int kNumOps = static_cast<int>(Op::kBarrier) + 1;
+static_assert(kNumOps == kNumGateKinds,
+              "Op must mirror GateKind enumerator-for-enumerator");
+
+inline Op to_op(GateKind kind) { return static_cast<Op>(kind); }
+inline GateKind to_gate_kind(Op op) { return static_cast<GateKind>(op); }
+
+/// One flat instruction: 24 bytes, no indirection for <= 3 operands.
+struct Instr {
+  /// Fixed operand slots (covers every fixed-arity kind; three-qubit gates
+  /// are the widest). Unused slots hold -1.
+  static constexpr int kMaxInlineQubits = 3;
+
+  Op op = Op::kI;
+  /// Operand count actually used. For arity <= 3 the operands live in
+  /// `q[0..num_qubits)`; wider gates (variable-arity barriers) spill every
+  /// operand to FlatCircuit::overflow at `overflow_offset`.
+  std::uint8_t num_qubits = 0;
+  std::uint8_t num_params = 0;
+  std::int32_t q[kMaxInlineQubits] = {-1, -1, -1};
+  /// Offset of this gate's params in FlatCircuit::params.
+  std::uint32_t param_offset = 0;
+  /// Offset in FlatCircuit::overflow when the operands spill (else 0).
+  std::uint32_t overflow_offset = 0;
+
+  bool spilled() const { return num_qubits > kMaxInlineQubits; }
+};
+
+/// A circuit flattened for read-only scanning. Gate i of the source circuit
+/// is instrs[i]; the source object stays the emission authority.
+struct FlatCircuit {
+  int num_qubits = 0;
+  std::vector<Instr> instrs;
+  std::vector<double> params;
+  std::vector<std::int32_t> overflow;
+
+  std::size_t size() const { return instrs.size(); }
+
+  /// Operand pointer + count for instruction i, inline or spilled.
+  const std::int32_t* qubits_of(std::size_t i, int* count) const {
+    const Instr& ins = instrs[i];
+    *count = ins.num_qubits;
+    return ins.spilled() ? overflow.data() + ins.overflow_offset : ins.q;
+  }
+
+  const double* params_of(std::size_t i) const {
+    return params.data() + instrs[i].param_offset;
+  }
+};
+
+/// Flatten `circuit`. Exact: every operand and parameter is preserved
+/// bit-for-bit (params are copied as doubles, never narrowed).
+FlatCircuit flatten(const Circuit& circuit);
+
+/// Rebuild a Circuit (named `name`) from the flat form. Round-trips
+/// byte-identically: unflatten(flatten(c), c.name()) == c.
+Circuit unflatten(const FlatCircuit& flat, const std::string& name = "");
+
+/// Which IR the hot-path passes scan. The QFS_IR environment variable
+/// ("flat" default, "legacy" for the pointer-chasing seed path) selects it
+/// process-wide; it is read once, deliberately NOT a MappingOptions field,
+/// so cache fingerprints (canonical_options_text) and compiled artifacts
+/// are identical whichever path runs — the equivalence ctest pins that.
+enum class IrMode { kFlat, kLegacy };
+IrMode ir_mode();
+
+/// Test-only override of the process-wide mode (flat_ir_test flips it to
+/// pin flat/legacy equivalence in one process). Not thread-safe: call only
+/// while no compile is in flight.
+void set_ir_mode_for_testing(IrMode mode);
+
+}  // namespace qfs::circuit

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <map>
 
+#include "circuit/flat.h"
+
 namespace qfs::compiler {
 
 using circuit::Circuit;
@@ -72,26 +74,50 @@ Schedule asap_schedule(const Circuit& circuit, const device::Device& device,
   const bool use_groups =
       options.respect_control_groups && device.has_control_groups();
 
+  // Flat scan: the inner loop reads contiguous Instr operand slots and
+  // per-kind tables (duration, two-qubit flag) instead of walking each
+  // Gate's qubit vector and re-deriving its duration from the error model.
+  // Every computed start cycle is the same arithmetic in the same order as
+  // the per-Gate loop this replaces, so the schedule is identical.
+  const circuit::FlatCircuit flat = circuit::flatten(circuit);
+  int duration_by_op[circuit::kNumOps];
+  bool two_qubit_op[circuit::kNumOps];
+  for (int k = 0; k < circuit::kNumOps; ++k) {
+    const GateKind kind = static_cast<GateKind>(k);
+    two_qubit_op[k] = circuit::is_two_qubit(kind);
+    if (kind == GateKind::kBarrier) {
+      duration_by_op[k] = 0;
+      continue;
+    }
+    double ns = device.error_model().gate_duration_ns(kind);
+    duration_by_op[k] =
+        std::max(1, static_cast<int>(std::ceil(ns / options.cycle_time_ns)));
+  }
+
   std::vector<int> qubit_free(static_cast<std::size_t>(circuit.num_qubits()), 0);
   std::map<int, GroupOccupancy> groups;
   std::vector<TwoQubitSpan> two_qubit_spans;
 
-  for (std::size_t i = 0; i < circuit.gates().size(); ++i) {
-    const Gate& g = circuit.gates()[i];
-    int duration = duration_in_cycles(g, device, options.cycle_time_ns);
-    const bool is_2q = circuit::is_two_qubit(g.kind);
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    const circuit::Instr& ins = flat.instrs[i];
+    const int op = static_cast<int>(ins.op);
+    const GateKind kind = circuit::to_gate_kind(ins.op);
+    int operand_count = 0;
+    const std::int32_t* operands = flat.qubits_of(i, &operand_count);
+    const int duration = duration_by_op[op];
+    const bool is_2q = two_qubit_op[op];
     int ready = 0;
-    for (int q : g.qubits) {
-      ready = std::max(ready, qubit_free[static_cast<std::size_t>(q)]);
+    for (int s = 0; s < operand_count; ++s) {
+      ready = std::max(ready, qubit_free[static_cast<std::size_t>(operands[s])]);
     }
     int start = ready;
     if (duration > 0) {
       while (true) {
         bool ok = true;
         if (use_groups) {
-          for (int q : g.qubits) {
-            int group = device.control_group(q);
-            if (!groups[group].compatible(start, duration, g.kind)) {
+          for (int s = 0; s < operand_count; ++s) {
+            int group = device.control_group(operands[s]);
+            if (!groups[group].compatible(start, duration, kind)) {
               ok = false;
               break;
             }
@@ -100,7 +126,7 @@ Schedule asap_schedule(const Circuit& circuit, const device::Device& device,
         if (ok && options.avoid_crosstalk && is_2q) {
           for (const auto& span : two_qubit_spans) {
             bool overlaps = start < span.end && span.start < start + duration;
-            if (overlaps && edges_crosstalk(device, g.qubits[0], g.qubits[1],
+            if (overlaps && edges_crosstalk(device, operands[0], operands[1],
                                             span.a, span.b)) {
               ok = false;
               break;
@@ -111,17 +137,18 @@ Schedule asap_schedule(const Circuit& circuit, const device::Device& device,
         ++start;
       }
       if (use_groups) {
-        for (int q : g.qubits) {
-          groups[device.control_group(q)].occupy(start, duration, g.kind);
+        for (int s = 0; s < operand_count; ++s) {
+          groups[device.control_group(operands[s])].occupy(start, duration,
+                                                           kind);
         }
       }
       if (options.avoid_crosstalk && is_2q) {
         two_qubit_spans.push_back(
-            TwoQubitSpan{start, start + duration, g.qubits[0], g.qubits[1]});
+            TwoQubitSpan{start, start + duration, operands[0], operands[1]});
       }
     }
-    for (int q : g.qubits) {
-      qubit_free[static_cast<std::size_t>(q)] = start + duration;
+    for (int s = 0; s < operand_count; ++s) {
+      qubit_free[static_cast<std::size_t>(operands[s])] = start + duration;
     }
     schedule.gates.push_back(ScheduledGate{static_cast<int>(i), start, duration});
     schedule.makespan_cycles = std::max(schedule.makespan_cycles, start + duration);

@@ -8,27 +8,66 @@
 
 namespace qfs::device {
 
+namespace {
+
+std::shared_ptr<const TopologyTables> build_tables(const graph::Graph& g) {
+  auto tables = std::make_shared<TopologyTables>();
+  const int n = g.num_nodes();
+  tables->n = n;
+  // BFS rows land directly in the row-major buffer; no nested vectors.
+  tables->dist = graph::flat_all_pairs_hop_distances(g);
+  tables->connected =
+      std::none_of(tables->dist.begin(), tables->dist.end(),
+                   [](int d) { return d == graph::kUnreachable; });
+  // Lexicographic edge list (the order graph::Graph::edges() reports and
+  // canonical_device_text fingerprints), plus the SoA mirror.
+  for (const auto& e : g.edges()) {
+    tables->edges.emplace_back(e.u, e.v);
+    tables->edge_a.push_back(e.u);
+    tables->edge_b.push_back(e.v);
+  }
+  // CSR neighbour arrays (ascending per qubit: Graph stores neighbours in
+  // an ordered map).
+  tables->nbr_offsets.reserve(static_cast<std::size_t>(n) + 1);
+  tables->nbr_offsets.push_back(0);
+  for (int q = 0; q < n; ++q) {
+    for (const auto& [v, w] : g.neighbors(q)) {
+      (void)w;
+      tables->nbr.push_back(v);
+    }
+    tables->nbr_offsets.push_back(static_cast<int>(tables->nbr.size()));
+  }
+  return tables;
+}
+
+}  // namespace
+
 Topology::Topology(std::string name, graph::Graph coupling)
     : name_(std::move(name)), coupling_(std::move(coupling)) {
-  dist_ = graph::all_pairs_hop_distances(coupling_);
+  tables_ = build_tables(coupling_);
 }
 
 int Topology::distance(int a, int b) const {
   QFS_ASSERT_MSG(0 <= a && a < num_qubits(), "qubit out of range");
   QFS_ASSERT_MSG(0 <= b && b < num_qubits(), "qubit out of range");
-  int d = dist_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+  int d = distance_unchecked(a, b);
   QFS_ASSERT_MSG(d != graph::kUnreachable, "disconnected topology");
   return d;
+}
+
+bool Topology::reachable(int a, int b) const {
+  QFS_ASSERT_MSG(0 <= a && a < num_qubits(), "qubit out of range");
+  QFS_ASSERT_MSG(0 <= b && b < num_qubits(), "qubit out of range");
+  return distance_unchecked(a, b) != graph::kUnreachable;
 }
 
 std::vector<int> Topology::shortest_path(int a, int b) const {
   return graph::shortest_path(coupling_, a, b);
 }
 
-std::vector<std::pair<int, int>> Topology::edge_list() const {
-  std::vector<std::pair<int, int>> out;
-  for (const auto& e : coupling_.edges()) out.emplace_back(e.u, e.v);
-  return out;
+const std::vector<std::pair<int, int>>& Topology::edge_list() const {
+  static const std::vector<std::pair<int, int>> kEmpty;
+  return tables_ == nullptr ? kEmpty : tables_->edges;
 }
 
 namespace {

@@ -6,12 +6,47 @@
 // used for Figs. 3 and 5.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
+#include "support/assert.h"
 
 namespace qfs::device {
+
+/// Precomputed lookup tables for one coupling graph, built once per
+/// Topology construction and *shared* (via shared_ptr) by every copy of
+/// that Topology — a Device copied into a compile_resilient fallback
+/// attempt, a SubTopology handed around, or a Topology stored by value all
+/// reuse the same buffers instead of recomputing or deep-copying them.
+///
+/// Layout is optimized for the router/placer inner loops:
+///  - `dist` is a single flat row-major n*n buffer (one indirection and one
+///    multiply per lookup; rows are contiguous for the scan patterns),
+///  - `edges`/`edge_a`/`edge_b` cache the lexicographic edge list, in the
+///    exact order graph::Graph::edges() reports (the candidate-swap
+///    iteration order and the cache fingerprint's canonical_device_text
+///    both depend on it),
+///  - `nbr_offsets`/`nbr` are the CSR neighbour arrays (nbr_offsets has
+///    n+1 entries; neighbours of q are nbr[nbr_offsets[q]..nbr_offsets[q+1])
+///    in ascending order).
+struct TopologyTables {
+  int n = 0;
+  /// Row-major hop distances; graph::kUnreachable for disconnected pairs.
+  std::vector<int> dist;
+  /// Coupling edges as (a, b), a < b, lexicographic.
+  std::vector<std::pair<int, int>> edges;
+  /// Structure-of-arrays mirror of `edges` for the router candidate loop.
+  std::vector<int> edge_a;
+  std::vector<int> edge_b;
+  /// CSR neighbour lists (ascending within each qubit's range).
+  std::vector<int> nbr_offsets;
+  std::vector<int> nbr;
+  /// True when every qubit pair has a finite hop distance.
+  bool connected = false;
+};
 
 /// Immutable coupling graph plus all-pairs hop distances.
 class Topology {
@@ -26,18 +61,56 @@ class Topology {
   bool adjacent(int a, int b) const { return coupling_.has_edge(a, b); }
 
   /// Hop distance between physical qubits (0 for a==b).
+  ///
+  /// Contract (pinned by device_test):
+  ///  - `a` and `b` must be in [0, num_qubits()); violations throw
+  ///    qfs::AssertionError ("qubit out of range"), they are never UB,
+  ///  - a disconnected pair throws qfs::AssertionError ("disconnected
+  ///    topology"); callers that must tolerate partitioned chips (fault
+  ///    injection, subtopology carving) check `reachable()` or `connected()`
+  ///    first instead of catching.
   int distance(int a, int b) const;
+
+  /// `distance` without the range/connectivity checks: the inner-loop
+  /// variant. Preconditions: a and b in range, pair reachable (else the
+  /// sentinel graph::kUnreachable comes back raw).
+  int distance_unchecked(int a, int b) const {
+    return tables_->dist[static_cast<std::size_t>(a) *
+                             static_cast<std::size_t>(tables_->n) +
+                         static_cast<std::size_t>(b)];
+  }
+
+  /// Row `a` of the flat distance table (num_qubits() entries); the
+  /// scan-friendly form for loops that probe many targets from one source.
+  const int* distance_row(int a) const {
+    QFS_ASSERT_MSG(0 <= a && a < num_qubits(), "qubit out of range");
+    return tables_->dist.data() +
+           static_cast<std::size_t>(a) * static_cast<std::size_t>(tables_->n);
+  }
+
+  /// True when a finite hop distance exists (both qubits in range).
+  bool reachable(int a, int b) const;
+
+  /// True when every pair of qubits is reachable (n <= 1 counts as
+  /// connected; a default-constructed empty topology does too).
+  bool connected() const { return tables_ == nullptr || tables_->connected; }
 
   /// One shortest path from a to b inclusive (deterministic tie-break).
   std::vector<int> shortest_path(int a, int b) const;
 
-  /// Coupling edges as (a, b) pairs with a < b.
-  std::vector<std::pair<int, int>> edge_list() const;
+  /// Coupling edges as (a, b) pairs with a < b, lexicographic — the order
+  /// canonical_device_text fingerprints and the router iterates. Cached:
+  /// repeated calls return the same buffer without allocating.
+  const std::vector<std::pair<int, int>>& edge_list() const;
+
+  /// The shared lookup tables (never null once constructed with a graph;
+  /// null only for a default-constructed empty topology).
+  const TopologyTables* tables() const { return tables_.get(); }
 
  private:
   std::string name_;
   graph::Graph coupling_;
-  std::vector<std::vector<int>> dist_;
+  std::shared_ptr<const TopologyTables> tables_;
 };
 
 /// A topology carved out of a parent chip (e.g. the healthy remainder after

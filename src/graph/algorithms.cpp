@@ -31,6 +31,28 @@ std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g) {
   return all;
 }
 
+std::vector<int> flat_all_pairs_hop_distances(const Graph& g) {
+  const std::size_t n = static_cast<std::size_t>(g.num_nodes());
+  std::vector<int> flat(n * n, kUnreachable);
+  std::queue<Node> q;
+  for (Node u = 0; u < g.num_nodes(); ++u) {
+    int* row = flat.data() + static_cast<std::size_t>(u) * n;
+    row[u] = 0;
+    q.push(u);
+    while (!q.empty()) {
+      Node a = q.front();
+      q.pop();
+      for (const auto& [b, w] : g.neighbors(a)) {
+        if (row[b] == kUnreachable) {
+          row[b] = row[a] + 1;
+          q.push(b);
+        }
+      }
+    }
+  }
+  return flat;
+}
+
 std::vector<Node> shortest_path(const Graph& g, Node source, Node target) {
   QFS_ASSERT_MSG(0 <= source && source < g.num_nodes(), "bad source node");
   QFS_ASSERT_MSG(0 <= target && target < g.num_nodes(), "bad target node");

@@ -17,6 +17,12 @@ std::vector<int> bfs_distances(const Graph& g, Node source);
 /// All-pairs hop distances; result[u][v] == kUnreachable when disconnected.
 std::vector<std::vector<int>> all_pairs_hop_distances(const Graph& g);
 
+/// All-pairs hop distances as one flat row-major buffer: entry u*n + v is
+/// the hop count from u to v, kUnreachable when disconnected. Rows are
+/// BFS-filled in place, so no per-row vectors are allocated; this is the
+/// layout device::TopologyTables serves to the routing inner loops.
+std::vector<int> flat_all_pairs_hop_distances(const Graph& g);
+
 /// One shortest (fewest-hop) path from `source` to `target`, inclusive of
 /// both endpoints. Empty if unreachable. Ties broken toward smaller node ids
 /// so results are deterministic.

@@ -38,6 +38,11 @@ class Layout {
     return p2v_[static_cast<std::size_t>(physical_qubit)];
   }
 
+  /// Raw virtual->physical table for inner loops that have already
+  /// validated their indices (the flat-IR router scans this directly
+  /// instead of paying physical()'s per-access range assert).
+  const std::vector<int>& v2p() const { return v2p_; }
+
   /// Exchange the virtual qubits held by two physical locations (the
   /// layout-level effect of a SWAP gate on the chip).
   void apply_swap(int physical_a, int physical_b);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <deque>
 #include <limits>
 #include <queue>
 
 #include "circuit/dag.h"
+#include "circuit/flat.h"
 #include "mapper/optimal.h"
 
 namespace qfs::mapper {
@@ -146,11 +148,245 @@ RoutingResult BridgeRouter::route(const Circuit& circuit, const Device& device,
 // LookaheadRouter (SABRE-style)
 // ---------------------------------------------------------------------------
 
+namespace {
+
+/// Per-Op unitarity, precomputed so the flat inner loops replace the
+/// is_unitary(kind) switch with one table load.
+struct OpTraits {
+  bool is_unitary[circuit::kNumOps] = {};
+};
+
+const OpTraits& op_traits() {
+  static const OpTraits traits = [] {
+    OpTraits t;
+    for (int k = 0; k < circuit::kNumOps; ++k) {
+      t.is_unitary[k] = circuit::is_unitary(static_cast<GateKind>(k));
+    }
+    return t;
+  }();
+  return traits;
+}
+
+/// Scratch buffers of the flat lookahead path. thread_local: the
+/// compile_resilient fallback ladder retries the same circuit several
+/// times on one thread, and SABRE refinement routes it forward and backward
+/// per round — every attempt reuses these allocations (a per-circuit arena)
+/// instead of re-growing a fresh DAG bookkeeping set each time.
+struct LookaheadScratch {
+  circuit::FlatCircuit flat;
+  std::vector<int> unresolved;
+  std::vector<std::uint8_t> emitted;
+  std::deque<int> ready;
+  std::vector<int> ahead;
+};
+
+LookaheadScratch& lookahead_scratch() {
+  static thread_local LookaheadScratch scratch;
+  return scratch;
+}
+
+/// Flat-IR lookahead routing: the same algorithm as the legacy body below,
+/// decision for decision — identical edge iteration order, identical
+/// floating-point accumulation order, identical tie-breaks — scanning
+/// Instr operands and the flat distance rows instead of chasing Gate
+/// vectors and apply_swap/revert trials. Output is emitted from the
+/// original Gate objects, so the routed circuit is byte-identical to the
+/// legacy path's (pinned suite-wide by flat_ir_test and the QFS_IR
+/// determinism ctest). Precondition: connected topology (the caller falls
+/// back to the legacy path otherwise so disconnected chips fail with the
+/// same AssertionError they always did).
+RoutingResult route_lookahead_flat(const Circuit& circuit, const Device& device,
+                                   const Layout& initial, int window,
+                                   double weight) {
+  RoutingResult result;
+  result.mapped = Circuit(device.num_qubits(), circuit.name());
+  result.final_layout = initial;
+  Layout& layout = result.final_layout;
+  const auto& topo = device.topology();
+  const auto& gates = circuit.gates();
+  const device::TopologyTables& tables = *topo.tables();
+  const std::vector<int>& v2p = layout.v2p();
+  const OpTraits& traits = op_traits();
+
+  LookaheadScratch& scratch = lookahead_scratch();
+  scratch.flat = circuit::flatten(circuit);
+  const std::vector<circuit::Instr>& instrs = scratch.flat.instrs;
+
+  circuit::DependencyDag dag(circuit);
+  std::vector<int>& unresolved = scratch.unresolved;
+  unresolved.assign(instrs.size(), 0);
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    unresolved[i] =
+        static_cast<int>(dag.predecessors(static_cast<int>(i)).size());
+  }
+
+  std::deque<int>& ready = scratch.ready;
+  ready.clear();
+  for (std::size_t i = 0; i < instrs.size(); ++i) {
+    if (unresolved[i] == 0) ready.push_back(static_cast<int>(i));
+  }
+
+  std::vector<std::uint8_t>& emitted = scratch.emitted;
+  emitted.assign(instrs.size(), 0);
+  auto resolve = [&](int gi) {
+    emitted[static_cast<std::size_t>(gi)] = 1;
+    for (int s : dag.successors(gi)) {
+      if (--unresolved[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    }
+  };
+
+  const int* dist = tables.dist.data();
+  const int n = tables.n;
+  auto is_blocked_2q = [&](int gi) {
+    const circuit::Instr& ins = instrs[static_cast<std::size_t>(gi)];
+    if (!(ins.num_qubits == 2 &&
+          traits.is_unitary[static_cast<int>(ins.op)]))
+      return false;
+    const int pa = v2p[static_cast<std::size_t>(ins.q[0])];
+    const int pb = v2p[static_cast<std::size_t>(ins.q[1])];
+    return dist[static_cast<std::size_t>(pa) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(pb)] != 1;
+  };
+
+  std::size_t scan_start = 0;
+  auto lookahead_set = [&]() -> const std::vector<int>& {
+    while (scan_start < instrs.size() && emitted[scan_start] != 0)
+      ++scan_start;
+    std::vector<int>& ahead = scratch.ahead;
+    ahead.clear();
+    for (std::size_t i = scan_start;
+         i < instrs.size() && static_cast<int>(ahead.size()) < window; ++i) {
+      if (emitted[i] != 0) continue;
+      const circuit::Instr& ins = instrs[i];
+      if (ins.num_qubits == 2 && traits.is_unitary[static_cast<int>(ins.op)]) {
+        ahead.push_back(static_cast<int>(i));
+      }
+    }
+    return ahead;
+  };
+
+  int last_swap_a = -1, last_swap_b = -1;
+  int swaps_since_progress = 0;
+  const int stall_limit = 4 * std::max(4, device.num_qubits());
+
+  while (true) {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t k = 0; k < ready.size();) {
+        int gi = ready[k];
+        if (!is_blocked_2q(gi)) {
+          emit_remapped(result.mapped, gates[static_cast<std::size_t>(gi)],
+                        layout);
+          resolve(gi);
+          ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(k));
+          progressed = true;
+          swaps_since_progress = 0;
+          last_swap_a = last_swap_b = -1;
+        } else {
+          ++k;
+        }
+      }
+    }
+    if (ready.empty()) break;  // all gates emitted
+
+    if (swaps_since_progress >= stall_limit) {
+      int gi = ready.front();
+      const circuit::Instr& ins = instrs[static_cast<std::size_t>(gi)];
+      int pa = v2p[static_cast<std::size_t>(ins.q[0])];
+      int pb = v2p[static_cast<std::size_t>(ins.q[1])];
+      swap_along_path(result.mapped, layout, topo.shortest_path(pa, pb),
+                      result.swaps_inserted);
+      swaps_since_progress = 0;
+      continue;
+    }
+
+    const std::vector<int>& ahead = lookahead_set();
+
+    // Candidate swaps over the cached SoA edge arrays, in the same
+    // lexicographic order the legacy path iterates edge_list(). Trials
+    // adjust indices arithmetically (p==ea -> eb, p==eb -> ea) instead of
+    // mutating the layout — the summed per-gate distances are the same
+    // integers in the same order, so the accumulated doubles match the
+    // legacy apply_swap/revert trial exactly.
+    double best_score = std::numeric_limits<double>::infinity();
+    int best_a = -1, best_b = -1;
+    const std::size_t num_edges = tables.edge_a.size();
+    for (std::size_t e = 0; e < num_edges; ++e) {
+      const int ea = tables.edge_a[e];
+      const int eb = tables.edge_b[e];
+      bool touches_front = false;
+      for (int gi : ready) {
+        const circuit::Instr& ins = instrs[static_cast<std::size_t>(gi)];
+        for (int s = 0; s < ins.num_qubits; ++s) {
+          const int p = v2p[static_cast<std::size_t>(ins.q[s])];
+          if (p == ea || p == eb) {
+            touches_front = true;
+            break;
+          }
+        }
+        if (touches_front) break;
+      }
+      if (!touches_front) continue;
+      if (ea == last_swap_a && eb == last_swap_b) continue;  // no ping-pong
+
+      double front_term = 0.0;
+      for (int gi : ready) {
+        const circuit::Instr& ins = instrs[static_cast<std::size_t>(gi)];
+        int pa = v2p[static_cast<std::size_t>(ins.q[0])];
+        int pb = v2p[static_cast<std::size_t>(ins.q[1])];
+        if (pa == ea) pa = eb;
+        else if (pa == eb) pa = ea;
+        if (pb == ea) pb = eb;
+        else if (pb == eb) pb = ea;
+        front_term +=
+            dist[static_cast<std::size_t>(pa) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(pb)];
+      }
+      double ahead_term = 0.0;
+      for (int gi : ahead) {
+        const circuit::Instr& ins = instrs[static_cast<std::size_t>(gi)];
+        int pa = v2p[static_cast<std::size_t>(ins.q[0])];
+        int pb = v2p[static_cast<std::size_t>(ins.q[1])];
+        if (pa == ea) pa = eb;
+        else if (pa == eb) pa = ea;
+        if (pb == ea) pb = eb;
+        else if (pb == eb) pb = ea;
+        ahead_term +=
+            dist[static_cast<std::size_t>(pa) * static_cast<std::size_t>(n) +
+                 static_cast<std::size_t>(pb)];
+      }
+
+      double score = front_term / static_cast<double>(ready.size());
+      if (!ahead.empty()) {
+        score += weight * ahead_term / static_cast<double>(ahead.size());
+      }
+      if (score < best_score) {
+        best_score = score;
+        best_a = ea;
+        best_b = eb;
+      }
+    }
+    QFS_ASSERT_MSG(best_a >= 0, "no candidate swap found");
+    emit_swap(result.mapped, layout, best_a, best_b, result.swaps_inserted);
+    last_swap_a = best_a;
+    last_swap_b = best_b;
+    ++swaps_since_progress;
+  }
+  return result;
+}
+
+}  // namespace
+
 RoutingResult LookaheadRouter::route(const Circuit& circuit,
                                      const Device& device,
                                      const Layout& initial,
                                      [[maybe_unused]] qfs::Rng& rng) const {
   check_routable(circuit, device);
+  if (circuit::ir_mode() == circuit::IrMode::kFlat &&
+      device.topology().connected()) {
+    return route_lookahead_flat(circuit, device, initial, window_, weight_);
+  }
   RoutingResult result;
   result.mapped = Circuit(device.num_qubits(), circuit.name());
   result.final_layout = initial;

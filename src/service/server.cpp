@@ -14,17 +14,16 @@
 #include "report/cache_summary.h"
 #include "support/json.h"
 #include "support/strings.h"
+#include "support/timer.h"
 
 namespace qfs::service {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+// Measurement timing goes through the shared monotonic helper
+// (support/timer.h) — one implementation for every latency figure.
+using Clock = qfs::MonotonicClock;
+using qfs::ms_since;
 
 }  // namespace
 

@@ -53,6 +53,21 @@ double quantile(std::vector<double> xs, double q) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double percentile_nearest_rank(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  QFS_ASSERT_MSG(0.0 <= p && p <= 1.0, "percentile out of [0,1]");
+  std::sort(xs.begin(), xs.end());
+  // Nearest rank: 1-based rank ceil(p * N), clamped to [1, N]. The clamp
+  // matters at both ends: p slightly above 0 must not underflow to rank 0,
+  // and floating-point noise in p * N must never index past the maximum
+  // (the old round-half-up formula did exactly that for small N at p=0.99).
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(xs.size())));
+  if (rank < 1) rank = 1;
+  if (rank > xs.size()) rank = xs.size();
+  return xs[rank - 1];
+}
+
 ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& xs,
                                      qfs::Rng& rng, int resamples,
                                      double alpha) {

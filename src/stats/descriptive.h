@@ -21,6 +21,15 @@ double median(std::vector<double> xs);
 /// Linear-interpolated quantile, q in [0, 1]. 0 for empty input.
 double quantile(std::vector<double> xs, double q);
 
+/// Nearest-rank percentile, p in [0, 1]: the smallest sample x such that at
+/// least ceil(p * N) samples are <= x (the classic nearest-rank definition).
+/// p = 0 returns the minimum, p = 1 the maximum — exactly, for every N, with
+/// no rounding excursion past either end. 0 for empty input. Latency
+/// reporting (p50/p99) uses this instead of `quantile` because a reported
+/// percentile must be a latency that actually occurred, not an interpolated
+/// value between two samples.
+double percentile_nearest_rank(std::vector<double> xs, double p);
+
 /// z-score standardisation; constant series map to all zeros.
 std::vector<double> standardize(const std::vector<double>& xs);
 

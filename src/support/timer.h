@@ -1,0 +1,42 @@
+// Monotonic timing for benches and load generators.
+//
+// Every wall-clock measurement in the repo goes through this header so the
+// clock choice is made exactly once: std::chrono::steady_clock. It is the
+// only standard clock guaranteed monotonic — system_clock (and, on common
+// implementations, high_resolution_clock, which aliases it) jumps under NTP
+// slew and manual adjustment, which would corrupt BENCH_*.json deltas that
+// compare runs recorded days apart.
+#pragma once
+
+#include <chrono>
+
+namespace qfs {
+
+/// The one clock benches measure with. Monotonic by the standard.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Milliseconds elapsed since `start` (fractional).
+inline double ms_since(MonotonicClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(MonotonicClock::now() -
+                                                   start)
+      .count();
+}
+
+/// Started-on-construction stopwatch for phase timings.
+class StopWatch {
+ public:
+  StopWatch() : start_(MonotonicClock::now()) {}
+
+  /// Elapsed milliseconds since construction or the last restart().
+  double elapsed_ms() const { return ms_since(start_); }
+
+  /// Elapsed seconds since construction or the last restart().
+  double elapsed_seconds() const { return elapsed_ms() / 1000.0; }
+
+  void restart() { start_ = MonotonicClock::now(); }
+
+ private:
+  MonotonicClock::time_point start_;
+};
+
+}  // namespace qfs

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "device/calibration.h"
@@ -250,6 +251,83 @@ TEST(Topology, EdgeListSortedUnique) {
   auto edges = surface7().edge_list();
   EXPECT_EQ(edges.size(), 8u);
   for (const auto& [a, b] : edges) EXPECT_LT(a, b);
+}
+
+// --- Topology::distance contract regressions (see topology.h) ---
+
+TEST(Topology, DistanceOutOfRangeIsContractViolation) {
+  Topology t = surface7();
+  EXPECT_THROW(t.distance(-1, 0), AssertionError);
+  EXPECT_THROW(t.distance(0, -1), AssertionError);
+  EXPECT_THROW(t.distance(7, 0), AssertionError);
+  EXPECT_THROW(t.distance(0, 7), AssertionError);
+  EXPECT_THROW(t.reachable(-1, 0), AssertionError);
+  EXPECT_THROW(t.distance_row(7), AssertionError);
+}
+
+TEST(Topology, DistanceDisconnectedPairThrowsReachableDoesNot) {
+  // Two islands: 0-1 and 2-3.
+  graph::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  Topology t("two-islands", std::move(g));
+  EXPECT_FALSE(t.connected());
+  // Within an island the table still answers.
+  EXPECT_EQ(t.distance(0, 1), 1);
+  EXPECT_EQ(t.distance(2, 3), 1);
+  // Across islands: distance() is a contract violation, reachable() is the
+  // non-throwing query callers on degraded chips use instead.
+  EXPECT_THROW(t.distance(0, 2), AssertionError);
+  EXPECT_TRUE(t.reachable(0, 1));
+  EXPECT_FALSE(t.reachable(0, 2));
+}
+
+TEST(Topology, FlatTableMatchesCheckedDistance) {
+  Topology t = surface17();
+  EXPECT_TRUE(t.connected());
+  for (int a = 0; a < t.num_qubits(); ++a) {
+    const int* row = t.distance_row(a);
+    for (int b = 0; b < t.num_qubits(); ++b) {
+      EXPECT_EQ(t.distance(a, b), t.distance_unchecked(a, b));
+      EXPECT_EQ(row[b], t.distance(a, b));
+    }
+  }
+}
+
+TEST(Topology, TablesSharedAcrossCopiesNotRecomputed) {
+  Topology t = surface97();
+  Topology copy = t;
+  // Copies share the same table allocation (pointer equality): a Device
+  // copied into a compile_resilient fallback attempt reuses the tables
+  // instead of recomputing the all-pairs BFS.
+  EXPECT_EQ(t.tables(), copy.tables());
+  // The cached edge list is one buffer too, not a fresh vector per call.
+  EXPECT_EQ(&t.edge_list(), &t.edge_list());
+  EXPECT_EQ(&t.edge_list(), &copy.edge_list());
+}
+
+TEST(Topology, CsrNeighborsMatchCouplingGraph) {
+  Topology t = surface17();
+  const TopologyTables* tables = t.tables();
+  ASSERT_NE(tables, nullptr);
+  ASSERT_EQ(tables->nbr_offsets.size(),
+            static_cast<std::size_t>(t.num_qubits()) + 1);
+  for (int q = 0; q < t.num_qubits(); ++q) {
+    std::vector<int> expected;
+    for (const auto& [v, w] : t.coupling().neighbors(q)) expected.push_back(v);
+    std::vector<int> actual(
+        tables->nbr.begin() + tables->nbr_offsets[static_cast<std::size_t>(q)],
+        tables->nbr.begin() +
+            tables->nbr_offsets[static_cast<std::size_t>(q) + 1]);
+    EXPECT_EQ(actual, expected);
+    EXPECT_TRUE(std::is_sorted(actual.begin(), actual.end()));
+  }
+  // The SoA edge mirror matches the pair list the fingerprint hashes.
+  ASSERT_EQ(tables->edge_a.size(), tables->edges.size());
+  for (std::size_t i = 0; i < tables->edges.size(); ++i) {
+    EXPECT_EQ(tables->edge_a[i], tables->edges[i].first);
+    EXPECT_EQ(tables->edge_b[i], tables->edges[i].second);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,164 @@
+// Flat IR (circuit/flat.h) contract tests, plus the suite-wide equivalence
+// pin: the flat-IR router/scheduler hot paths must produce byte-identical
+// compiler output to the legacy pointer-chasing IR, across the paper's full
+// 200-circuit suite and at --jobs 1 and 8 (ISSUE satellite S4; the
+// process-level QFS_IR determinism ctest covers the same contract
+// end-to-end through a bench binary).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cache/artifact.h"
+#include "circuit/flat.h"
+#include "common.h"
+#include "compiler/decompose.h"
+#include "device/device.h"
+#include "mapper/routing.h"
+#include "workloads/algorithms.h"
+#include "workloads/random_circuit.h"
+
+namespace qfs::circuit {
+namespace {
+
+/// RAII mode switch so a failing assertion cannot leak kLegacy into the
+/// rest of the test binary.
+class ScopedIrMode {
+ public:
+  explicit ScopedIrMode(IrMode mode) { set_ir_mode_for_testing(mode); }
+  ~ScopedIrMode() { set_ir_mode_for_testing(IrMode::kFlat); }
+};
+
+TEST(FlatIr, OpMirrorsGateKindExhaustively) {
+  ASSERT_EQ(kNumOps, kNumGateKinds);
+  for (int k = 0; k < kNumGateKinds; ++k) {
+    const GateKind kind = static_cast<GateKind>(k);
+    EXPECT_EQ(static_cast<int>(to_op(kind)), k);
+    EXPECT_EQ(to_gate_kind(to_op(kind)), kind);
+  }
+  // One byte per op, as the inner loops assume.
+  static_assert(sizeof(Op) == 1);
+}
+
+TEST(FlatIr, RoundTripPreservesEveryGateExactly) {
+  Circuit c(6, "roundtrip");
+  c.h(0).cx(0, 1).rz(0.1234567890123456789, 2).u3(0.1, -2.5, 3e-17, 3);
+  c.ccx(0, 1, 2).swap(4, 5).measure(3).reset(4);
+  c.barrier({0, 1, 2, 3, 4});  // variable arity > 3: exercises the overflow pool
+  c.cp(-0.75, 2, 5);
+
+  FlatCircuit flat = flatten(c);
+  ASSERT_EQ(flat.size(), c.size());
+  EXPECT_EQ(unflatten(flat, "roundtrip"), c);
+
+  // The barrier spilled; fixed-arity gates stayed inline.
+  int spilled = 0;
+  for (const Instr& ins : flat.instrs) spilled += ins.spilled() ? 1 : 0;
+  EXPECT_EQ(spilled, 1);
+}
+
+TEST(FlatIr, RoundTripRandomCircuits) {
+  qfs::Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 12;
+    spec.num_gates = 400;
+    spec.two_qubit_fraction = 0.4;
+    Circuit c = workloads::random_circuit(spec, rng);
+    EXPECT_EQ(unflatten(flatten(c), c.name()), c);
+  }
+}
+
+TEST(FlatIr, QubitsOfReportsInlineAndSpilledOperands) {
+  Circuit c(5, "ops");
+  c.cx(3, 1);
+  c.barrier({0, 1, 2, 3, 4});
+  FlatCircuit flat = flatten(c);
+  int count = 0;
+  const std::int32_t* q = flat.qubits_of(0, &count);
+  ASSERT_EQ(count, 2);
+  EXPECT_EQ(q[0], 3);
+  EXPECT_EQ(q[1], 1);
+  q = flat.qubits_of(1, &count);
+  ASSERT_EQ(count, 5);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q[i], i);
+}
+
+TEST(FlatIr, DefaultModeIsFlat) {
+  // The tests run without QFS_IR set; the hot path is the default.
+  EXPECT_EQ(ir_mode(), IrMode::kFlat);
+}
+
+/// Routed output of one router over one circuit under the current mode.
+std::string route_text(const mapper::Router& router, const Circuit& c,
+                       const device::Device& dev) {
+  qfs::Rng rng(1);
+  auto result =
+      router.route(c, dev, mapper::Layout::identity(dev.num_qubits()), rng);
+  return result.mapped.to_string() + "\nswaps=" +
+         std::to_string(result.swaps_inserted);
+}
+
+TEST(FlatIr, LookaheadRouterFlatMatchesLegacyPerCircuit) {
+  device::Device dev = device::surface17_device();
+  mapper::LookaheadRouter router;
+  std::vector<Circuit> circuits;
+  circuits.push_back(workloads::ghz(17));
+  circuits.push_back(workloads::qft(10, true));
+  {
+    qfs::Rng rng(5);
+    workloads::RandomCircuitSpec spec;
+    spec.num_qubits = 17;
+    spec.num_gates = 600;
+    spec.two_qubit_fraction = 0.45;
+    circuits.push_back(workloads::random_circuit(spec, rng));
+  }
+  for (const Circuit& raw : circuits) {
+    Circuit c = compiler::decompose_to_gateset(raw, dev.gateset());
+    std::string flat_text, legacy_text;
+    {
+      ScopedIrMode mode(IrMode::kFlat);
+      flat_text = route_text(router, c, dev);
+    }
+    {
+      ScopedIrMode mode(IrMode::kLegacy);
+      legacy_text = route_text(router, c, dev);
+    }
+    EXPECT_EQ(flat_text, legacy_text) << "circuit " << raw.name();
+  }
+}
+
+/// The paper's full 200-circuit suite compiled with the lookahead-heavy
+/// configuration under one mode; returns the canonical CSV plus every
+/// serialized MappingResult, so equality means bit-exact artifacts (cache
+/// payloads included), not just equal summary metrics.
+std::string suite_fingerprint(IrMode mode, int jobs) {
+  ScopedIrMode scoped(mode);
+  device::Device dev = device::surface17_device();
+  bench::SuiteRunConfig config;
+  config.jobs = jobs;
+  config.suite.max_qubits = 17;
+  config.suite.max_gates = 800;
+  config.mapping.placer = "degree-match";
+  config.mapping.router = "lookahead";
+  config.mapping.sabre_refinement_rounds = 1;
+  auto rows = bench::run_suite(dev, config);
+  std::string out = bench::suite_rows_to_csv(rows);
+  for (const auto& row : rows) {
+    out += cache::serialize_mapping_result(row.mapping);
+  }
+  return out;
+}
+
+TEST(FlatIr, SuiteWideEquivalenceFlatVsLegacyAtJobs1And8) {
+  const std::string flat1 = suite_fingerprint(IrMode::kFlat, 1);
+  const std::string legacy1 = suite_fingerprint(IrMode::kLegacy, 1);
+  EXPECT_EQ(flat1, legacy1);
+  const std::string flat8 = suite_fingerprint(IrMode::kFlat, 8);
+  EXPECT_EQ(flat1, flat8);
+  const std::string legacy8 = suite_fingerprint(IrMode::kLegacy, 8);
+  EXPECT_EQ(legacy1, legacy8);
+}
+
+}  // namespace
+}  // namespace qfs::circuit

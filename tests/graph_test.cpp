@@ -131,6 +131,32 @@ TEST(Algorithms, AllPairsMatchesSingleSource) {
   }
 }
 
+TEST(Algorithms, FlatAllPairsMatchesNested) {
+  qfs::Rng rng(6);
+  Graph g = random_connected_graph(13, 0.25, rng);
+  auto nested = all_pairs_hop_distances(g);
+  auto flat = flat_all_pairs_hop_distances(g);
+  ASSERT_EQ(flat.size(), 13u * 13u);
+  for (int u = 0; u < 13; ++u) {
+    for (int v = 0; v < 13; ++v) {
+      EXPECT_EQ(flat[static_cast<std::size_t>(u) * 13 +
+                     static_cast<std::size_t>(v)],
+                nested[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(Algorithms, FlatAllPairsMarksUnreachable) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  auto flat = flat_all_pairs_hop_distances(g);
+  EXPECT_EQ(flat[0 * 4 + 1], 1);
+  EXPECT_EQ(flat[0 * 4 + 2], kUnreachable);
+  EXPECT_EQ(flat[3 * 4 + 2], 1);
+  EXPECT_EQ(flat[3 * 4 + 0], kUnreachable);
+}
+
 TEST(Algorithms, ShortestPathEndpointsAndContiguity) {
   qfs::Rng rng(6);
   Graph g = random_connected_graph(15, 0.1, rng);

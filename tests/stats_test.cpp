@@ -46,6 +46,37 @@ TEST(Descriptive, QuantileInterpolates) {
   EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 15.0);
 }
 
+TEST(Descriptive, PercentileNearestRankSemantics) {
+  // Nearest rank: 1-based rank ceil(p * N), so every result is an actual
+  // sample. Pinned here because qfsd_loadgen and bench_compile_hotpath
+  // report p50/p99 through this exact definition.
+  std::vector<double> xs = {30, 0, 20, 10};  // unsorted on purpose
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.0), 0.0);    // min
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 1.0), 30.0);   // max
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.5), 10.0);   // rank 2 of 4
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.51), 20.0);  // rank 3 of 4
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(xs, 0.25), 0.0);   // rank 1 of 4
+}
+
+TEST(Descriptive, PercentileNearestRankSmallSamples) {
+  // The regression this replaces: round-half-up indexing of p*(N-1) made
+  // p=0.99 select the maximum for every N < 50 and was unguarded on empty
+  // input. p=0.99 over 10 samples is rank ceil(9.9) = 10 -> the maximum
+  // (correct for nearest-rank); over 200 samples it is rank 198, NOT the
+  // maximum.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({}, 0.99), 0.0);  // empty-safe
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank({7.0}, 0.99), 7.0);
+  std::vector<double> ten;
+  for (int i = 1; i <= 10; ++i) ten.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(ten, 0.99), 10.0);
+  std::vector<double> two_hundred;
+  for (int i = 1; i <= 200; ++i) two_hundred.push_back(i);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(two_hundred, 0.99), 198.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(two_hundred, 0.5), 100.0);
+  // A p epsilon above zero must clamp to rank 1, never index below it.
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(ten, 1e-12), 1.0);
+}
+
 TEST(Descriptive, StandardizeZeroMeanUnitVar) {
   std::vector<double> xs = {1, 2, 3, 4, 5};
   auto z = standardize(xs);

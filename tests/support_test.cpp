@@ -10,6 +10,7 @@
 #include "support/rng.h"
 #include "support/status.h"
 #include "support/strings.h"
+#include "support/timer.h"
 
 namespace qfs {
 namespace {
@@ -510,6 +511,16 @@ TEST(JsonParse, ControlCharacterInStringRejected) {
   ASSERT_FALSE(v.is_ok());
   EXPECT_NE(v.status().message().find("control character"),
             std::string::npos);
+}
+
+TEST(Timer, StopWatchIsMonotonicNonNegative) {
+  StopWatch watch;
+  double a = watch.elapsed_ms();
+  double b = watch.elapsed_ms();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+  watch.restart();
+  EXPECT_GE(watch.elapsed_ms(), 0.0);
 }
 
 }  // namespace

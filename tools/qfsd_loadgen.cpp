@@ -45,19 +45,16 @@
 #include "service/api.h"
 #include "service/client.h"
 #include "service/flags.h"
+#include "stats/descriptive.h"
 #include "support/json.h"
 #include "support/status.h"
 #include "support/strings.h"
+#include "support/timer.h"
 
 namespace {
 
 using namespace qfs;
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
+using Clock = qfs::MonotonicClock;
 
 // ---------------------------------------------------------------------------
 // Options and request construction
@@ -229,12 +226,11 @@ void count_response(LoadStats& local, const service::CompileResponse& resp) {
   if (resp.cache_hit) ++local.cache_hits;
 }
 
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  std::size_t index = static_cast<std::size_t>(
-      p * static_cast<double>(values.size() - 1) + 0.5);
-  return values[std::min(index, values.size() - 1)];
+// Percentile semantics live in one shared implementation
+// (stats::percentile_nearest_rank): empty-safe, exact at p=0/p=1, no
+// round-half-up index excursion for small sample counts.
+double percentile(const std::vector<double>& values, double p) {
+  return stats::percentile_nearest_rank(values, p);
 }
 
 // ---------------------------------------------------------------------------
