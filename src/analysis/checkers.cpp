@@ -86,6 +86,40 @@ const std::vector<CheckerInfo>& checker_registry() {
        "circuit register wider than the device", Stage::kVerify},
       {"QFS100", Severity::kError, "parse-error",
        "QASM source does not parse", Stage::kBoth},
+      // Translation validation (analysis/equiv.h): artifact-vs-source
+      // findings from the permutation-tracking matcher.
+      {"QFS101", Severity::kError, "artifact-structure",
+       "compiled artifact is structurally invalid (layout size, range or "
+       "injectivity, register width)",
+       Stage::kVerify},
+      {"QFS102", Severity::kError, "unmatched-physical-gate",
+       "physical gate matches no pending source gate under the tracked "
+       "permutation",
+       Stage::kVerify},
+      {"QFS103", Severity::kError, "missing-source-gate",
+       "source gate was never realized in the mapped circuit",
+       Stage::kVerify},
+      {"QFS104", Severity::kError, "parameter-mismatch",
+       "physical gate realizes a source gate with mismatched parameters",
+       Stage::kVerify},
+      {"QFS105", Severity::kError, "dead-or-distant-coupler",
+       "two-qubit gate on a physical pair with no live coupler",
+       Stage::kVerify},
+      {"QFS106", Severity::kError, "non-native-translation",
+       "mapped circuit contains a gate outside the device's native set",
+       Stage::kVerify},
+      {"QFS107", Severity::kError, "final-layout-mismatch",
+       "reported final layout differs from the accumulated permutation",
+       Stage::kVerify},
+      {"QFS108", Severity::kError, "schedule-order-violation",
+       "timed program violates per-qubit order, durations or booking",
+       Stage::kVerify},
+      {"QFS109", Severity::kError, "swap-count-mismatch",
+       "artifact swap metadata disagrees with the mapped circuit",
+       Stage::kVerify},
+      {"QFS110", Severity::kError, "operand-order-mismatch",
+       "physical gate reverses the operand order of its source gate",
+       Stage::kVerify},
   };
   return registry;
 }

@@ -18,10 +18,22 @@
 //   QFS008 warning  unreachable operations after measure-all
 //   QFS009 error    circuit register wider than the device
 //   QFS100 error    QASM source does not parse
+//   QFS101 error    compiled artifact is structurally invalid
+//   QFS102 error    physical gate matches no pending source gate
+//   QFS103 error    source gate never realized in the mapped circuit
+//   QFS104 error    physical gate realizes a source gate with wrong params
+//   QFS105 error    two-qubit gate on a pair with no live coupler
+//   QFS106 error    mapped circuit contains a non-native gate
+//   QFS107 error    final layout differs from the accumulated permutation
+//   QFS108 error    timed program violates per-qubit order/durations
+//   QFS109 error    swap metadata disagrees with the mapped circuit
+//   QFS110 error    physical gate reverses its source operand order
 //
 // QFS001-004 and QFS008 are device-independent ("lint" stage); QFS005,
 // QFS006, QFS007 and QFS009 need a device and only make sense for mapped
-// physical circuits ("verify" stage).
+// physical circuits ("verify" stage). QFS101-QFS110 are produced by the
+// translation validator (analysis/equiv.h), which checks a compiled
+// artifact against its source circuit.
 #pragma once
 
 #include <string>

@@ -1,0 +1,674 @@
+#include "analysis/equiv.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "compiler/decompose.h"
+
+namespace qfs::analysis {
+
+using circuit::Circuit;
+using circuit::Gate;
+using circuit::GateKind;
+using device::Device;
+
+namespace {
+
+Diagnostic make_diag(const char* code, std::string message,
+                     SourceLocation loc = {}) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.message = std::move(message);
+  d.location = loc;
+  return d;
+}
+
+/// Minimal physical<->virtual permutation tracker, mirroring
+/// mapper::Layout::from_partial / apply_swap exactly (reimplemented here so
+/// the analysis library does not depend on the mapper). Padding virtual ids
+/// (>= the source width) fill the free physical qubits in ascending order;
+/// which padding id sits where never affects validation, only the >= width
+/// test does.
+struct Perm {
+  std::vector<int> v2p;
+  std::vector<int> p2v;
+
+  static Perm from_partial(const std::vector<int>& virtual_to_physical,
+                           int num_physical) {
+    Perm p;
+    p.v2p.assign(static_cast<std::size_t>(num_physical), -1);
+    p.p2v.assign(static_cast<std::size_t>(num_physical), -1);
+    for (std::size_t v = 0; v < virtual_to_physical.size(); ++v) {
+      int phys = virtual_to_physical[v];
+      p.v2p[v] = phys;
+      p.p2v[static_cast<std::size_t>(phys)] = static_cast<int>(v);
+    }
+    int next_virtual = static_cast<int>(virtual_to_physical.size());
+    for (int phys = 0; phys < num_physical; ++phys) {
+      if (p.p2v[static_cast<std::size_t>(phys)] == -1) {
+        p.p2v[static_cast<std::size_t>(phys)] = next_virtual;
+        p.v2p[static_cast<std::size_t>(next_virtual)] = phys;
+        ++next_virtual;
+      }
+    }
+    return p;
+  }
+
+  void apply_swap(int pa, int pb) {
+    int va = p2v[static_cast<std::size_t>(pa)];
+    int vb = p2v[static_cast<std::size_t>(pb)];
+    std::swap(p2v[static_cast<std::size_t>(pa)],
+              p2v[static_cast<std::size_t>(pb)]);
+    v2p[static_cast<std::size_t>(va)] = pb;
+    v2p[static_cast<std::size_t>(vb)] = pa;
+  }
+};
+
+std::string gate_text(const Gate& g) { return circuit::gate_to_string(g); }
+
+/// Structural sanity of the artifact itself (QFS101). Matching is
+/// meaningless when these fail, so the caller bails out early.
+void check_structure(const Circuit& source, const Device& device,
+                     const TranslationArtifact& artifact,
+                     std::vector<Diagnostic>& out) {
+  const int np = device.num_qubits();
+  const int nv = source.num_qubits();
+  if (nv > np) {
+    std::ostringstream os;
+    os << "source circuit uses " << nv << " qubits but device '"
+       << device.name() << "' has only " << np;
+    out.push_back(make_diag("QFS101", os.str()));
+    return;
+  }
+  if (artifact.mapped->num_qubits() > np) {
+    std::ostringstream os;
+    os << "mapped circuit declares " << artifact.mapped->num_qubits()
+       << " qubits but device '" << device.name() << "' has only " << np;
+    out.push_back(make_diag("QFS101", os.str()));
+    return;
+  }
+  auto check_layout = [&](const char* label, const std::vector<int>& layout) {
+    if (static_cast<int>(layout.size()) != nv) {
+      std::ostringstream os;
+      os << label << " has " << layout.size() << " entries for a " << nv
+         << "-qubit source circuit";
+      out.push_back(make_diag("QFS101", os.str()));
+      return;
+    }
+    std::vector<bool> taken(static_cast<std::size_t>(np), false);
+    for (int v = 0; v < nv; ++v) {
+      int p = layout[static_cast<std::size_t>(v)];
+      if (p < 0 || p >= np) {
+        std::ostringstream os;
+        os << label << " maps virtual qubit " << v << " to physical " << p
+           << ", outside device '" << device.name() << "'";
+        out.push_back(make_diag("QFS101", os.str(), SourceLocation{-1, -1, v}));
+        return;
+      }
+      if (taken[static_cast<std::size_t>(p)]) {
+        std::ostringstream os;
+        os << label << " maps two virtual qubits to physical " << p;
+        out.push_back(make_diag("QFS101", os.str(), SourceLocation{-1, -1, v}));
+        return;
+      }
+      taken[static_cast<std::size_t>(p)] = true;
+    }
+  };
+  check_layout("initial layout", artifact.initial_layout);
+  check_layout("final layout", artifact.final_layout);
+}
+
+/// QFS105/QFS106: every gate native, every multi-qubit unitary on a live
+/// coupler. Independent of the matching walk so a corrupted permutation
+/// cannot mask a dead-coupler gate.
+void check_physical_legality(const Device& device, const Circuit& mapped,
+                             std::vector<Diagnostic>& out, int budget) {
+  const auto& topo = device.topology();
+  const auto& gateset = device.gateset();
+  for (int i = 0; i < static_cast<int>(mapped.gates().size()); ++i) {
+    if (static_cast<int>(out.size()) >= budget) return;
+    const Gate& g = mapped.gates()[static_cast<std::size_t>(i)];
+    if (!gateset.supports(g.kind)) {
+      std::ostringstream os;
+      os << "mapped gate " << i << " '" << circuit::gate_name(g.kind)
+         << "' is not native to gate set '" << gateset.name() << "'";
+      out.push_back(make_diag("QFS106", os.str(), SourceLocation{-1, i, -1}));
+    }
+    if (!circuit::is_unitary(g.kind) || g.qubits.size() < 2) continue;
+    for (std::size_t a = 0; a < g.qubits.size(); ++a) {
+      for (std::size_t b = a + 1; b < g.qubits.size(); ++b) {
+        if (topo.adjacent(g.qubits[a], g.qubits[b])) continue;
+        std::ostringstream os;
+        os << "mapped gate " << i << " '" << gate_text(g)
+           << "' couples physical qubits " << g.qubits[a] << " and "
+           << g.qubits[b] << ", which share no live coupler on device '"
+           << device.name() << "'";
+        out.push_back(
+            make_diag("QFS105", os.str(), SourceLocation{-1, i, g.qubits[a]}));
+      }
+    }
+  }
+}
+
+/// The matching engine: reference stream + per-qubit FIFO cursors + the
+/// tracked permutation.
+class Matcher {
+ public:
+  Matcher(const Circuit& source, const Device& device,
+          const TranslationArtifact& artifact)
+      : device_(device),
+        mapped_(*artifact.mapped),
+        num_virtual_(source.num_qubits()),
+        reference_(
+            compiler::decompose_to_gateset(source, device.gateset())),
+        perm_(Perm::from_partial(artifact.initial_layout,
+                                 device.num_qubits())) {
+    queues_.resize(static_cast<std::size_t>(num_virtual_));
+    heads_.assign(static_cast<std::size_t>(num_virtual_), 0);
+    const auto& gates = reference_.gates();
+    for (int i = 0; i < static_cast<int>(gates.size()); ++i) {
+      for (int q : gates[static_cast<std::size_t>(i)].qubits) {
+        queues_[static_cast<std::size_t>(q)].push_back(i);
+      }
+    }
+  }
+
+  /// Walk the mapped circuit, consuming reference gates and swap/bridge
+  /// templates; emits QFS102/103/104/107/109/110 findings.
+  void run(const TranslationArtifact& artifact, const EquivOptions& options,
+           std::vector<Diagnostic>& out) {
+    const auto& gates = mapped_.gates();
+    int swaps_seen = 0;
+    int i = 0;
+    while (i < static_cast<int>(gates.size())) {
+      if (static_cast<int>(out.size()) >= options.max_diagnostics) return;
+
+      // Zero-operand gates (an operand-less barrier) are structural no-ops
+      // on both sides of the translation.
+      if (gates[static_cast<std::size_t>(i)].qubits.empty()) {
+        ++i;
+        continue;
+      }
+
+      // Inserted SWAP? A router SWAP expands to a fixed template
+      // (cx a,b; cx b,a; cx a,b — further lowered on CZ-only targets) that
+      // is always contiguous in the mapped circuit, because expansion
+      // happens after routing.
+      if (auto tmpl = swap_template_at(i)) {
+        // Disambiguate against a *source* swap: the source gate lowers to
+        // the identical window but consumes a reference gate and leaves the
+        // permutation alone (its state exchange is the program's own).
+        if (auto ri = ready_reference_swap(tmpl->pa, tmpl->pb)) {
+          consume(*ri, heads_);
+          i += tmpl->length;
+          continue;
+        }
+        // ... or against the source genuinely containing the whole expanded
+        // pattern gate for gate (e.g. three alternating CXs): prefer the
+        // reference reading, which keeps the queues and permutation in sync.
+        if (!window_matches_references(i, tmpl->length)) {
+          perm_.apply_swap(tmpl->pa, tmpl->pb);
+          ++swaps_seen;
+          i += tmpl->length;
+          continue;
+        }
+      }
+
+      // Ordinary gate: one mapped gate realizes one reference gate.
+      if (auto ri = match_reference_at(gates[static_cast<std::size_t>(i)],
+                                       heads_)) {
+        consume(*ri, heads_);
+        ++i;
+        continue;
+      }
+
+      // Bridge? BridgeRouter realizes a distance-2 CX/CZ as a 4-CX bridge
+      // (CZ conjugated by H on the target) without touching the layout.
+      if (auto bridge = bridge_at(i)) {
+        consume(bridge->reference_index, heads_);
+        i += bridge->length;
+        continue;
+      }
+
+      diagnose_mismatch(i, out);
+      return;  // alignment is lost; later findings would be noise
+    }
+
+    // Every reference gate must have been realized.
+    report_unconsumed(options, out);
+    if (static_cast<int>(out.size()) >= options.max_diagnostics) return;
+
+    // The accumulated permutation must equal the reported final layout.
+    for (int v = 0; v < num_virtual_; ++v) {
+      if (static_cast<int>(out.size()) >= options.max_diagnostics) return;
+      int expected = perm_.v2p[static_cast<std::size_t>(v)];
+      int reported = artifact.final_layout[static_cast<std::size_t>(v)];
+      if (expected == reported) continue;
+      std::ostringstream os;
+      os << "final layout maps virtual qubit " << v << " to physical "
+         << reported << ", but the tracked permutation ends at physical "
+         << expected;
+      out.push_back(make_diag("QFS107", os.str(), SourceLocation{-1, -1, v}));
+    }
+
+    // Router-reported swap count vs what the walk actually saw.
+    if (artifact.swaps_inserted >= 0 && swaps_seen != artifact.swaps_inserted &&
+        static_cast<int>(out.size()) < options.max_diagnostics) {
+      std::ostringstream os;
+      os << "artifact metadata reports " << artifact.swaps_inserted
+         << " inserted swap(s) but the mapped circuit contains " << swaps_seen
+         << " swap expansion(s)";
+      out.push_back(make_diag("QFS109", os.str()));
+    }
+  }
+
+ private:
+  struct SwapWindow {
+    int pa = 0, pb = 0;
+    int length = 0;
+  };
+  struct BridgeWindow {
+    int reference_index = 0;
+    int length = 0;
+  };
+
+  /// Reference index ready for consumption matching `g` (kind, params, and
+  /// operand order under the current permutation), or nullopt.
+  std::optional<int> match_reference_at(const Gate& g,
+                                        const std::vector<int>& heads) const {
+    if (g.qubits.empty()) return std::nullopt;
+    std::vector<int> virt;
+    virt.reserve(g.qubits.size());
+    for (int p : g.qubits) {
+      int v = perm_.p2v[static_cast<std::size_t>(p)];
+      if (v >= num_virtual_) return std::nullopt;  // padding qubit
+      virt.push_back(v);
+    }
+    auto q0 = static_cast<std::size_t>(virt[0]);
+    if (heads[q0] >= static_cast<int>(queues_[q0].size())) return std::nullopt;
+    int ri = queues_[q0][static_cast<std::size_t>(heads[q0])];
+    const Gate& ref = reference_.gates()[static_cast<std::size_t>(ri)];
+    if (ref.kind != g.kind || ref.qubits != virt || ref.params != g.params) {
+      return std::nullopt;
+    }
+    if (!ready(ri, heads)) return std::nullopt;
+    return ri;
+  }
+
+  bool ready(int ri, const std::vector<int>& heads) const {
+    const Gate& ref = reference_.gates()[static_cast<std::size_t>(ri)];
+    for (int q : ref.qubits) {
+      auto idx = static_cast<std::size_t>(q);
+      if (heads[idx] >= static_cast<int>(queues_[idx].size())) return false;
+      if (queues_[idx][static_cast<std::size_t>(heads[idx])] != ri) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void consume(int ri, std::vector<int>& heads) const {
+    for (int q : reference_.gates()[static_cast<std::size_t>(ri)].qubits) {
+      ++heads[static_cast<std::size_t>(q)];
+    }
+  }
+
+  /// Lowered template of one gate sequence under the device gate set,
+  /// exactly as the pipeline would emit it.
+  std::vector<Gate> lower(const Circuit& c) const {
+    return compiler::decompose_to_gateset(compiler::expand_swaps(c),
+                                          device_.gateset())
+        .gates();
+  }
+
+  bool window_equals(int start, const std::vector<Gate>& tmpl) const {
+    const auto& gates = mapped_.gates();
+    if (start + static_cast<int>(tmpl.size()) >
+        static_cast<int>(gates.size())) {
+      return false;
+    }
+    for (std::size_t k = 0; k < tmpl.size(); ++k) {
+      if (!(gates[static_cast<std::size_t>(start) + k] == tmpl[k])) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Full swap-expansion window starting at mapped gate `start`, if any.
+  /// The candidate physical pair is read off the window itself: on a
+  /// CX-target the first gate is cx(a,b); on a CZ-only target the template
+  /// opens with ry(-pi/2) on b followed by cz(a,b).
+  std::optional<SwapWindow> swap_template_at(int start) const {
+    const auto& gates = mapped_.gates();
+    const Gate& g = gates[static_cast<std::size_t>(start)];
+    int pa = -1, pb = -1;
+    if (device_.gateset().supports(GateKind::kCx)) {
+      if (g.kind != GateKind::kCx) return std::nullopt;
+      pa = g.qubits[0];
+      pb = g.qubits[1];
+    } else {
+      if (g.kind != GateKind::kRy ||
+          start + 1 >= static_cast<int>(gates.size())) {
+        return std::nullopt;
+      }
+      const Gate& next = gates[static_cast<std::size_t>(start) + 1];
+      if (next.kind != GateKind::kCz || next.qubits[1] != g.qubits[0]) {
+        return std::nullopt;
+      }
+      pa = next.qubits[0];
+      pb = next.qubits[1];
+    }
+    Circuit c(device_.num_qubits());
+    c.swap(pa, pb);
+    std::vector<Gate> tmpl = lower(c);
+    if (!window_equals(start, tmpl)) return std::nullopt;
+    return SwapWindow{pa, pb, static_cast<int>(tmpl.size())};
+  }
+
+  /// Ready reference kSwap whose remapped expansion produced this window
+  /// (only reachable on gate sets where the source's own swaps survive
+  /// step-1 decomposition and are expanded after routing).
+  std::optional<int> ready_reference_swap(int pa, int pb) const {
+    int va = perm_.p2v[static_cast<std::size_t>(pa)];
+    int vb = perm_.p2v[static_cast<std::size_t>(pb)];
+    if (va >= num_virtual_ || vb >= num_virtual_) return std::nullopt;
+    auto qa = static_cast<std::size_t>(va);
+    if (heads_[qa] >= static_cast<int>(queues_[qa].size())) {
+      return std::nullopt;
+    }
+    int ri = queues_[qa][static_cast<std::size_t>(heads_[qa])];
+    const Gate& ref = reference_.gates()[static_cast<std::size_t>(ri)];
+    if (ref.kind != GateKind::kSwap || ref.qubits != std::vector<int>{va, vb}) {
+      return std::nullopt;
+    }
+    if (!ready(ri, heads_)) return std::nullopt;
+    return ri;
+  }
+
+  /// True when the whole window [start, start+length) can be consumed as
+  /// plain reference gates (tried on scratch cursors; the permutation is
+  /// never touched by 1:1 matches).
+  bool window_matches_references(int start, int length) const {
+    std::vector<int> scratch = heads_;
+    const auto& gates = mapped_.gates();
+    for (int k = 0; k < length; ++k) {
+      auto ri =
+          match_reference_at(gates[static_cast<std::size_t>(start + k)],
+                             scratch);
+      if (!ri) return false;
+      consume(*ri, scratch);
+    }
+    return true;
+  }
+
+  /// Bridge window starting at `start`: some ready reference CX/CZ whose
+  /// operand pair sits at hop distance 2 and whose BridgeRouter emission
+  /// (4-CX bridge, CZ conjugated by H on the target, then lowered) equals
+  /// the window. Only tried after plain matching fails, so the quadratic
+  /// candidate scan stays off the hot path.
+  std::optional<BridgeWindow> bridge_at(int start) const {
+    const auto& topo = device_.topology();
+    for (int v = 0; v < num_virtual_; ++v) {
+      auto idx = static_cast<std::size_t>(v);
+      if (heads_[idx] >= static_cast<int>(queues_[idx].size())) continue;
+      int ri = queues_[idx][static_cast<std::size_t>(heads_[idx])];
+      const Gate& ref = reference_.gates()[static_cast<std::size_t>(ri)];
+      if (ref.qubits.empty() || ref.qubits[0] != v) continue;  // once per ref
+      if (ref.kind != GateKind::kCx && ref.kind != GateKind::kCz) continue;
+      if (!ready(ri, heads_)) continue;
+      int pa = perm_.v2p[static_cast<std::size_t>(ref.qubits[0])];
+      int pb = perm_.v2p[static_cast<std::size_t>(ref.qubits[1])];
+      if (topo.distance(pa, pb) != 2) continue;
+      auto path = topo.shortest_path(pa, pb);
+      if (path.size() != 3) continue;
+      int pm = path[1];
+      Circuit c(device_.num_qubits());
+      if (ref.kind == GateKind::kCz) c.h(pb);
+      c.cx(pa, pm).cx(pm, pb).cx(pa, pm).cx(pm, pb);
+      if (ref.kind == GateKind::kCz) c.h(pb);
+      std::vector<Gate> tmpl = lower(c);
+      if (window_equals(start, tmpl)) {
+        return BridgeWindow{ri, static_cast<int>(tmpl.size())};
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// The window at `start` matched nothing: attribute the failure to the
+  /// most specific cause (QFS110 swapped operands, QFS104 wrong parameters,
+  /// QFS102 anything else).
+  void diagnose_mismatch(int i, std::vector<Diagnostic>& out) const {
+    const Gate& g = mapped_.gates()[static_cast<std::size_t>(i)];
+    std::vector<int> virt;
+    bool padding = false;
+    for (int p : g.qubits) {
+      int v = perm_.p2v[static_cast<std::size_t>(p)];
+      padding = padding || v >= num_virtual_;
+      virt.push_back(v);
+    }
+    if (!padding && !virt.empty()) {
+      auto q0 = static_cast<std::size_t>(virt[0]);
+      if (heads_[q0] < static_cast<int>(queues_[q0].size())) {
+        int ri = queues_[q0][static_cast<std::size_t>(heads_[q0])];
+        const Gate& ref = reference_.gates()[static_cast<std::size_t>(ri)];
+        if (ref.kind == g.kind && ready(ri, heads_)) {
+          std::vector<int> reversed(virt.rbegin(), virt.rend());
+          if (ref.qubits == reversed && ref.params == g.params &&
+              virt.size() == 2) {
+            std::ostringstream os;
+            os << "mapped gate " << i << " '" << gate_text(g)
+               << "' reverses the operand order of source gate " << ri
+               << " (expected virtual (" << ref.qubits[0] << ","
+               << ref.qubits[1] << "), got (" << virt[0] << "," << virt[1]
+               << "))";
+            out.push_back(
+                make_diag("QFS110", os.str(), SourceLocation{-1, i, -1}));
+            return;
+          }
+          if (ref.qubits == virt && ref.params != g.params) {
+            std::ostringstream os;
+            os << "mapped gate " << i << " '" << gate_text(g)
+               << "' realizes source gate " << ri
+               << " with mismatched parameters";
+            out.push_back(
+                make_diag("QFS104", os.str(), SourceLocation{-1, i, -1}));
+            return;
+          }
+        }
+      }
+    }
+    std::ostringstream os;
+    os << "mapped gate " << i << " '" << gate_text(g) << "'";
+    if (!virt.empty()) {
+      os << " (virtual";
+      for (int v : virt) {
+        if (v >= num_virtual_) {
+          os << " <pad>";
+        } else {
+          os << ' ' << v;
+        }
+      }
+      os << ")";
+    }
+    os << " matches no pending source gate under the tracked permutation";
+    out.push_back(make_diag("QFS102", os.str(), SourceLocation{-1, i, -1}));
+  }
+
+  void report_unconsumed(const EquivOptions& options,
+                         std::vector<Diagnostic>& out) const {
+    int missing = 0;
+    int first = -1;
+    std::vector<bool> reported(reference_.gates().size(), false);
+    for (int q = 0; q < num_virtual_; ++q) {
+      auto idx = static_cast<std::size_t>(q);
+      for (int h = heads_[idx]; h < static_cast<int>(queues_[idx].size());
+           ++h) {
+        int ri = queues_[idx][static_cast<std::size_t>(h)];
+        if (reported[static_cast<std::size_t>(ri)]) continue;
+        reported[static_cast<std::size_t>(ri)] = true;
+        ++missing;
+        if (first < 0 || ri < first) first = ri;
+      }
+    }
+    if (missing == 0 || static_cast<int>(out.size()) >= options.max_diagnostics)
+      return;
+    const Gate& ref = reference_.gates()[static_cast<std::size_t>(first)];
+    std::ostringstream os;
+    os << "source gate " << first << " '" << gate_text(ref)
+       << "' (decomposed form) was never realized in the mapped circuit ("
+       << missing << " source gate(s) unmatched)";
+    out.push_back(make_diag("QFS103", os.str(), SourceLocation{-1, first, -1}));
+  }
+
+  const Device& device_;
+  const Circuit& mapped_;
+  int num_virtual_;
+  Circuit reference_;
+  Perm perm_;
+  std::vector<std::vector<int>> queues_;  ///< per-virtual-qubit ref indices
+  std::vector<int> heads_;                ///< per-qubit cursor into queues_
+};
+
+/// QFS108: the timed program must carry exactly the mapped circuit's gates
+/// in per-qubit program order, with positive durations and no double
+/// booking. (Bundle-level overlap against control groups stays QFS007 /
+/// analyze_timed_program; this check is about fidelity to the artifact.)
+void check_timed_program(const Circuit& mapped, const isa::TimedProgram& timed,
+                         std::vector<Diagnostic>& out, int budget) {
+  struct Slot {
+    int start = 0, end = 0, instr = 0;
+    const isa::Instruction* ins = nullptr;
+  };
+  std::vector<std::vector<Slot>> per_qubit(
+      static_cast<std::size_t>(std::max(timed.num_qubits(), 0)));
+  int instr_index = 0;
+  for (const isa::Bundle& b : timed.bundles()) {
+    for (const isa::Instruction& ins : b.instructions) {
+      if (ins.duration_cycles < 1) {
+        if (static_cast<int>(out.size()) >= budget) return;
+        std::ostringstream os;
+        os << "timed instruction " << instr_index << " '"
+           << circuit::gate_name(ins.kind) << "' at cycle " << b.start_cycle
+           << " has non-positive duration " << ins.duration_cycles;
+        out.push_back(
+            make_diag("QFS108", os.str(), SourceLocation{-1, instr_index, -1}));
+      }
+      for (int q : ins.qubits) {
+        if (q < 0 || q >= timed.num_qubits()) {
+          if (static_cast<int>(out.size()) >= budget) return;
+          std::ostringstream os;
+          os << "timed instruction " << instr_index << " operand " << q
+             << " is out of range for a " << timed.num_qubits()
+             << "-qubit program";
+          out.push_back(make_diag("QFS108", os.str(),
+                                  SourceLocation{-1, instr_index, q}));
+          continue;
+        }
+        per_qubit[static_cast<std::size_t>(q)].push_back(
+            Slot{b.start_cycle,
+                 b.start_cycle + std::max(ins.duration_cycles, 1), instr_index,
+                 &ins});
+      }
+      ++instr_index;
+    }
+  }
+
+  // Overlap: a qubit executes one instruction at a time.
+  for (int q = 0; q < timed.num_qubits(); ++q) {
+    const auto& slots = per_qubit[static_cast<std::size_t>(q)];
+    for (std::size_t a = 0; a < slots.size(); ++a) {
+      for (std::size_t b = a + 1; b < slots.size(); ++b) {
+        if (slots[a].start < slots[b].end && slots[b].start < slots[a].end) {
+          if (static_cast<int>(out.size()) >= budget) return;
+          std::ostringstream os;
+          os << "qubit " << q << " is double-booked: timed instructions "
+             << slots[a].instr << " and " << slots[b].instr
+             << " overlap in cycles ["
+             << std::max(slots[a].start, slots[b].start) << ", "
+             << std::min(slots[a].end, slots[b].end) << ")";
+          out.push_back(make_diag("QFS108", os.str(),
+                                  SourceLocation{-1, slots[b].instr, q}));
+        }
+      }
+    }
+  }
+
+  // Per-qubit order and content must equal the mapped circuit's (barriers
+  // are structural and never lowered into timed programs).
+  for (int q = 0; q < timed.num_qubits(); ++q) {
+    std::vector<Slot> slots = per_qubit[static_cast<std::size_t>(q)];
+    std::stable_sort(slots.begin(), slots.end(),
+                     [](const Slot& a, const Slot& b) {
+                       return a.start < b.start;
+                     });
+    std::vector<const Gate*> expected;
+    for (const Gate& g : mapped.gates()) {
+      if (g.kind == GateKind::kBarrier) continue;
+      for (int gq : g.qubits) {
+        if (gq == q) expected.push_back(&g);
+      }
+    }
+    bool mismatch = slots.size() != expected.size();
+    for (std::size_t k = 0; !mismatch && k < slots.size(); ++k) {
+      const isa::Instruction& ins = *slots[k].ins;
+      const Gate& g = *expected[k];
+      mismatch = ins.kind != g.kind || ins.qubits != g.qubits ||
+                 ins.params != g.params;
+    }
+    if (!mismatch) continue;
+    if (static_cast<int>(out.size()) >= budget) return;
+    std::ostringstream os;
+    os << "timed program does not replay the mapped circuit on qubit " << q
+       << " (" << slots.size() << " instruction(s) vs " << expected.size()
+       << " gate(s), or order/content differ)";
+    out.push_back(make_diag("QFS108", os.str(), SourceLocation{-1, -1, q}));
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> validate_translation(const Circuit& source,
+                                             const Device& device,
+                                             const TranslationArtifact& artifact,
+                                             const EquivOptions& options) {
+  std::vector<Diagnostic> out;
+  if (artifact.mapped == nullptr) {
+    out.push_back(make_diag("QFS101", "artifact carries no mapped circuit"));
+    return out;
+  }
+  check_structure(source, device, artifact, out);
+  if (!out.empty()) return out;  // matching needs a well-formed skeleton
+
+  check_physical_legality(device, *artifact.mapped, out,
+                          options.max_diagnostics);
+  if (static_cast<int>(out.size()) < options.max_diagnostics) {
+    Matcher matcher(source, device, artifact);
+    matcher.run(artifact, options, out);
+  }
+  if (artifact.timed != nullptr &&
+      static_cast<int>(out.size()) < options.max_diagnostics) {
+    check_timed_program(*artifact.mapped, *artifact.timed, out,
+                        options.max_diagnostics);
+  }
+  if (static_cast<int>(out.size()) > options.max_diagnostics) {
+    out.resize(static_cast<std::size_t>(options.max_diagnostics));
+  }
+  return out;
+}
+
+bool translation_is_valid(const Circuit& source, const Device& device,
+                          const TranslationArtifact& artifact,
+                          const EquivOptions& options) {
+  for (const Diagnostic& d :
+       validate_translation(source, device, artifact, options)) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+}  // namespace qfs::analysis

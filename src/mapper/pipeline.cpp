@@ -4,6 +4,7 @@
 #include <iterator>
 #include <sstream>
 
+#include "analysis/equiv.h"
 #include "compiler/decompose.h"
 #include "device/fidelity.h"
 #include "sim/equivalence.h"
@@ -150,13 +151,23 @@ qfs::Status validate_attempt(const Circuit& original,
                              const MappingResult& result, const Device& device,
                              const ResilientOptions& options,
                              std::uint64_t seed) {
-  if (!respects_connectivity(result.mapped, device)) {
-    return qfs::failed_precondition(
-        "mapped circuit violates the coupling graph");
-  }
-  if (!device.gateset().supports_circuit(result.mapped)) {
-    return qfs::failed_precondition(
-        "mapped circuit uses gates outside the device's primitive set");
+  // Translation validation subsumes the old ad-hoc connectivity and
+  // gate-set checks: the validator proves every physical gate is native, on
+  // a live coupler, and realizes exactly one source gate under the tracked
+  // permutation (QFS101-QFS110).
+  analysis::TranslationArtifact artifact;
+  artifact.mapped = &result.mapped;
+  artifact.initial_layout = result.initial_layout;
+  artifact.final_layout = result.final_layout;
+  artifact.swaps_inserted = result.swaps_inserted;
+  analysis::EquivOptions equiv;
+  equiv.max_diagnostics = 1;  // the first finding decides the attempt
+  std::vector<analysis::Diagnostic> findings =
+      analysis::validate_translation(original, device, artifact, equiv);
+  if (!findings.empty()) {
+    return qfs::failed_precondition("translation validation failed: " +
+                                    analysis::diagnostic_to_string(
+                                        findings.front()));
   }
   if (!std::isfinite(result.log_fidelity_after) ||
       result.log_fidelity_after > 1e-9 ||

@@ -119,6 +119,7 @@ const std::vector<std::string>& known_request_fields() {
       "crosstalk_safe", "emit_qasm",   "emit_cqasm",
       "emit_timed",  "digest",         "cache",
       "deadline_ms", "attempt",        "chaos",
+      "verify_artifact",
   };
   return fields;
 }
@@ -181,6 +182,9 @@ JsonValue request_to_json(const CompileRequest& request) {
   if (request.emit_cqasm) doc.set("emit_cqasm", JsonValue::boolean(true));
   if (request.emit_timed) doc.set("emit_timed", JsonValue::boolean(true));
   if (!request.want_digest) doc.set("digest", JsonValue::boolean(false));
+  if (request.verify_artifact) {
+    doc.set("verify_artifact", JsonValue::boolean(true));
+  }
   if (request.cache_policy != CachePolicy::kDefault) {
     doc.set("cache", JsonValue::string(cache_policy_name(
                          request.cache_policy)));
@@ -311,6 +315,8 @@ qfs::StatusOr<CompileRequest> request_from_json(const JsonValue& json) {
       status = read_bool(value, field, request.emit_timed);
     } else if (field == "digest") {
       status = read_bool(value, field, request.want_digest);
+    } else if (field == "verify_artifact") {
+      status = read_bool(value, field, request.verify_artifact);
     } else if (field == "cache") {
       std::string name;
       status = read_string(value, field, name);

@@ -131,6 +131,13 @@ struct CompileRequest {
   /// suite benches switch it off to keep the hot loop lean).
   bool want_digest = true;
 
+  /// Run the translation validator (analysis/equiv.h) over the compiled
+  /// artifact before responding: a compile whose output fails QFS101-QFS110
+  /// comes back as an internal error with the findings attached instead of
+  /// an invalid mapping. qfsc exposes this as --verify-output; qfsd honors
+  /// it on every wire request.
+  bool verify_artifact = false;
+
   CachePolicy cache_policy = CachePolicy::kDefault;
 
   /// Wall-clock budget in milliseconds from admission. Negative = none;

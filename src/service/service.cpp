@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "analysis/checkers.h"
+#include "analysis/equiv.h"
 #include "cache/artifact.h"
 #include "cache/fingerprint.h"
 #include "cache/memo.h"
@@ -350,7 +351,14 @@ CompileResponse execute_impl(const ServiceConfig& config,
     if (cache != nullptr) {
       cache::Fingerprint base = cache::compile_fingerprint(
           qasm::to_qasm(*circuit), dev, options, request.seed);
-      mapper::AttemptMemo inner = cache::make_attempt_memo(*cache, base);
+      // Hits are revalidated against the source circuit: a semantically
+      // corrupted artifact counts as a corrupt payload + miss and the rung
+      // recompiles fresh.
+      cache::MemoValidation validation;
+      validation.source = circuit;
+      validation.device = &dev;
+      mapper::AttemptMemo inner =
+          cache::make_attempt_memo(*cache, base, validation);
       memo.lookup = [&memo_hit, lookup = std::move(inner.lookup)](
                         const std::string& key, mapper::MappingResult* out) {
         bool hit = lookup(key, out);
@@ -397,14 +405,37 @@ CompileResponse execute_impl(const ServiceConfig& config,
   if (request.emit_cqasm) {
     response.mapped_cqasm = qasm::to_cqasm(response.mapping.mapped);
   }
+  isa::TimedProgram timed;
+  bool have_timed = false;
   if (request.emit_timed) {
     compiler::ScheduleOptions sched;
     sched.avoid_crosstalk = request.crosstalk_safe;
     auto schedule =
         compiler::asap_schedule(response.mapping.mapped, dev, sched);
-    response.timed_text =
-        isa::lower_to_timed_program(response.mapping.mapped, schedule)
-            .to_text();
+    timed = isa::lower_to_timed_program(response.mapping.mapped, schedule);
+    have_timed = true;
+    response.timed_text = timed.to_text();
+  }
+
+  // --- Output verification (qfsc --verify-output / "verify_artifact") ----
+  // Independent proof that what we are about to hand out still computes the
+  // request's circuit: the permutation-tracking translation validator over
+  // the mapping (and the emitted timed program, when there is one). A
+  // failure here is by definition a compiler bug, not a bad request.
+  if (request.verify_artifact) {
+    analysis::TranslationArtifact artifact;
+    artifact.mapped = &response.mapping.mapped;
+    artifact.initial_layout = response.mapping.initial_layout;
+    artifact.final_layout = response.mapping.final_layout;
+    artifact.swaps_inserted = response.mapping.swaps_inserted;
+    if (have_timed) artifact.timed = &timed;
+    std::vector<analysis::Diagnostic> findings =
+        analysis::validate_translation(*circuit, dev, artifact);
+    if (analysis::has_errors(findings)) {
+      response.diagnostics = std::move(findings);
+      return fail(std::move(response), ErrorCode::kInternal,
+                  "compiled artifact failed translation validation");
+    }
   }
   response.timing.total_ms = ms_since(start);
   return response;

@@ -6,10 +6,15 @@
 
 #include "analysis/checkers.h"
 #include "analysis/diagnostic.h"
+#include "circuit/flat.h"
 #include "compiler/pass_manager.h"
+#include "compiler/schedule.h"
 #include "device/device.h"
 #include "isa/timed_program.h"
+#include "mapper/pipeline.h"
 #include "qasm/parser.h"
+#include "support/rng.h"
+#include "workloads/suite.h"
 
 namespace qfs::analysis {
 namespace {
@@ -254,6 +259,58 @@ TEST(TimedProgram, CleanProgramHasNoFindings) {
   isa::TimedProgram program("clean", 20.0, 4, bundles);
   ASSERT_TRUE(isa::program_is_valid(program, dev));
   EXPECT_TRUE(analyze_timed_program(program, dev).empty());
+}
+
+TEST(TimedProgram, Qfs007ParityAcrossFlatAndLegacyIr) {
+  // The QFS007 contract must not depend on which IR drove scheduling:
+  // compile + schedule + lower under each mode and require the timed
+  // program and its full diagnostic list to be identical. A flat-path
+  // scheduling divergence would show up here as asymmetric findings.
+  device::Device dev = device::surface17_device();
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 4;
+  suite_opts.real_count = 4;
+  suite_opts.reversible_count = 2;
+  suite_opts.max_qubits = 17;
+  suite_opts.max_gates = 400;
+  qfs::Rng suite_rng(21);
+  auto suite = workloads::make_suite(suite_opts, suite_rng);
+
+  auto run_mode = [&](circuit::IrMode mode, const Circuit& source,
+                      std::uint64_t seed) {
+    struct Outcome {
+      std::string program_text;
+      std::vector<Diagnostic> diags;
+    };
+    circuit::set_ir_mode_for_testing(mode);
+    mapper::MappingOptions options;
+    options.placer = "degree-match";
+    options.router = "lookahead";
+    qfs::Rng rng(seed);
+    mapper::MappingResult result =
+        mapper::map_circuit(source, dev, options, rng);
+    compiler::Schedule schedule = compiler::asap_schedule(result.mapped, dev);
+    isa::TimedProgram program =
+        isa::lower_to_timed_program(result.mapped, schedule);
+    Outcome outcome;
+    outcome.program_text = program.to_text();
+    outcome.diags = analyze_timed_program(program, dev);
+    circuit::set_ir_mode_for_testing(circuit::IrMode::kFlat);
+    return outcome;
+  };
+
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    auto flat = run_mode(circuit::IrMode::kFlat, suite[i].circuit, i);
+    auto legacy = run_mode(circuit::IrMode::kLegacy, suite[i].circuit, i);
+    EXPECT_EQ(flat.program_text, legacy.program_text) << suite[i].name;
+    EXPECT_EQ(flat.diags, legacy.diags) << suite[i].name;
+    // The compiled suite programs are well-formed: schedule checkers stay
+    // silent in both modes (so the parity above is not vacuous agreement
+    // on some shared failure).
+    EXPECT_TRUE(flat.diags.empty())
+        << suite[i].name << ":\n"
+        << render_diagnostics(flat.diags);
+  }
 }
 
 // ---------------------------------------------------------------------------

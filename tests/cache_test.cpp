@@ -389,5 +389,73 @@ TEST(AttemptMemoTest, CorruptMemoEntryFallsBackToFreshCompile) {
   EXPECT_GE(cache.stats().corrupt_entries, 1u);
 }
 
+TEST(AttemptMemoTest, SemanticallyCorruptEntryIsARevalidatedMiss) {
+  // The nastier corruption class: the payload deserializes cleanly but no
+  // longer computes the source circuit. Only hit revalidation through the
+  // translation validator (memo.h + analysis/equiv.h) can catch it.
+  device::Device dev = device::surface17_device();
+  Rng rng(5);
+  workloads::SuiteOptions suite_opts;
+  suite_opts.random_count = 1;
+  suite_opts.real_count = 0;
+  suite_opts.reversible_count = 0;
+  suite_opts.max_qubits = 8;
+  suite_opts.max_gates = 60;
+  auto suite = workloads::make_suite(suite_opts, rng);
+  ASSERT_EQ(suite.size(), 1u);
+  const auto& b = suite[0];
+
+  CompileCache cache(CacheConfig{});
+  mapper::ResilientOptions resilient;
+  resilient.base.compute_latency = true;
+  Fingerprint base = compile_fingerprint(qasm::to_qasm(b.circuit), dev,
+                                         resilient.base, resilient.seed);
+  MemoValidation validation;
+  validation.source = &b.circuit;
+  validation.device = &dev;
+  mapper::AttemptMemo memo = make_attempt_memo(cache, base, validation);
+  resilient.memo = &memo;
+
+  auto first = mapper::compile_resilient(b.circuit, dev, resilient);
+  ASSERT_TRUE(first.is_ok());
+  const auto baseline = cache.stats();
+
+  // Corrupt the stored artifact semantically: drop the mapped circuit's
+  // last gate. The serialization stays perfectly parseable.
+  std::string attempt_key = resilient.base.placer + "|" +
+                            resilient.base.router + "|" +
+                            std::to_string(resilient.seed);
+  Fingerprint key = attempt_fingerprint(base, attempt_key);
+  auto stored = load_mapping(cache, key);
+  ASSERT_TRUE(stored.has_value());
+  circuit::Circuit truncated(stored->mapped.num_qubits(),
+                             stored->mapped.name());
+  for (std::size_t i = 0; i + 1 < stored->mapped.gates().size(); ++i) {
+    truncated.add(stored->mapped.gates()[i]);
+  }
+  stored->mapped = truncated;
+  store_mapping(cache, key, *stored);
+  ASSERT_TRUE(load_mapping(cache, key).has_value())
+      << "corruption must survive a plain (unvalidated) load";
+
+  // The next compile revalidates the hit, records the corruption, and
+  // degrades to a fresh compile with the original output.
+  auto again = mapper::compile_resilient(b.circuit, dev, resilient);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_EQ(qasm::to_qasm(again.value().mapping.mapped),
+            qasm::to_qasm(first.value().mapping.mapped));
+  auto snap = cache.stats();
+  EXPECT_EQ(snap.corrupt_entries, baseline.corrupt_entries + 1);
+  // Two stores since the baseline: the corruption write above, then the
+  // fresh compile re-storing a good artifact over it.
+  EXPECT_EQ(snap.stores, baseline.stores + 2);
+
+  // And the re-store healed the cache: one more compile is a clean hit.
+  auto healed = mapper::compile_resilient(b.circuit, dev, resilient);
+  ASSERT_TRUE(healed.is_ok());
+  EXPECT_EQ(cache.stats().corrupt_entries, snap.corrupt_entries);
+  EXPECT_GT(cache.stats().memory_hits, snap.memory_hits);
+}
+
 }  // namespace
 }  // namespace qfs::cache

@@ -1,0 +1,151 @@
+// Suite-wide translation-validation gate: every circuit of the paper's
+// 200-circuit benchmark suite, compiled with the lookahead-heavy
+// configuration, must validate clean under analysis/equiv.h — in both the
+// flat and the legacy IR mode. A false rejection here means the validator
+// (not the compiler) is wrong; a real rejection means the compiler shipped
+// a broken artifact. Either way this test is the tripwire.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/equiv.h"
+#include "circuit/flat.h"
+#include "device/device.h"
+#include "mapper/pipeline.h"
+#include "support/rng.h"
+#include "workloads/suite.h"
+
+namespace qfs::analysis {
+namespace {
+
+class ScopedIrMode {
+ public:
+  explicit ScopedIrMode(circuit::IrMode mode) {
+    circuit::set_ir_mode_for_testing(mode);
+  }
+  ~ScopedIrMode() { circuit::set_ir_mode_for_testing(circuit::IrMode::kFlat); }
+};
+
+/// Compile every suite circuit and validate the artifact; returns the
+/// rendered findings of the first failure ("" = all clean).
+std::string validate_suite(const device::Device& device,
+                           const workloads::SuiteOptions& suite_options,
+                           const mapper::MappingOptions& mapping,
+                           std::uint64_t seed) {
+  qfs::Rng suite_rng(seed);
+  std::vector<workloads::Benchmark> suite =
+      workloads::make_suite(suite_options, suite_rng);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    qfs::Rng rng(qfs::derive_seed(seed, i));
+    mapper::MappingResult result =
+        mapper::map_circuit(suite[i].circuit, device, mapping, rng);
+    TranslationArtifact artifact;
+    artifact.mapped = &result.mapped;
+    artifact.initial_layout = result.initial_layout;
+    artifact.final_layout = result.final_layout;
+    artifact.swaps_inserted = result.swaps_inserted;
+    std::vector<Diagnostic> findings =
+        validate_translation(suite[i].circuit, device, artifact);
+    if (!findings.empty()) {
+      return suite[i].name + ":\n" + render_diagnostics(findings);
+    }
+  }
+  return "";
+}
+
+workloads::SuiteOptions paper_suite_capped() {
+  // The paper's 200-circuit mix (80 random / 80 real / 40 reversible),
+  // sized for surface-17 like the suite-equivalence pin in flat_ir_test.
+  workloads::SuiteOptions options;
+  options.max_qubits = 17;
+  options.max_gates = 800;
+  return options;
+}
+
+mapper::MappingOptions lookahead_config() {
+  mapper::MappingOptions mapping;
+  mapping.placer = "degree-match";
+  mapping.router = "lookahead";
+  mapping.sabre_refinement_rounds = 1;
+  return mapping;
+}
+
+TEST(EquivValidation, PaperSuiteValidatesCleanUnderFlatIr) {
+  ScopedIrMode mode(circuit::IrMode::kFlat);
+  std::string failure =
+      validate_suite(device::surface17_device(), paper_suite_capped(),
+                     lookahead_config(), 2022);
+  EXPECT_EQ(failure, "");
+}
+
+TEST(EquivValidation, PaperSuiteValidatesCleanUnderLegacyIr) {
+  ScopedIrMode mode(circuit::IrMode::kLegacy);
+  std::string failure =
+      validate_suite(device::surface17_device(), paper_suite_capped(),
+                     lookahead_config(), 2022);
+  EXPECT_EQ(failure, "");
+}
+
+TEST(EquivValidation, LargeDeviceSubsetValidatesCleanBothModes) {
+  // A smaller draw at full paper width (up to 54 qubits) on surface-97,
+  // covering layouts with many padding qubits and long swap chains.
+  workloads::SuiteOptions options;
+  options.random_count = 8;
+  options.real_count = 8;
+  options.reversible_count = 4;
+  options.max_qubits = 54;
+  options.max_gates = 2000;
+  {
+    ScopedIrMode mode(circuit::IrMode::kFlat);
+    EXPECT_EQ(validate_suite(device::surface97_device(), options,
+                             lookahead_config(), 7),
+              "");
+  }
+  {
+    ScopedIrMode mode(circuit::IrMode::kLegacy);
+    EXPECT_EQ(validate_suite(device::surface97_device(), options,
+                             lookahead_config(), 7),
+              "");
+  }
+}
+
+TEST(EquivValidation, EveryRouterValidatesOnRepresentativeCircuits) {
+  // The validator must understand each router's emission style: trivial
+  // (swap chains), lookahead, noise-aware, bridge (4-CX bridges), optimal
+  // (exhaustive per-slice permutations).
+  workloads::SuiteOptions options;
+  options.random_count = 3;
+  options.real_count = 3;
+  options.reversible_count = 2;
+  options.max_qubits = 8;
+  options.max_gates = 200;
+  for (const char* router : {"trivial", "lookahead", "noise-aware", "bridge"}) {
+    mapper::MappingOptions mapping;
+    mapping.placer = "degree-match";
+    mapping.router = router;
+    EXPECT_EQ(validate_suite(device::surface17_device(), options, mapping, 11),
+              "")
+        << "router " << router;
+  }
+  // The optimal router searches permutations exhaustively per slice, so it
+  // only gets toy inputs (the same regime its own tests run it in).
+  {
+    workloads::SuiteOptions tiny;
+    tiny.random_count = 2;
+    tiny.real_count = 2;
+    tiny.reversible_count = 1;
+    tiny.min_qubits = 2;
+    tiny.max_qubits = 4;
+    tiny.min_gates = 5;
+    tiny.max_gates = 40;
+    mapper::MappingOptions mapping;
+    mapping.placer = "degree-match";
+    mapping.router = "optimal";
+    EXPECT_EQ(validate_suite(device::line_device(4), tiny, mapping, 11), "")
+        << "router optimal";
+  }
+}
+
+}  // namespace
+}  // namespace qfs::analysis

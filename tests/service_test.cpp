@@ -106,6 +106,7 @@ TEST(RequestCodec, RoundTripsNonDefaultFields) {
   req.emit_qasm = true;
   req.emit_timed = true;
   req.want_digest = false;
+  req.verify_artifact = true;
   req.cache_policy = CachePolicy::kBypass;
   req.deadline_ms = 1500.0;
 
@@ -132,6 +133,7 @@ TEST(RequestCodec, RoundTripsNonDefaultFields) {
   EXPECT_EQ(back.emit_qasm, req.emit_qasm);
   EXPECT_EQ(back.emit_timed, req.emit_timed);
   EXPECT_EQ(back.want_digest, req.want_digest);
+  EXPECT_EQ(back.verify_artifact, req.verify_artifact);
   EXPECT_EQ(back.cache_policy, req.cache_policy);
   EXPECT_DOUBLE_EQ(back.deadline_ms, req.deadline_ms);
 }
@@ -267,6 +269,24 @@ TEST(Service, CompilesInlineQasm) {
   EXPECT_GE(resp.mapping.gates_after, resp.mapping.gates_before);
   EXPECT_EQ(resp.mapped_digest.size(), 32u);  // hash128 hex
   EXPECT_FALSE(resp.cache_hit);
+}
+
+TEST(Service, VerifyArtifactPassesOnHealthyCompiles) {
+  CompileService service;
+  CompileRequest req = bell_request();
+  req.verify_artifact = true;
+  req.emit_timed = true;  // the timed program is validated too (QFS108)
+  CompileResponse resp = service.execute(req);
+  ASSERT_TRUE(resp.ok()) << resp.error_message;
+  EXPECT_TRUE(resp.has_mapping);
+  EXPECT_TRUE(resp.diagnostics.empty());
+  EXPECT_FALSE(resp.timed_text.empty());
+
+  // Both pipelines honor the flag.
+  req.pipeline = "direct";
+  resp = service.execute(req);
+  ASSERT_TRUE(resp.ok()) << resp.error_message;
+  EXPECT_TRUE(resp.diagnostics.empty());
 }
 
 TEST(Service, QasmParseErrorIsTyped) {

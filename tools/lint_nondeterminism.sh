@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Nondeterminism-source lint for src/.
+#
+# The repo's determinism contract (seeded Rng streams only; byte-identical
+# suite output for any --jobs value; reproducible cache fingerprints) dies
+# the moment somebody reaches for an ambient entropy source. This lint
+# fails the build when src/ picks up:
+#
+#   rand-family      libc rand()/srand(): unseeded global-state PRNG
+#   std-time         std::time() / time(NULL): wall-clock seeds
+#   wall-clock       system_clock / high_resolution_clock / gettimeofday /
+#                    clock(): non-monotonic clocks (benches must go through
+#                    support/timer.h, which pins steady_clock)
+#   unordered-iter   range-for over an unordered container: iteration order
+#                    is implementation-defined, so any serialized output fed
+#                    from one is nondeterministic across platforms
+#
+# Line comments are stripped before matching, so prose about these APIs
+# (e.g. the rationale in support/timer.h) does not trip the lint. Genuine
+# exceptions go in tools/lint_nondeterminism_allowlist.txt, one path prefix
+# per line, with a justifying comment.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+allowlist=tools/lint_nondeterminism_allowlist.txt
+
+# name|regex pairs (POSIX ERE; (^|[^[:alnum:]_]) stands in for \b).
+checks=(
+  'rand-family|(^|[^[:alnum:]_])s?rand[[:space:]]*\('
+  'std-time|std::time[[:space:]]*\(|(^|[^[:alnum:]_])time[[:space:]]*\([[:space:]]*(NULL|nullptr|0)[[:space:]]*\)'
+  'wall-clock|system_clock|high_resolution_clock|gettimeofday|(^|[^[:alnum:]_])clock[[:space:]]*\('
+  'unordered-iter|for[[:space:]]*\(.*:.*unordered_(map|set)'
+)
+
+allowed() {
+  # $1 = "file:line:text"; allowed when the file starts with any
+  # non-comment allowlist entry.
+  local file="${1%%:*}"
+  [ -f "$allowlist" ] || return 1
+  while IFS= read -r entry; do
+    case "$entry" in ''|'#'*) continue ;; esac
+    case "$file" in "$entry"*) return 0 ;; esac
+  done < "$allowlist"
+  return 1
+}
+
+status=0
+for check in "${checks[@]}"; do
+  name="${check%%|*}"
+  regex="${check#*|}"
+  # grep narrows to candidate lines; awk re-tests after stripping
+  # end-of-line // comments so documentation cannot trip the lint.
+  hits="$(grep -rn --include='*.cpp' --include='*.h' -E "$regex" src \
+    | awk -v re="$regex" -F: 'BEGIN{OFS=":"} {
+        line = $0
+        sub(/^[^:]*:[0-9]*:/, "", line)
+        sub(/\/\/.*/, "", line)
+        sub(/^[[:space:]]*\*.*/, "", line)   # block-comment continuation
+        if (line ~ re) print $0
+      }')"
+  [ -n "$hits" ] || continue
+  while IFS= read -r hit; do
+    if allowed "$hit"; then
+      continue
+    fi
+    echo "lint_nondeterminism[$name]: $hit" >&2
+    status=1
+  done <<< "$hits"
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "" >&2
+  echo "nondeterminism sources found in src/ (see tools/lint_nondeterminism.sh" >&2
+  echo "for the contract; genuine exceptions belong in $allowlist)" >&2
+fi
+exit "$status"

@@ -58,6 +58,7 @@ struct CliOptions {
   bool profile_only = false;
   bool lint = false;
   bool verify = false;
+  bool verify_output = false;
   bool recommend = false;
   bool draw_circuit = false;
   bool avoid_crosstalk = false;
@@ -122,6 +123,12 @@ void print_usage() {
       "                    check gate-set membership, coupling-graph\n"
       "                    adjacency, register width and the scheduled\n"
       "                    program's control-group timing\n"
+      "  --verify-output   after compiling, run the translation validator\n"
+      "                    over the produced artifact: every physical gate\n"
+      "                    must realize exactly one source gate under the\n"
+      "                    tracked qubit permutation (QFS101-QFS110); a\n"
+      "                    failure is reported as an internal compiler\n"
+      "                    error (exit 6) with the findings\n"
       "  --profile         print the interaction-graph profile and exit\n"
       "  --recommend       use (and print) the profile-based strategy\n"
       "                    recommendation instead of --placer/--router\n"
@@ -161,6 +168,7 @@ service::CompileRequest build_request(const CliOptions& cli,
   request.emit_qasm = cli.emit_qasm;
   request.emit_cqasm = cli.emit_cqasm;
   request.emit_timed = cli.emit_timed;
+  request.verify_artifact = cli.verify_output;
   return request;
 }
 
@@ -253,6 +261,10 @@ int compile_source(const CliOptions& cli, const std::string& source,
   }
   if (!resp.ok()) {
     err << resp.attempt_log;  // full ladder on resilient failure ("" else)
+    if (!resp.diagnostics.empty()) {
+      // --verify-output findings: the artifact failed translation validation.
+      err << analysis::render_diagnostics(resp.diagnostics, source_name);
+    }
     err << "qfsc: " << resp.error_message << "\n";
     return service::exit_code_for(resp.code);
   }
@@ -352,8 +364,8 @@ std::vector<std::string> known_flags() {
        {"--help", "--sabre", "--calibration", "--inject-faults",
         "--max-attempts", "--emit-qasm", "--emit-cqasm", "--emit-timed",
         "--emit-dot", "--emit-json", "--crosstalk-safe", "--profile",
-        "--lint", "--verify", "--recommend", "--draw", "--cache-stats",
-        "--version"}) {
+        "--lint", "--verify", "--verify-output", "--recommend", "--draw",
+        "--cache-stats", "--version"}) {
     flags.emplace_back(flag);
   }
   return flags;
@@ -425,6 +437,8 @@ int main(int argc, char** argv) {
       cli.lint = true;
     } else if (arg == "--verify") {
       cli.verify = true;
+    } else if (arg == "--verify-output") {
+      cli.verify_output = true;
     } else if (arg == "--recommend") {
       cli.recommend = true;
     } else if (arg == "--draw") {
