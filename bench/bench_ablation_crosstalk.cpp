@@ -16,10 +16,11 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   std::cout << "=== Ablation: crosstalk-aware scheduling (surface-17) ===\n\n";
 
-  device::Device dev = device::surface17_device();
+  device::Device dev = bench::resolve_device(flags, "surface17");
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   config.suite.random_count = 20;

@@ -13,10 +13,11 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   std::cout << "=== Ablation: placement (surface-97, trivial router) ===\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   report::TextTable t({"placer", "mean overhead %", "median overhead %",
                        "mean swaps", "mean fidelity decrease %"});
 

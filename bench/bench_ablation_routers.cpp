@@ -32,11 +32,12 @@ int parse_int_flag(int argc, char** argv, const std::string& flag,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   const int max_gates = parse_int_flag(argc, argv, "--max-gates", 1500);
   std::cout << "=== Ablation: routers (surface-97, trivial placement) ===\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   // Error variability across the chip so the noise-aware router has real
   // signal to exploit.
   {

@@ -70,11 +70,12 @@ TimedRun timed_suite_run(const device::Device& device,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   const double min_speedup = parse_double_flag(argc, argv, "--min-speedup", 5.0);
   std::cout << "=== Compilation cache: cold vs warm suite run ===\n\n";
 
-  device::Device dev = device::surface17_device();
+  device::Device dev = bench::resolve_device(flags, "surface17");
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   config.suite.max_qubits = 17;

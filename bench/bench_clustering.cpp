@@ -19,10 +19,11 @@
 using namespace qfs;
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   std::cout << "=== Sec. IV: clustering algorithms by graph metrics ===\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   config.suite.max_gates = 3000;

@@ -64,12 +64,13 @@ double mean_of(const std::vector<double>& v) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   std::cout << "=== Fig. 3: impact of the circuit mapping process ===\n";
   std::cout << "device: surface-97 (extended 100-qubit Surface-17), "
                "trivial placer + trivial router\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   // The paper uses the full qbench range but plots (a)/(c) only below 400

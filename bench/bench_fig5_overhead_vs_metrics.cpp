@@ -52,12 +52,13 @@ void print_panel(const PanelData& p) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int jobs = bench::request_flags(argc, argv).jobs;
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
+  const int jobs = flags.jobs;
   std::cout << "=== Fig. 5: gate overhead vs interaction-graph parameters "
                "===\n";
   std::cout << "200 benchmarks, surface-97, trivial mapper\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   bench::SuiteRunConfig config;
   config.jobs = jobs;
   config.suite.max_gates = 3000;

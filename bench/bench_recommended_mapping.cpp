@@ -13,11 +13,12 @@
 
 using namespace qfs;
 
-int main() {
+int main(int argc, char** argv) {
+  const service::RequestFlagValues flags = bench::request_flags(argc, argv);
   std::cout << "=== Algorithm-driven mapping via profile-based "
                "recommendation (surface-97) ===\n\n";
 
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   qfs::Rng rng(2022);
   workloads::SuiteOptions suite_opts;
   suite_opts.random_count = 30;

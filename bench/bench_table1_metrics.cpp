@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
   }
 
   // Part 2: relation to mapping (sign of correlation with gate overhead).
-  device::Device dev = device::surface97_device();
+  device::Device dev = bench::resolve_device(flags, "surface97");
   bench::SuiteRunConfig config;
   config.jobs = flags.jobs;
   config.suite.max_gates = 3000;

@@ -47,9 +47,9 @@ struct SuiteRunConfig {
   cache::CompileCache* cache = nullptr;
 };
 
-/// Generate the suite, profile every circuit and map it onto `device`,
-/// fanning the per-circuit work over `config.jobs` threads. Rows come back
-/// in suite order. Prints a progress dot every 20 circuits (benches run
+/// Profile every suite circuit and map it onto `device`, fanning the
+/// per-circuit work over `config.jobs` threads. Rows come back in suite
+/// order. Prints a progress dot every 20 circuits (benches run
 /// interactively).
 ///
 /// Determinism contract: suite generation uses a single Rng(config.seed)
@@ -60,9 +60,8 @@ struct SuiteRunConfig {
 /// byte-identical for any jobs value, and adding or removing a benchmark
 /// never perturbs the other rows.
 inline std::vector<SuiteRow> run_suite(const device::Device& device,
-                                       const SuiteRunConfig& config) {
-  qfs::Rng suite_rng(config.seed);
-  auto suite = workloads::make_suite(config.suite, suite_rng);
+                                       const SuiteRunConfig& config,
+                                       const std::vector<workloads::Benchmark>& suite) {
   // Every per-circuit compile goes through the same service entrypoint the
   // daemon and qfsc use, with the "direct" pipeline pinning the historical
   // one-attempt bench semantics. Circuit and device are lent by pointer —
@@ -95,6 +94,32 @@ inline std::vector<SuiteRow> run_suite(const device::Device& device,
       });
   progress.finish();
   return rows;
+}
+
+/// The generated-suite form every figure bench uses: draw the paper suite
+/// from Rng(config.seed), then compile it. The explicit-suite overload
+/// above is the ingestion path (QASMBench fixtures, checked-in corpora) —
+/// identical compile semantics, externally supplied circuits.
+inline std::vector<SuiteRow> run_suite(const device::Device& device,
+                                       const SuiteRunConfig& config) {
+  qfs::Rng suite_rng(config.seed);
+  return run_suite(device, config,
+                   workloads::make_suite(config.suite, suite_rng));
+}
+
+/// Resolve the bench's target device: the --device registry spec when the
+/// user gave one, else the bench's historical default. Exits with code 1 on
+/// an unknown spec (same contract as the other flag errors).
+inline device::Device resolve_device(const service::RequestFlagValues& flags,
+                                     const std::string& fallback_spec) {
+  const std::string& spec = flags.device_set ? flags.device : fallback_spec;
+  device::Device dev;
+  std::string error;
+  if (!service::CompileService::parse_device(spec, dev, error)) {
+    std::cerr << "bad --device: " << error << "\n";
+    std::exit(1);
+  }
+  return dev;
 }
 
 inline std::string fmt(double v, int precision = 3) {

@@ -175,6 +175,15 @@ class Matcher {
         queues_[static_cast<std::size_t>(q)].push_back(i);
       }
     }
+    if (!device_.gateset().supports(GateKind::kCx) &&
+        !device_.gateset().supports(GateKind::kRy) &&
+        device_.num_qubits() >= 2) {
+      // Probe template for the generic CZ-only swap detection: the lowered
+      // gate kinds/params are the same for any qubit pair.
+      Circuit probe(device_.num_qubits());
+      probe.swap(0, 1);
+      swap_probe_ = lower(probe);
+    }
   }
 
   /// Walk the mapped circuit, consuming reference gates and swap/bridge
@@ -341,8 +350,11 @@ class Matcher {
 
   /// Full swap-expansion window starting at mapped gate `start`, if any.
   /// The candidate physical pair is read off the window itself: on a
-  /// CX-target the first gate is cx(a,b); on a CZ-only target the template
-  /// opens with ry(-pi/2) on b followed by cz(a,b).
+  /// CX-target the first gate is cx(a,b); on a CZ-target with native Ry the
+  /// template opens with ry(-pi/2) on b followed by cz(a,b). CZ-only bases
+  /// without Ry (sycamore's {rz,sx,x,cz}) lower the conjugating Ry further,
+  /// so the pair is read off the window's first cz instead and both swap
+  /// orientations are checked against the fully lowered template.
   std::optional<SwapWindow> swap_template_at(int start) const {
     const auto& gates = mapped_.gates();
     const Gate& g = gates[static_cast<std::size_t>(start)];
@@ -351,7 +363,7 @@ class Matcher {
       if (g.kind != GateKind::kCx) return std::nullopt;
       pa = g.qubits[0];
       pb = g.qubits[1];
-    } else {
+    } else if (device_.gateset().supports(GateKind::kRy)) {
       if (g.kind != GateKind::kRy ||
           start + 1 >= static_cast<int>(gates.size())) {
         return std::nullopt;
@@ -362,6 +374,36 @@ class Matcher {
       }
       pa = next.qubits[0];
       pb = next.qubits[1];
+    } else {
+      // Generic CZ-only path. The lowered template's gate kinds/params are
+      // position-independent, so the cached probe's first gate is a cheap
+      // pre-filter before the window scan.
+      if (swap_probe_.empty() || g.kind != swap_probe_[0].kind ||
+          g.params != swap_probe_[0].params) {
+        return std::nullopt;
+      }
+      const int horizon =
+          std::min(static_cast<int>(swap_probe_.size()),
+                   static_cast<int>(gates.size()) - start);
+      for (int k = 0; k < horizon; ++k) {
+        const Gate& w = gates[static_cast<std::size_t>(start + k)];
+        if (w.kind == GateKind::kCz) {
+          pa = w.qubits[0];
+          pb = w.qubits[1];
+          break;
+        }
+      }
+      if (pa < 0) return std::nullopt;
+      for (int flip = 0; flip < 2; ++flip) {
+        Circuit c(device_.num_qubits());
+        c.swap(flip ? pb : pa, flip ? pa : pb);
+        std::vector<Gate> tmpl = lower(c);
+        if (window_equals(start, tmpl)) {
+          return SwapWindow{flip ? pb : pa, flip ? pa : pb,
+                            static_cast<int>(tmpl.size())};
+        }
+      }
+      return std::nullopt;
     }
     Circuit c(device_.num_qubits());
     c.swap(pa, pb);
@@ -532,6 +574,7 @@ class Matcher {
   Perm perm_;
   std::vector<std::vector<int>> queues_;  ///< per-virtual-qubit ref indices
   std::vector<int> heads_;                ///< per-qubit cursor into queues_
+  std::vector<Gate> swap_probe_;  ///< lowered swap shape for CZ-only bases
 };
 
 /// QFS108: the timed program must carry exactly the mapped circuit's gates

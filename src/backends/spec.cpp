@@ -1,0 +1,106 @@
+#include "backends/spec.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/strings.h"
+
+namespace qfs::backends {
+
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+bool valid_name(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!is_name_char(c)) return false;
+  }
+  return true;
+}
+
+qfs::Status bad_spec(std::string_view text, const std::string& why) {
+  return qfs::invalid_argument("bad device spec '" + std::string(text) +
+                               "': " + why);
+}
+
+}  // namespace
+
+qfs::StatusOr<DeviceSpec> parse_device_spec(std::string_view text) {
+  std::string_view s = qfs::trim(text);
+  if (s.empty()) return qfs::invalid_argument("empty device spec");
+
+  DeviceSpec spec;
+  std::size_t open = s.find('(');
+  std::string_view name = open == std::string_view::npos ? s : s.substr(0, open);
+  if (!valid_name(name)) {
+    return bad_spec(text, "backend name must be [a-z0-9_]+");
+  }
+  spec.name = std::string(name);
+  if (open == std::string_view::npos) return spec;
+
+  if (s.back() != ')') {
+    return bad_spec(text, "missing ')' after parameter list");
+  }
+  std::string_view body = s.substr(open + 1, s.size() - open - 2);
+  if (qfs::trim(body).empty()) return spec;  // "name()" == "name"
+
+  bool seen_named = false;
+  for (const std::string& raw : qfs::split(body, ',')) {
+    std::string_view arg = qfs::trim(raw);
+    if (arg.empty()) return bad_spec(text, "empty parameter");
+    SpecArg out;
+    std::string_view value_text = arg;
+    std::size_t eq = arg.find('=');
+    if (eq != std::string_view::npos) {
+      std::string_view key = qfs::trim(arg.substr(0, eq));
+      if (!valid_name(key)) {
+        return bad_spec(text, "parameter name '" + std::string(key) +
+                                  "' must be [a-z0-9_]+");
+      }
+      out.name = std::string(key);
+      value_text = qfs::trim(arg.substr(eq + 1));
+      seen_named = true;
+    } else if (seen_named) {
+      return bad_spec(text,
+                      "positional parameter after a named one ('" +
+                          std::string(arg) + "')");
+    }
+    if (!qfs::parse_double(value_text, out.value) ||
+        !std::isfinite(out.value)) {
+      return bad_spec(text, "malformed number '" + std::string(value_text) +
+                                "'");
+    }
+    spec.args.push_back(std::move(out));
+  }
+  return spec;
+}
+
+std::string format_spec_value(double value) {
+  double rounded = std::nearbyint(value);
+  if (rounded == value && std::abs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(rounded));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string spec_to_string(const DeviceSpec& spec) {
+  if (spec.args.empty()) return spec.name;
+  std::string out = spec.name + "(";
+  for (std::size_t i = 0; i < spec.args.size(); ++i) {
+    if (i > 0) out += ',';
+    if (!spec.args[i].name.empty()) out += spec.args[i].name + "=";
+    out += format_spec_value(spec.args[i].value);
+  }
+  out += ')';
+  return out;
+}
+
+}  // namespace qfs::backends

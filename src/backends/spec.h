@@ -1,0 +1,46 @@
+// Device-spec strings: the wire syntax every entrypoint uses to name a
+// backend ("surface17", "heavy_hex(rows=3,cols=9)", "trapped_ion(20)").
+//
+// The grammar is deliberately tiny — a lower-case backend name plus an
+// optional parenthesised argument list, each argument a number, positional
+// or named. Parsing is strict: trailing junk, empty arguments, positional
+// arguments after named ones, and malformed numbers are all typed errors,
+// never silently ignored, because a spec that round-trips loosely would
+// poison the compile-cache fingerprint that embeds it.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/status.h"
+
+namespace qfs::backends {
+
+/// One argument of a device spec: positional ("17") or named ("ions=17").
+struct SpecArg {
+  std::string name;  ///< empty for a positional argument
+  double value = 0.0;
+};
+
+/// A parsed device spec: backend name plus arguments in written order.
+struct DeviceSpec {
+  std::string name;
+  std::vector<SpecArg> args;
+};
+
+/// Parse "name", "name()", "name(17)", "name(rows=3,cols=9)". Backend names
+/// are [a-z0-9_]+; values are finite decimal numbers. A positional argument
+/// may not follow a named one (the usual call-syntax rule).
+qfs::StatusOr<DeviceSpec> parse_device_spec(std::string_view text);
+
+/// Canonical rendering: "name" for a bare spec, else "name(a=1,b=2.5)" with
+/// every argument named and numbers in their shortest exact form. This is
+/// the string Device::spec() carries and the cache fingerprint hashes.
+std::string spec_to_string(const DeviceSpec& spec);
+
+/// Shortest exact rendering of a spec value: integers without a decimal
+/// point, everything else via %.17g (round-trips every finite double).
+std::string format_spec_value(double value);
+
+}  // namespace qfs::backends

@@ -39,6 +39,10 @@ std::string canonical_device_text(const device::Device& device) {
   const auto& topo = device.topology();
   const auto& em = device.error_model();
   os << "device " << device.name() << '\n';
+  // The registry spec (backend name + resolved parameters): two backends
+  // that happen to share a coupling graph and error model still get
+  // distinct cache keys.
+  os << "spec " << device.spec() << '\n';
   os << "qubits " << device.num_qubits() << '\n';
   os << "edges";
   for (const auto& [a, b] : topo.edge_list()) os << ' ' << a << '-' << b;

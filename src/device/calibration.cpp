@@ -45,6 +45,8 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text,
   std::set<int> seen_qubits;
   std::set<std::pair<int, int>> seen_edges;
   double dur1 = 20.0, dur2 = 40.0, durm = 600.0;
+  double t1 = 0.0, t2 = 0.0;
+  bool have_coherence = false;
 
   std::istringstream in(text);
   std::string line;
@@ -114,6 +116,13 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text,
           !valid_duration(dur2) || !valid_duration(durm)) {
         return line_error(line_no, "bad duration");
       }
+    } else if (kind == "coherence_ns") {
+      if (fields.size() != 3) return line_error(line_no, "coherence_ns needs 2 values");
+      if (!qfs::parse_double(fields[1], t1) || !qfs::parse_double(fields[2], t2) ||
+          !valid_duration(t1) || !valid_duration(t2)) {
+        return line_error(line_no, "bad coherence time");
+      }
+      have_coherence = true;
     } else {
       return line_error(line_no, "unknown record type '" + kind + "'");
     }
@@ -121,6 +130,7 @@ qfs::StatusOr<ErrorModel> parse_calibration(const std::string& text,
 
   ErrorModel model(f1, f2, fm);
   model.set_durations_ns(dur1, dur2, durm);
+  if (have_coherence) model.set_coherence_times_ns(t1, t2);
   for (const auto& q : qubits) model.set_qubit_fidelity(q.id, q.f);
   for (const auto& e : edges) model.set_edge_fidelity(e.a, e.b, e.f);
   return model;
@@ -137,6 +147,8 @@ std::string calibration_to_text(
   os << "durations_ns," << qfs::format_double(model.single_qubit_duration_ns(), 1)
      << ',' << qfs::format_double(model.two_qubit_duration_ns(), 1) << ','
      << qfs::format_double(model.measurement_duration_ns(), 1) << '\n';
+  os << "coherence_ns," << qfs::format_double(model.t1_ns(), 1) << ','
+     << qfs::format_double(model.t2_ns(), 1) << '\n';
   for (int q = 0; q < num_qubits; ++q) {
     os << "qubit," << q << ','
        << qfs::format_double(model.qubit_fidelity(q), 6) << '\n';

@@ -7,6 +7,7 @@
 //   qubit,<id>,<fidelity>
 //   edge,<a>,<b>,<fidelity>
 //   durations_ns,<single>,<two>,<measure>
+//   coherence_ns,<t1>,<t2>          (optional; model defaults when absent)
 #pragma once
 
 #include <string>

@@ -48,6 +48,7 @@ Device surface7_device() {
   Device d("surface-7", surface7(), surface_code_gateset(),
            versluis_error_model());
   d.set_control_groups({0, 0, 1, 1, 1, 2, 2});  // rows 2-3-2
+  d.set_spec("surface7");
   return d;
 }
 
@@ -55,6 +56,7 @@ Device surface17_device() {
   Device d("surface-17", surface17(), surface_code_gateset(),
            versluis_error_model());
   d.set_control_groups(surface_control_groups(2, 7));
+  d.set_spec("surface17");
   return d;
 }
 
@@ -62,32 +64,42 @@ Device surface97_device() {
   Device d("surface-97", surface97(), surface_code_gateset(),
            versluis_error_model());
   d.set_control_groups(surface_control_groups(6, 15));
+  d.set_spec("surface97");
   return d;
 }
 
 Device heavy_hex27_device() {
   ErrorModel model(0.9995, 0.99, 0.98);
   model.set_durations_ns(35.0, 300.0, 700.0);
-  return Device("heavy-hex-27", heavy_hex27(), ibm_gateset(), model);
+  Device d("heavy-hex-27", heavy_hex27(), ibm_gateset(), model);
+  d.set_spec("heavyhex27");
+  return d;
 }
 
 Device line_device(int n) {
-  return Device(line_topology(n).name(), line_topology(n),
-                surface_code_gateset(), versluis_error_model());
+  Device d(line_topology(n).name(), line_topology(n), surface_code_gateset(),
+           versluis_error_model());
+  d.set_spec("line(n=" + std::to_string(n) + ")");
+  return d;
 }
 
 Device grid_device(int rows, int cols) {
   Topology t = grid_topology(rows, cols);
   std::string name = t.name();
-  return Device(std::move(name), std::move(t), surface_code_gateset(),
-                versluis_error_model());
+  Device d(std::move(name), std::move(t), surface_code_gateset(),
+           versluis_error_model());
+  d.set_spec("grid(rows=" + std::to_string(rows) +
+             ",cols=" + std::to_string(cols) + ")");
+  return d;
 }
 
 Device fully_connected_device(int n) {
   Topology t = fully_connected_topology(n);
   std::string name = t.name();
-  return Device(std::move(name), std::move(t), surface_code_gateset(),
-                versluis_error_model());
+  Device d(std::move(name), std::move(t), surface_code_gateset(),
+           versluis_error_model());
+  d.set_spec("full(n=" + std::to_string(n) + ")");
+  return d;
 }
 
 }  // namespace qfs::device

@@ -19,6 +19,15 @@ class Device {
          ErrorModel error_model);
 
   const std::string& name() const { return name_; }
+
+  /// Canonical registry spec that produced this device ("surface17",
+  /// "heavy_hex(rows=3,cols=9)"), or the display name for devices built
+  /// outside the registry (file: topologies, tests). The compile-cache
+  /// fingerprint hashes this, so two backends that happen to share a
+  /// coupling graph can never collide.
+  const std::string& spec() const { return spec_.empty() ? name_ : spec_; }
+  void set_spec(std::string spec) { spec_ = std::move(spec); }
+
   int num_qubits() const { return topology_.num_qubits(); }
   const Topology& topology() const { return topology_; }
   const GateSet& gateset() const { return gateset_; }
@@ -35,6 +44,7 @@ class Device {
 
  private:
   std::string name_;
+  std::string spec_;
   Topology topology_;
   GateSet gateset_;
   ErrorModel error_model_;

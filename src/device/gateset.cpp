@@ -30,6 +30,22 @@ GateSet ibm_gateset() {
                          GateKind::kX, GateKind::kCx});
 }
 
+GateSet sycamore_gateset() {
+  return GateSet("sycamore", {GateKind::kI, GateKind::kRz, GateKind::kSx,
+                              GateKind::kX, GateKind::kCz});
+}
+
+GateSet ion_trap_gateset() {
+  return GateSet("ion-ms",
+                 {GateKind::kI, GateKind::kX, GateKind::kY, GateKind::kZ,
+                  GateKind::kRx, GateKind::kRy, GateKind::kRz, GateKind::kCx});
+}
+
+GateSet rydberg_gateset() {
+  return GateSet("rydberg-cz", {GateKind::kI, GateKind::kRx, GateKind::kRy,
+                                GateKind::kRz, GateKind::kCz});
+}
+
 GateSet universal_gateset() {
   std::set<GateKind> all;
   for (int k = 0; k < circuit::kNumGateKinds; ++k) {

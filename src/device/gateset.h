@@ -37,6 +37,17 @@ GateSet surface_code_gateset();
 /// IBM-style basis: rz, sx, x, cx.
 GateSet ibm_gateset();
 
+/// Sycamore-style basis: the fSim-class entangler modelled as CZ over the
+/// discrete {rz, sx, x} single-qubit vocabulary (phased-XZ with virtual Z).
+GateSet sycamore_gateset();
+
+/// Trapped-ion basis: MS/GPI class — arbitrary-axis rotations plus the
+/// Mølmer–Sørensen entangler modelled as CX.
+GateSet ion_trap_gateset();
+
+/// Neutral-atom basis: global Raman rotations plus the Rydberg-blockade CZ.
+GateSet rydberg_gateset();
+
 /// Every unitary kind: used for "no decomposition" experiments.
 GateSet universal_gateset();
 

@@ -179,6 +179,45 @@ Topology fully_connected_topology(int n) {
   return Topology(name.str(), graph::complete_graph(n));
 }
 
+Topology sycamore_topology(int rows, int cols) {
+  QFS_ASSERT_MSG(rows >= 2 && cols >= 2, "sycamore grid needs rows, cols >= 2");
+  graph::Graph g = graph::grid_graph(rows, cols);
+  auto at = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r + 1 < rows; ++r) {
+    for (int c = 0; c + 1 < cols; ++c) {
+      if ((r + c) % 2 == 0) {
+        g.add_edge(at(r, c), at(r + 1, c + 1));
+      } else {
+        g.add_edge(at(r + 1, c), at(r, c + 1));
+      }
+    }
+  }
+  std::ostringstream name;
+  name << "sycamore-" << rows << "x" << cols;
+  return Topology(name.str(), std::move(g));
+}
+
+Topology neutral_atom_topology(int rows, int cols, double radius) {
+  QFS_ASSERT_MSG(rows >= 1 && cols >= 1, "need at least one atom");
+  QFS_ASSERT_MSG(radius >= 1.0,
+                 "interaction radius < 1 disconnects the lattice");
+  const int n = rows * cols;
+  graph::Graph g(n);
+  // Small tolerance so radius = sqrt(2) written as 1.414... still couples
+  // exact diagonals.
+  const double r2 = radius * radius + 1e-9;
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const double dr = a / cols - b / cols;
+      const double dc = a % cols - b % cols;
+      if (dr * dr + dc * dc <= r2) g.add_edge(a, b);
+    }
+  }
+  std::ostringstream name;
+  name << "neutral-atom-" << rows << "x" << cols;
+  return Topology(name.str(), std::move(g));
+}
+
 Topology heavy_hex_lattice(int rows, int cols) {
   QFS_ASSERT_MSG(rows >= 1, "need at least one row");
   QFS_ASSERT_MSG(cols >= 3 && cols % 4 == 1,

@@ -157,6 +157,20 @@ Topology grid_topology(int rows, int cols);
 Topology star_topology(int n);
 Topology fully_connected_topology(int n);
 
+/// Sycamore-style diagonal grid: a rows x cols nearest-neighbour grid plus
+/// one diagonal coupler per unit cell, alternating orientation by cell
+/// parity ((r+c) even adds (r,c)-(r+1,c+1), odd adds (r+1,c)-(r,c+1)).
+/// Approximates the brick-pattern connectivity of Google's Sycamore chip.
+/// rows and cols must be >= 2.
+Topology sycamore_topology(int rows, int cols);
+
+/// Neutral-atom square lattice with interaction-radius connectivity: atoms
+/// at integer grid points (row, col); two atoms couple when their Euclidean
+/// distance is <= radius. radius >= 1 keeps nearest neighbours coupled
+/// (required — the mapper needs a connected target); radius >= sqrt(2)
+/// adds diagonals, radius >= 2 next-nearest rows/columns, and so on.
+Topology neutral_atom_topology(int rows, int cols, double radius);
+
 /// 27-qubit IBM Falcon-style heavy-hex coupling map.
 Topology heavy_hex27();
 

@@ -172,7 +172,27 @@ const std::map<std::string, GateKind>& gate_table() {
       {"cx", GateKind::kCx},      {"cy", GateKind::kCy},
       {"cz", GateKind::kCz},      {"cp", GateKind::kCphase},
       {"cu1", GateKind::kCphase}, {"swap", GateKind::kSwap},
-      {"ccx", GateKind::kCcx},    {"cswap", GateKind::kCswap},
+      {"ccx", GateKind::kCcx},    {"ccz", GateKind::kCcz},
+      {"cswap", GateKind::kCswap},
+  };
+  return table;
+}
+
+// ---- QASMBench macro gates --------------------------------------------------
+//
+// Gates that appear in QASMBench-style circuits but have no dedicated
+// GateKind. Each expands inline to its standard qelib1 network, so the rest
+// of the stack (profiling, mapping, simulation) only ever sees core kinds.
+
+struct MacroSignature {
+  int params;
+  int qubits;
+};
+
+const std::map<std::string, MacroSignature>& macro_table() {
+  static const std::map<std::string, MacroSignature> table = {
+      {"u2", {2, 1}},  {"rzz", {1, 2}}, {"rxx", {1, 2}},
+      {"crz", {1, 2}}, {"cu3", {3, 2}}, {"ch", {0, 2}},
   };
   return table;
 }
@@ -185,14 +205,87 @@ struct GateDef {
   std::vector<std::string> body;  ///< statements without trailing ';'
 };
 
+/// One declared quantum register: qubits [offset, offset + size) of the
+/// flat circuit index space. Registers concatenate in declaration order.
+struct QuantumReg {
+  std::string name;
+  int offset = 0;
+  int size = 0;
+};
+
 struct ParserState {
-  std::string qreg_name;
-  int qreg_size = -1;
-  std::string creg_name;
-  int creg_size = -1;
+  std::vector<QuantumReg> qregs;
+  int total_qubits = 0;
+  std::vector<std::string> creg_names;
+  int total_clbits = 0;
   std::map<std::string, GateDef> gate_defs;
   std::vector<circuit::Gate> gates;
+
+  const QuantumReg* find_qreg(std::string_view name) const {
+    for (const auto& r : qregs) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  }
 };
+
+/// Expand one instance of a QASMBench macro gate (see macro_table) into the
+/// standard qelib1 network over core GateKinds.
+void emit_macro(const std::string& name, const std::vector<double>& p,
+                const std::vector<int>& q, ParserState& state) {
+  auto add = [&state](GateKind kind, std::vector<int> qubits,
+                      std::vector<double> params = {}) {
+    state.gates.push_back(
+        circuit::make_gate(kind, std::move(qubits), std::move(params)));
+  };
+  if (name == "u2") {
+    // u2(phi, lambda) = u3(pi/2, phi, lambda).
+    add(GateKind::kU3, {q[0]}, {M_PI / 2.0, p[0], p[1]});
+  } else if (name == "rzz") {
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kRz, {q[1]}, {p[0]});
+    add(GateKind::kCx, {q[0], q[1]});
+  } else if (name == "rxx") {
+    // Conjugate rzz by Hadamards on both qubits.
+    add(GateKind::kH, {q[0]});
+    add(GateKind::kH, {q[1]});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kRz, {q[1]}, {p[0]});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kH, {q[0]});
+    add(GateKind::kH, {q[1]});
+  } else if (name == "crz") {
+    add(GateKind::kRz, {q[1]}, {p[0] / 2.0});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kRz, {q[1]}, {-p[0] / 2.0});
+    add(GateKind::kCx, {q[0], q[1]});
+  } else if (name == "cu3") {
+    // cu3(theta, phi, lambda) c, t — qelib1's controlled-U decomposition.
+    const double theta = p[0], phi = p[1], lambda = p[2];
+    add(GateKind::kPhase, {q[0]}, {(lambda + phi) / 2.0});
+    add(GateKind::kPhase, {q[1]}, {(lambda - phi) / 2.0});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kU3, {q[1]}, {-theta / 2.0, 0.0, -(phi + lambda) / 2.0});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kU3, {q[1]}, {theta / 2.0, phi, 0.0});
+  } else if (name == "ch") {
+    // qelib1: gate ch a,b { h b; sdg b; cx a,b; h b; t b; cx a,b;
+    //                       t b; h b; s b; x b; s a; }
+    add(GateKind::kH, {q[1]});
+    add(GateKind::kSdg, {q[1]});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kH, {q[1]});
+    add(GateKind::kT, {q[1]});
+    add(GateKind::kCx, {q[0], q[1]});
+    add(GateKind::kT, {q[1]});
+    add(GateKind::kH, {q[1]});
+    add(GateKind::kS, {q[1]});
+    add(GateKind::kX, {q[1]});
+    add(GateKind::kS, {q[0]});
+  } else {
+    QFS_ASSERT_MSG(false, "emit_macro: unknown macro '" + name + "'");
+  }
+}
 
 /// Qubit binding environment inside a gate-definition body: formal qubit
 /// name -> concrete physical index.
@@ -224,11 +317,12 @@ qfs::StatusOr<std::vector<int>> parse_operand(std::string_view token,
   if (open == std::string_view::npos) {
     // Broadcast: the whole register.
     std::string name(trim(token));
-    if (name != state.qreg_name) {
+    const QuantumReg* reg = state.find_qreg(name);
+    if (reg == nullptr) {
       return error_at(line_no, "unknown quantum register '" + name + "'");
     }
     std::vector<int> all;
-    for (int q = 0; q < state.qreg_size; ++q) all.push_back(q);
+    for (int q = 0; q < reg->size; ++q) all.push_back(reg->offset + q);
     return all;
   }
   auto close = token.find(']');
@@ -236,17 +330,18 @@ qfs::StatusOr<std::vector<int>> parse_operand(std::string_view token,
     return error_at(line_no, "malformed operand '" + std::string(token) + "'");
   }
   std::string name(trim(token.substr(0, open)));
-  if (name != state.qreg_name) {
+  const QuantumReg* reg = state.find_qreg(name);
+  if (reg == nullptr) {
     return error_at(line_no, "unknown quantum register '" + name + "'");
   }
   int index = 0;
   if (!qfs::parse_int(token.substr(open + 1, close - open - 1), index)) {
     return error_at(line_no, "bad qubit index in '" + std::string(token) + "'");
   }
-  if (index < 0 || index >= state.qreg_size) {
+  if (index < 0 || index >= reg->size) {
     return error_at(line_no, "qubit index out of range");
   }
-  return std::vector<int>{index};
+  return std::vector<int>{reg->offset + index};
 }
 
 /// Parse a comma-separated operand list. Each element is a vector to allow
@@ -289,7 +384,7 @@ qfs::Status emit_broadcast(GateKind kind, const std::vector<std::vector<int>>& o
     for (const auto& op : ops) {
       qubits.push_back(op.size() == 1 ? op[0] : op[static_cast<std::size_t>(i)]);
     }
-    std::vector<bool> seen(static_cast<std::size_t>(state.qreg_size), false);
+    std::vector<bool> seen(static_cast<std::size_t>(state.total_qubits), false);
     for (int q : qubits) {
       if (seen[static_cast<std::size_t>(q)]) {
         return error_at(line_no, "repeated qubit operand");
@@ -364,22 +459,25 @@ qfs::Status parse_statement(std::string_view stmt, ParserState& state,
       return error_at(line_no, "bad register size");
     }
     if (quantum) {
-      if (state.qreg_size != -1) {
-        return error_at(line_no, "multiple qreg declarations not supported");
+      if (state.find_qreg(name) != nullptr) {
+        return error_at(line_no, "duplicate quantum register '" + name + "'");
       }
-      state.qreg_name = name;
-      state.qreg_size = size;
+      state.qregs.push_back({name, state.total_qubits, size});
+      state.total_qubits += size;
     } else {
-      if (state.creg_size != -1) {
-        return error_at(line_no, "multiple creg declarations not supported");
+      for (const auto& existing : state.creg_names) {
+        if (existing == name) {
+          return error_at(line_no,
+                          "duplicate classical register '" + name + "'");
+        }
       }
-      state.creg_name = name;
-      state.creg_size = size;
+      state.creg_names.push_back(name);
+      state.total_clbits += size;
     }
     return qfs::Status::ok();
   }
 
-  if (state.qreg_size == -1) {
+  if (state.qregs.empty()) {
     return error_at(line_no, "gate statement before qreg declaration");
   }
 
@@ -454,6 +552,35 @@ qfs::Status parse_statement(std::string_view stmt, ParserState& state,
     return emit_broadcast(kind, ops.value(), std::move(params), state, line_no);
   }
 
+  auto macro = macro_table().find(name);
+  if (macro != macro_table().end()) {
+    if (static_cast<int>(params.size()) != macro->second.params) {
+      return error_at(line_no, "wrong parameter count for gate '" + name + "'");
+    }
+    if (static_cast<int>(ops.value().size()) != macro->second.qubits) {
+      return error_at(line_no, "wrong operand count for gate '" + name + "'");
+    }
+    auto width = broadcast_width(ops.value(), line_no);
+    if (!width.is_ok()) return width.status();
+    for (int i = 0; i < width.value(); ++i) {
+      std::vector<int> qubits;
+      for (const auto& op : ops.value()) {
+        qubits.push_back(op.size() == 1 ? op[0]
+                                        : op[static_cast<std::size_t>(i)]);
+      }
+      std::vector<bool> seen(static_cast<std::size_t>(state.total_qubits),
+                             false);
+      for (int q : qubits) {
+        if (seen[static_cast<std::size_t>(q)]) {
+          return error_at(line_no, "repeated qubit operand");
+        }
+        seen[static_cast<std::size_t>(q)] = true;
+      }
+      emit_macro(name, params, qubits, state);
+    }
+    return qfs::Status::ok();
+  }
+
   auto custom = state.gate_defs.find(name);
   if (custom == state.gate_defs.end()) {
     return error_at(line_no, "unsupported statement or gate '" + name + "'");
@@ -505,7 +632,8 @@ qfs::Status parse_gate_definition(std::string_view text, ParserState& state,
   }
   def.name = to_lower(header.substr(0, name_end));
   if (def.name.empty()) return error_at(line_no, "gate definition needs a name");
-  if (gate_table().count(def.name) || state.gate_defs.count(def.name)) {
+  if (gate_table().count(def.name) || macro_table().count(def.name) ||
+      state.gate_defs.count(def.name)) {
     return error_at(line_no, "gate '" + def.name + "' is already defined");
   }
   auto header_rest = trim(header.substr(name_end));
@@ -598,10 +726,10 @@ qfs::StatusOr<Circuit> parse(const std::string& source) {
   if (!trim(pending).empty()) {
     return error_at(line_no, "unterminated statement at end of input");
   }
-  if (state.qreg_size == -1) {
+  if (state.qregs.empty()) {
     return qfs::parse_error("no qreg declaration found");
   }
-  Circuit circuit(state.qreg_size, std::move(circuit_name));
+  Circuit circuit(state.total_qubits, std::move(circuit_name));
   for (auto& g : state.gates) circuit.add(std::move(g));
   return circuit;
 }

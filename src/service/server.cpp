@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "backends/registry.h"
 #include "report/cache_summary.h"
 #include "support/json.h"
 #include "support/strings.h"
@@ -266,7 +267,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& conn,
         conn->write_line(
             error_response_json(
                 ErrorCode::kInvalidRequest,
-                "unknown op (ping | stats | shutdown)", id)
+                "unknown op (ping | stats | devices | shutdown)", id)
                 .to_string());
         std::lock_guard<std::mutex> lock(counters_mu_);
         ++counters_.failed;
@@ -344,6 +345,32 @@ bool Server::handle_op(const std::shared_ptr<Connection>& conn,
     if (service_.cache() != nullptr) {
       doc.set("cache", report::cache_stats_to_json(service_.cache()->stats()));
     }
+    conn->write_line(doc.to_string());
+    return true;
+  }
+  if (op == "devices") {
+    // Registry enumeration for remote clients: the same entries and
+    // parameter ranges `qfsc --list-devices` prints locally.
+    JsonValue devices = JsonValue::array();
+    for (const auto& info : backends::BackendRegistry::global().entries()) {
+      JsonValue entry = JsonValue::object();
+      entry.set("name", JsonValue::string(info.name))
+          .set("summary", JsonValue::string(info.summary));
+      JsonValue params = JsonValue::array();
+      for (const auto& p : info.params) {
+        JsonValue param = JsonValue::object();
+        param.set("name", JsonValue::string(p.name))
+            .set("min", JsonValue::number(p.min_value))
+            .set("max", JsonValue::number(p.max_value))
+            .set("default", JsonValue::number(p.default_value))
+            .set("integer", JsonValue::boolean(p.integer))
+            .set("doc", JsonValue::string(p.doc));
+        params.push_back(std::move(param));
+      }
+      entry.set("params", std::move(params));
+      devices.push_back(std::move(entry));
+    }
+    doc.set("devices", std::move(devices));
     conn->write_line(doc.to_string());
     return true;
   }

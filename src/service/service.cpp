@@ -8,6 +8,7 @@
 
 #include "analysis/checkers.h"
 #include "analysis/equiv.h"
+#include "backends/registry.h"
 #include "cache/artifact.h"
 #include "cache/fingerprint.h"
 #include "cache/memo.h"
@@ -445,15 +446,10 @@ CompileResponse execute_impl(const ServiceConfig& config,
 
 bool CompileService::parse_device(const std::string& spec,
                                   device::Device& out, std::string& error) {
-  if (spec == "surface7") {
-    out = device::surface7_device();
-  } else if (spec == "surface17") {
-    out = device::surface17_device();
-  } else if (spec == "surface97") {
-    out = device::surface97_device();
-  } else if (spec == "heavyhex27") {
-    out = device::heavy_hex27_device();
-  } else if (starts_with(spec, "line:")) {
+  // Legacy colon forms (line:N, grid:RxC, full:N) and file: topologies keep
+  // their historical spellings and error messages; everything else resolves
+  // through the backend registry ("name" or "name(params)" specs).
+  if (starts_with(spec, "line:")) {
     int n = 0;
     if (!parse_int(spec.substr(5), n) || n < 1) {
       error = "bad line size in '" + spec + "'";
@@ -493,8 +489,12 @@ bool CompileService::parse_device(const std::string& spec,
     }
     out = device::grid_device(r, c);
   } else {
-    error = "unknown device '" + spec + "'";
-    return false;
+    auto made = backends::make_device(spec);
+    if (!made.is_ok()) {
+      error = made.status().message();
+      return false;
+    }
+    out = std::move(made).value();
   }
   return true;
 }

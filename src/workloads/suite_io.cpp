@@ -1,5 +1,6 @@
 #include "workloads/suite_io.h"
 
+#include <algorithm>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
@@ -106,6 +107,40 @@ qfs::StatusOr<std::vector<Benchmark>> load_suite_from_directory(
     b.family = family.value();
     b.circuit = std::move(circuit).value();
     b.circuit.set_name(b.name);
+    suite.push_back(std::move(b));
+  }
+  return suite;
+}
+
+qfs::StatusOr<std::vector<Benchmark>> load_qasm_directory(
+    const std::string& directory) {
+  std::error_code ec;
+  fs::directory_iterator it(directory, ec);
+  if (ec) {
+    return qfs::io_error("cannot open directory '" + directory +
+                         "': " + ec.message());
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : it) {
+    if (entry.is_regular_file() && entry.path().extension() == ".qasm") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    return qfs::io_error("no .qasm files in '" + directory + "'");
+  }
+  std::vector<Benchmark> suite;
+  for (const auto& path : files) {
+    auto circuit = load_circuit_file(path.string());
+    if (!circuit.is_ok()) {
+      return qfs::parse_error(path.filename().string() + ": " +
+                              circuit.status().message());
+    }
+    Benchmark b;
+    b.name = path.stem().string();
+    b.family = Family::kReal;
+    b.circuit = std::move(circuit).value();
     suite.push_back(std::move(b));
   }
   return suite;

@@ -23,4 +23,11 @@ qfs::StatusOr<circuit::Circuit> load_circuit_file(const std::string& path);
 qfs::StatusOr<std::vector<Benchmark>> load_suite_from_directory(
     const std::string& directory);
 
+/// Load every "*.qasm" file in `directory` (no manifest required), sorted
+/// by filename for determinism. Each circuit is named after its file stem
+/// and tagged Family::kReal — the ingestion path for external corpora such
+/// as QASMBench.
+qfs::StatusOr<std::vector<Benchmark>> load_qasm_directory(
+    const std::string& directory);
+
 }  // namespace qfs::workloads

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "backends/registry.h"
 #include "cache/artifact.h"
 #include "cache/fingerprint.h"
 #include "cache/memo.h"
@@ -79,6 +80,51 @@ TEST(FingerprintTest, StableAndSensitive) {
   device::Device unchanged = dev;
   unchanged.mutable_error_model().set_edge_fidelity(0, 1, 0.5);
   EXPECT_EQ(base, compile_fingerprint(qasm_text, unchanged, options, 2022));
+}
+
+TEST(FingerprintTest, BackendSpecDistinguishesIdenticalHardware) {
+  // Two devices that agree on every hashed hardware dimension (topology,
+  // gate set, calibration, control groups) but carry different registry
+  // specs must key differently — the canonical spec line is what makes
+  // cross-backend collisions impossible by construction.
+  auto made = backends::make_device("grid(rows=4,cols=5)");
+  ASSERT_TRUE(made.is_ok());
+  const device::Device& a = made.value();
+  device::Device b = a;
+  b.set_spec("neutral_atom(rows=4,cols=5,radius=1)");
+  mapper::MappingOptions options;
+  const std::string qasm_text = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+  EXPECT_NE(compile_fingerprint(qasm_text, a, options, 2022),
+            compile_fingerprint(qasm_text, b, options, 2022));
+}
+
+TEST(FingerprintTest, ZooBackendsNeverCollide) {
+  // Same circuit, options and seed on every zoo backend: pairwise-distinct
+  // cache keys (different devices can never serve each other's artifacts).
+  const char* specs[] = {
+      "surface17",
+      "heavyhex27",
+      "heavy_hex(rows=3,cols=9)",
+      "sycamore(rows=5,cols=4)",
+      "trapped_ion(ions=20)",
+      "neutral_atom(rows=4,cols=5,radius=1.5)",
+      "neutral_atom(rows=4,cols=5,radius=2)",
+      "grid(rows=4,cols=5)",
+      "full(n=20)",
+  };
+  mapper::MappingOptions options;
+  const std::string qasm_text = "OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[1];\n";
+  std::vector<Fingerprint> keys;
+  for (const char* spec : specs) {
+    auto dev = backends::make_device(spec);
+    ASSERT_TRUE(dev.is_ok()) << spec;
+    keys.push_back(compile_fingerprint(qasm_text, dev.value(), options, 2022));
+  }
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i], keys[j]) << specs[i] << " vs " << specs[j];
+    }
+  }
 }
 
 TEST(FingerprintTest, FieldsAreLengthPrefixed) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "analysis/equiv.h"
+#include "backends/registry.h"
 #include "circuit/flat.h"
 #include "device/device.h"
 #include "mapper/pipeline.h"
@@ -108,6 +109,37 @@ TEST(EquivValidation, LargeDeviceSubsetValidatesCleanBothModes) {
                              lookahead_config(), 7),
               "");
   }
+}
+
+TEST(EquivValidation, HeavyHexSuiteValidatesClean) {
+  // Degree-<=3 connectivity exercises the longest swap chains the validator
+  // sees; the IBM basis exercises the {rz,sx,x,cx} lowering path.
+  auto dev = backends::make_device("heavy_hex(rows=3,cols=9)");
+  ASSERT_TRUE(dev.is_ok());
+  workloads::SuiteOptions options;
+  options.random_count = 10;
+  options.real_count = 10;
+  options.reversible_count = 5;
+  options.max_qubits = 17;
+  options.max_gates = 600;
+  EXPECT_EQ(validate_suite(dev.value(), options, lookahead_config(), 2022),
+            "");
+}
+
+TEST(EquivValidation, TrappedIonSuiteValidatesClean) {
+  // All-to-all coupling: routing degenerates to placement only (zero
+  // swaps), the opposite extreme from heavy-hex. Validates the MS/GPI
+  // lowering and the permutation bookkeeping when layouts never move.
+  auto dev = backends::make_device("trapped_ion(ions=20)");
+  ASSERT_TRUE(dev.is_ok());
+  workloads::SuiteOptions options;
+  options.random_count = 10;
+  options.real_count = 10;
+  options.reversible_count = 5;
+  options.max_qubits = 17;
+  options.max_gates = 600;
+  EXPECT_EQ(validate_suite(dev.value(), options, lookahead_config(), 2022),
+            "");
 }
 
 TEST(EquivValidation, EveryRouterValidatesOnRepresentativeCircuits) {

@@ -171,8 +171,50 @@ TEST(Parser, ErrorMentionsLineNumber) {
   EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
 }
 
-TEST(Parser, ErrorMultipleQregs) {
-  EXPECT_FALSE(parse("qreg q[1]; qreg r[1];").is_ok());
+// ---------------------------------------------------------------------------
+// Multiple registers (QASMBench-style programs)
+// ---------------------------------------------------------------------------
+
+TEST(Parser, MultipleQregsConcatenate) {
+  // Registers occupy consecutive index ranges in declaration order.
+  auto result = parse("qreg q[3]; qreg anc[2]; x q[2]; x anc[0]; x anc[1];");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().num_qubits(), 5);
+  EXPECT_EQ(result.value().gates()[0].qubits[0], 2);
+  EXPECT_EQ(result.value().gates()[1].qubits[0], 3);
+  EXPECT_EQ(result.value().gates()[2].qubits[0], 4);
+}
+
+TEST(Parser, CrossRegisterTwoQubitGate) {
+  auto result = parse("qreg a[2]; qreg b[2]; cx a[1],b[0];");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().gates()[0].qubits, (std::vector<int>{1, 2}));
+}
+
+TEST(Parser, BroadcastOverSecondRegister) {
+  auto result = parse("qreg a[2]; qreg b[3]; h b;");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().gate_count(), 3);
+  EXPECT_EQ(result.value().gates()[0].qubits[0], 2);
+  EXPECT_EQ(result.value().gates()[2].qubits[0], 4);
+}
+
+TEST(Parser, PerRegisterIndexBoundsEnforced) {
+  // a[2] is out of range for a even though the circuit has 4 qubits.
+  EXPECT_FALSE(parse("qreg a[2]; qreg b[2]; h a[2];").is_ok());
+}
+
+TEST(Parser, MultipleCregsAccepted) {
+  auto result =
+      parse("qreg q[2]; creg c[2]; creg d[2]; measure q[0] -> c[0];");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+}
+
+TEST(Parser, DuplicateRegisterNamesRejected) {
+  auto dup_q = parse("qreg q[1]; qreg q[2];");
+  ASSERT_FALSE(dup_q.is_ok());
+  EXPECT_NE(dup_q.status().message().find("duplicate"), std::string::npos);
+  EXPECT_FALSE(parse("creg c[1]; qreg q[1]; creg c[2];").is_ok());
 }
 
 TEST(Parser, TruncatedProgramNamesLastLine) {
@@ -239,6 +281,85 @@ TEST(Broadcast, MeasureAndResetOverRegister) {
   auto counts = result.value().count_by_kind();
   EXPECT_EQ(counts[GateKind::kReset], 3);
   EXPECT_EQ(counts[GateKind::kMeasure], 3);
+}
+
+// ---------------------------------------------------------------------------
+// QASMBench macro gates: each expansion must be unitarily equivalent to an
+// independent reference construction (not the expansion network itself).
+// ---------------------------------------------------------------------------
+
+circuit::Circuit parsed(const std::string& body) {
+  auto result = parse("qreg q[3]; " + body);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return result.value();
+}
+
+TEST(MacroGates, U2IsU3WithPiOver2Theta) {
+  circuit::Circuit ref(3);
+  ref.u3(M_PI / 2.0, 0.3, 1.1, 0);
+  EXPECT_TRUE(sim::circuits_equivalent(parsed("u2(0.3,1.1) q[0];"), ref));
+}
+
+TEST(MacroGates, RzzMatchesPhaseConstruction) {
+  // rzz(t) = (P(t) x P(t)) . CP(-2t) up to global phase.
+  const double t = 0.7;
+  circuit::Circuit ref(3);
+  ref.p(t, 0).p(t, 1).cp(-2.0 * t, 0, 1);
+  EXPECT_TRUE(sim::circuits_equivalent(parsed("rzz(0.7) q[0],q[1];"), ref));
+}
+
+TEST(MacroGates, RxxIsHadamardConjugatedRzz) {
+  const double t = 0.45;
+  circuit::Circuit ref(3);
+  ref.h(0).h(1).p(t, 0).p(t, 1).cp(-2.0 * t, 0, 1).h(0).h(1);
+  EXPECT_TRUE(sim::circuits_equivalent(parsed("rxx(0.45) q[0],q[1];"), ref));
+}
+
+TEST(MacroGates, CrzMatchesControlPhaseConstruction) {
+  // Controlled-RZ(l) = P(-l/2) on the control, then CP(l).
+  const double l = 0.9;
+  circuit::Circuit ref(3);
+  ref.p(-l / 2.0, 0).cp(l, 0, 1);
+  EXPECT_TRUE(sim::circuits_equivalent(parsed("crz(0.9) q[0],q[1];"), ref));
+}
+
+TEST(MacroGates, Cu3SpecialCases) {
+  // cu3(0,0,l) is the controlled phase; cu3(pi,0,pi) is CX.
+  circuit::Circuit cp_ref(3);
+  cp_ref.cp(0.8, 0, 1);
+  EXPECT_TRUE(
+      sim::circuits_equivalent(parsed("cu3(0,0,0.8) q[0],q[1];"), cp_ref));
+  circuit::Circuit cx_ref(3);
+  cx_ref.cx(0, 1);
+  EXPECT_TRUE(
+      sim::circuits_equivalent(parsed("cu3(pi,0,pi) q[0],q[1];"), cx_ref));
+}
+
+TEST(MacroGates, ChIsControlledHadamard) {
+  // Ry(-pi/4) X Ry(pi/4) = H exactly, so this three-gate network is the
+  // phase-exact controlled-H the qelib1 expansion must reproduce.
+  circuit::Circuit ref(3);
+  ref.ry(M_PI / 4.0, 1).cx(0, 1).ry(-M_PI / 4.0, 1);
+  EXPECT_TRUE(sim::circuits_equivalent(parsed("ch q[0],q[1];"), ref));
+}
+
+TEST(MacroGates, CczParsesNatively) {
+  circuit::Circuit ref(3);
+  ref.h(2).ccx(0, 1, 2).h(2);
+  EXPECT_TRUE(
+      sim::circuits_equivalent(parsed("ccz q[0],q[1],q[2];"), ref, 1e-8));
+}
+
+TEST(MacroGates, BroadcastAndErrorsApply) {
+  // Macros broadcast like builtins and reject bad shapes.
+  auto broadcast = parse("qreg q[3]; u2(0,pi) q;");
+  ASSERT_TRUE(broadcast.is_ok());
+  EXPECT_EQ(broadcast.value().gate_count(), 3);
+  EXPECT_FALSE(parse("qreg q[3]; rzz(1) q[0];").is_ok());
+  EXPECT_FALSE(parse("qreg q[3]; rzz(1,2) q[0],q[1];").is_ok());
+  EXPECT_FALSE(parse("qreg q[3]; ch q[0],q[0];").is_ok());
+  // Macro names cannot be redefined by gate blocks.
+  EXPECT_FALSE(parse("gate ch a,b { cx a,b; } qreg q[2];").is_ok());
 }
 
 TEST(Broadcast, BarrierOverRegister) {

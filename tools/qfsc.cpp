@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "analysis/diagnostic.h"
+#include "backends/registry.h"
 #include "cache/cache.h"
 #include "cache/fingerprint.h"
 #include "circuit/draw.h"
@@ -79,9 +80,13 @@ void print_usage() {
       "usage: qfsc [options] [input.qasm ...]\n"
       "\n"
       "options:\n"
-      "  --device <name>   surface7 | surface17 | surface97 | heavyhex27 |\n"
-      "                    line:<N> | grid:<R>x<C> | full:<N> |\n"
-      "                    file:<topology.txt>                  (default surface17)\n"
+      "  --device <spec>   a backend-registry spec: a name, optionally with\n"
+      "                    parameters — surface17, heavyhex27,\n"
+      "                    heavy_hex(rows=3,cols=9), sycamore(5,4),\n"
+      "                    trapped_ion(ions=20), neutral_atom(4,5,radius=1.5)\n"
+      "                    — or file:<topology.txt>; the legacy colon forms\n"
+      "                    line:<N>, grid:<R>x<C>, full:<N> still work\n"
+      "                    (default surface17; see --list-devices)\n"
       "  --placer <name>   trivial | random | degree-match | annealing |\n"
       "                    subgraph | noise-aware                (default trivial)\n"
       "  --router <name>   trivial | lookahead | noise-aware | bridge |\n"
@@ -135,6 +140,8 @@ void print_usage() {
       "  --draw            print the input circuit as ASCII art first\n"
       "  --version         print the compiler version and the salt folded\n"
       "                    into every cache key, then exit\n"
+      "  --list-devices    print every registered backend with its\n"
+      "                    parameter ranges and defaults, then exit\n"
       "  --help            this text\n"
       "\n"
       "Circuits are read from the positional files, or stdin when omitted.\n"
@@ -365,7 +372,7 @@ std::vector<std::string> known_flags() {
         "--max-attempts", "--emit-qasm", "--emit-cqasm", "--emit-timed",
         "--emit-dot", "--emit-json", "--crosstalk-safe", "--profile",
         "--lint", "--verify", "--verify-output", "--recommend", "--draw",
-        "--cache-stats", "--version"}) {
+        "--cache-stats", "--version", "--list-devices"}) {
     flags.emplace_back(flag);
   }
   return flags;
@@ -402,6 +409,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--version") {
       std::cout << "qfsc (qfs full-stack NISQ compiler)\n"
                 << "cache key salt: " << cache::kCacheVersionSalt << "\n";
+      return 0;
+    } else if (arg == "--list-devices") {
+      std::cout << backends::list_devices_text();
       return 0;
     } else if (arg == "--cache-stats") {
       cli.cache_stats = true;

@@ -73,6 +73,9 @@ void print_usage() {
       "                    wire protocol on stdin/stdout\n"
       "  --help            this text\n"
       "\n"
+      "Control ops (line-delimited JSON): {\"op\":\"ping\"} liveness,\n"
+      "{\"op\":\"stats\"} counters, {\"op\":\"devices\"} the backend registry\n"
+      "with parameter ranges, {\"op\":\"shutdown\"} graceful exit.\n"
       "The daemon exits on SIGINT/SIGTERM or a {\"op\":\"shutdown\"} request,\n"
       "draining in-flight compilations first.\n";
 }

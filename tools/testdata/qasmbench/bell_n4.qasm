@@ -1,0 +1,12 @@
+// circuit: bell_n4
+// Pairwise Bell states with u2 rotations (QASMBench idiom for h).
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+u2(0,pi) q[0];
+u2(0,pi) q[2];
+cx q[0],q[1];
+cx q[2],q[3];
+barrier q;
+measure q -> c;

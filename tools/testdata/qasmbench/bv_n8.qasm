@@ -1,0 +1,16 @@
+// circuit: bv_n8
+// Bernstein-Vazirani with a separate ancilla register: two qregs.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[7];
+qreg anc[1];
+creg c[7];
+x anc[0];
+h q;
+h anc[0];
+cx q[0],anc[0];
+cx q[2],anc[0];
+cx q[3],anc[0];
+cx q[5],anc[0];
+h q;
+measure q -> c;

@@ -1,0 +1,20 @@
+// circuit: grover_n5
+// One Grover iteration with a ccz marking oracle over a 4-qubit search
+// space plus a work qubit.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+qreg work[1];
+creg c[4];
+h q;
+ccz q[0],q[1],q[2];
+ccx q[2],q[3],work[0];
+cz work[0],q[0];
+ccx q[2],q[3],work[0];
+h q;
+x q;
+ccz q[0],q[1],q[2];
+ch q[2],q[3];
+x q;
+h q;
+measure q -> c;

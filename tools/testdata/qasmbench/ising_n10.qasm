@@ -1,0 +1,28 @@
+// circuit: ising_n10
+// Transverse-field Ising chain Trotter step: rzz couplings + rx field.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[10];
+creg c[10];
+h q;
+rzz(0.3) q[0],q[1];
+rzz(0.3) q[1],q[2];
+rzz(0.3) q[2],q[3];
+rzz(0.3) q[3],q[4];
+rzz(0.3) q[4],q[5];
+rzz(0.3) q[5],q[6];
+rzz(0.3) q[6],q[7];
+rzz(0.3) q[7],q[8];
+rzz(0.3) q[8],q[9];
+rx(0.6) q;
+rzz(0.3) q[0],q[1];
+rzz(0.3) q[1],q[2];
+rzz(0.3) q[2],q[3];
+rzz(0.3) q[3],q[4];
+rzz(0.3) q[4],q[5];
+rzz(0.3) q[5],q[6];
+rzz(0.3) q[6],q[7];
+rzz(0.3) q[7],q[8];
+rzz(0.3) q[8],q[9];
+rx(0.6) q;
+measure q -> c;

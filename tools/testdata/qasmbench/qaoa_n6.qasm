@@ -1,0 +1,15 @@
+// circuit: qaoa_n6
+// One QAOA layer on a ring: rzz cost unitaries + rx mixer.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[6];
+creg c[6];
+h q;
+rzz(0.7853981633974483) q[0],q[1];
+rzz(0.7853981633974483) q[1],q[2];
+rzz(0.7853981633974483) q[2],q[3];
+rzz(0.7853981633974483) q[3],q[4];
+rzz(0.7853981633974483) q[4],q[5];
+rzz(0.7853981633974483) q[5],q[0];
+rx(1.5707963267948966) q;
+measure q -> c;

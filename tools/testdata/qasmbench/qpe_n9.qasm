@@ -1,0 +1,33 @@
+// circuit: qpe_n9
+// Quantum phase estimation: counting register + eigenstate register, crz
+// controlled evolutions and an inverse-QFT readout.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg count[8];
+qreg psi[1];
+creg c[8];
+x psi[0];
+h count;
+crz(pi/2) count[0],psi[0];
+crz(pi/4) count[1],psi[0];
+crz(pi/8) count[2],psi[0];
+crz(pi/16) count[3],psi[0];
+crz(pi/32) count[4],psi[0];
+crz(pi/64) count[5],psi[0];
+crz(pi/128) count[6],psi[0];
+crz(pi/256) count[7],psi[0];
+h count[7];
+cu1(-pi/2) count[6],count[7];
+h count[6];
+cu1(-pi/4) count[5],count[7];
+cu1(-pi/2) count[5],count[6];
+h count[5];
+cu1(-pi/8) count[4],count[7];
+cu1(-pi/4) count[4],count[6];
+cu1(-pi/2) count[4],count[5];
+h count[4];
+h count[3];
+h count[2];
+h count[1];
+h count[0];
+measure count -> c;

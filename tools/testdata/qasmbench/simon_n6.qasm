@@ -1,0 +1,17 @@
+// circuit: simon_n6
+// Simon's algorithm oracle for s=110 across input/output registers.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg qin[3];
+qreg qout[3];
+creg c[3];
+h qin;
+cx qin[0],qout[0];
+cx qin[1],qout[1];
+cx qin[2],qout[2];
+cx qin[0],qout[1];
+cx qin[0],qout[2];
+h qin;
+measure qin[0] -> c[0];
+measure qin[1] -> c[1];
+measure qin[2] -> c[2];

@@ -1,0 +1,19 @@
+// circuit: variational_n4
+// Hardware-efficient variational ansatz: u2/u3 layers, rxx entanglers, cu3.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+u2(0.2,1.1) q[0];
+u3(0.4,0.3,0.9) q[1];
+u2(0.5,0.7) q[2];
+u3(1.2,0.1,0.4) q[3];
+rxx(0.37) q[0],q[1];
+rxx(0.37) q[2],q[3];
+cu3(0.6,0.2,0.8) q[1],q[2];
+crz(0.45) q[0],q[3];
+u3(0.8,0.5,0.2) q[0];
+u2(1.4,0.6) q[1];
+u3(0.3,0.7,1.0) q[2];
+u2(0.9,0.8) q[3];
+measure q -> c;
